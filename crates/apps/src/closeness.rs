@@ -1,0 +1,142 @@
+//! Closeness centrality from iBFS depth arrays.
+//!
+//! The closeness of `s` is the reciprocal of its average shortest-path
+//! distance to the vertices it can reach, scaled by the reached fraction
+//! (the Wasserman–Faust generalization, standard for disconnected graphs):
+//!
+//! ```text
+//! C(s) = (r - 1)² / ((n - 1) · Σ_t d(s, t))
+//! ```
+//!
+//! where `r` is the number of vertices reachable from `s`. Computing
+//! closeness for many vertices is one of the paper's motivating concurrent
+//! BFS workloads (top-k closeness search, Olsen et al.).
+
+use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+
+/// Closeness of one source given its depth array.
+pub fn closeness_from_depths(depths: &[Depth]) -> f64 {
+    let n = depths.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut reached = 0u64;
+    let mut total = 0u64;
+    for &d in depths {
+        if d != DEPTH_UNVISITED {
+            reached += 1;
+            total += d as u64;
+        }
+    }
+    if reached <= 1 || total == 0 {
+        return 0.0;
+    }
+    let r = reached as f64;
+    (r - 1.0) * (r - 1.0) / ((n as f64 - 1.0) * total as f64)
+}
+
+/// Closeness centrality for each source, in source order.
+pub fn closeness_centrality(
+    graph: &Csr,
+    reverse: &Csr,
+    sources: &[VertexId],
+    engine: EngineKind,
+    group_size: usize,
+) -> Vec<f64> {
+    assert!(group_size > 0);
+    let engine = engine.build();
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let g = GpuGraph::new(graph, reverse, &mut prof);
+    let mut out = Vec::with_capacity(sources.len());
+    for group in sources.chunks(group_size) {
+        let run = engine.run_group(&g, group, &mut prof);
+        for j in 0..group.len() {
+            out.push(closeness_from_depths(run.instance_depths(j)));
+        }
+    }
+    out
+}
+
+/// The `k` vertices with the highest closeness among `candidates`,
+/// descending. Ties break by vertex id.
+pub fn top_k_closeness(
+    graph: &Csr,
+    reverse: &Csr,
+    candidates: &[VertexId],
+    k: usize,
+    engine: EngineKind,
+    group_size: usize,
+) -> Vec<(VertexId, f64)> {
+    let scores = closeness_centrality(graph, reverse, candidates, engine, group_size);
+    let mut pairs: Vec<(VertexId, f64)> = candidates.iter().copied().zip(scores).collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::figure1;
+    use ibfs_graph::validate::reference_bfs;
+    use ibfs_graph::CsrBuilder;
+
+    #[test]
+    fn matches_direct_computation() {
+        let g = figure1();
+        let r = g.reverse();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let got = closeness_centrality(&g, &r, &sources, EngineKind::Bitwise, 9);
+        for (i, &s) in sources.iter().enumerate() {
+            let want = closeness_from_depths(&reference_bfs(&g, s));
+            assert!((got[i] - want).abs() < 1e-12, "source {s}");
+        }
+    }
+
+    #[test]
+    fn star_center_is_most_central() {
+        let mut b = CsrBuilder::new(7);
+        for v in 1..7 {
+            b.add_undirected_edge(0, v);
+        }
+        let g = b.build();
+        let r = g.reverse();
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let top = top_k_closeness(&g, &r, &candidates, 1, EngineKind::Bitwise, 7);
+        assert_eq!(top[0].0, 0);
+        assert!(top[0].1 > 0.9); // center is one hop from everything
+    }
+
+    #[test]
+    fn disconnected_vertex_has_zero_closeness() {
+        let mut b = CsrBuilder::new(4);
+        b.add_undirected_edge(0, 1);
+        // 2 and 3 isolated.
+        let g = b.build();
+        let r = g.reverse();
+        let scores = closeness_centrality(&g, &r, &[2], EngineKind::Sequential, 1);
+        assert_eq!(scores[0], 0.0);
+    }
+
+    #[test]
+    fn closeness_from_depths_edge_cases() {
+        assert_eq!(closeness_from_depths(&[]), 0.0);
+        assert_eq!(closeness_from_depths(&[0]), 0.0);
+        // Two vertices at distance 1: C = 1.
+        assert!((closeness_from_depths(&[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let g = figure1();
+        let r = g.reverse();
+        let candidates: Vec<VertexId> = g.vertices().collect();
+        let top = top_k_closeness(&g, &r, &candidates, 3, EngineKind::Bitwise, 9);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        // Vertex 5 has degree 5 — the most central in Figure 1.
+        assert_eq!(top[0].0, 5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Graph diameter and eccentricity estimation via concurrent BFS.
+//!
+//! Eccentricity/diameter computation is a classic consumer of multi-source
+//! BFS: the double-sweep heuristic needs a handful of traversals, the
+//! exact diameter needs eccentricities of many vertices — both are
+//! embarrassingly concurrent and map directly onto iBFS groups.
+
+use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+
+/// Eccentricity of a source given its BFS depth array: the depth of the
+/// farthest *reachable* vertex (0 for an isolated vertex).
+pub fn eccentricity_from_depths(depths: &[Depth]) -> Depth {
+    depths
+        .iter()
+        .copied()
+        .filter(|&d| d != DEPTH_UNVISITED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep diameter lower bound: BFS from `start`, then BFS from the
+/// farthest vertex found; returns that second eccentricity (a tight lower
+/// bound on most real-world graphs).
+pub fn double_sweep_lower_bound(graph: &Csr, reverse: &Csr, start: VertexId) -> Depth {
+    let engine = EngineKind::Bitwise.build();
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let g = GpuGraph::new(graph, reverse, &mut prof);
+    let first = engine.run_group(&g, &[start], &mut prof);
+    let depths = first.instance_depths(0);
+    let far = depths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != DEPTH_UNVISITED)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    let second = engine.run_group(&g, &[far], &mut prof);
+    eccentricity_from_depths(second.instance_depths(0))
+}
+
+/// Exact eccentricities of the given vertices, computed `group_size` at a
+/// time through concurrent BFS. Returns `(vertex, eccentricity)` pairs in
+/// input order.
+pub fn eccentricities(
+    graph: &Csr,
+    reverse: &Csr,
+    vertices: &[VertexId],
+    engine: EngineKind,
+    group_size: usize,
+) -> Vec<(VertexId, Depth)> {
+    assert!(group_size > 0);
+    let engine = engine.build();
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let g = GpuGraph::new(graph, reverse, &mut prof);
+    let mut out = Vec::with_capacity(vertices.len());
+    for group in vertices.chunks(group_size) {
+        let run = engine.run_group(&g, group, &mut prof);
+        for (j, &v) in group.iter().enumerate() {
+            out.push((v, eccentricity_from_depths(run.instance_depths(j))));
+        }
+    }
+    out
+}
+
+/// Exact diameter: maximum eccentricity over all vertices (APSP through
+/// concurrent BFS). `O(|V|)` traversals — use the double sweep when an
+/// estimate suffices.
+pub fn exact_diameter(graph: &Csr, reverse: &Csr, group_size: usize) -> Depth {
+    let all: Vec<VertexId> = graph.vertices().collect();
+    eccentricities(graph, reverse, &all, EngineKind::Bitwise, group_size)
+        .into_iter()
+        .map(|(_, e)| e)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::figure1;
+    use ibfs_graph::CsrBuilder;
+
+    fn path(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_undirected_edge(v as VertexId, v as VertexId + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_graph_diameter_is_length() {
+        let g = path(10);
+        let r = g.reverse();
+        assert_eq!(exact_diameter(&g, &r, 10), 9);
+        // Double sweep from the middle finds the true diameter on a path.
+        assert_eq!(double_sweep_lower_bound(&g, &r, 5), 9);
+    }
+
+    #[test]
+    fn figure1_diameter() {
+        let g = figure1();
+        let r = g.reverse();
+        let exact = exact_diameter(&g, &r, 9);
+        // Validate against brute-force reference BFS.
+        let brute = g
+            .vertices()
+            .map(|v| eccentricity_from_depths(&ibfs_graph::validate::reference_bfs(&g, v)))
+            .max()
+            .unwrap();
+        assert_eq!(exact, brute);
+        let lower = double_sweep_lower_bound(&g, &r, 0);
+        assert!(lower <= exact);
+        assert!(lower >= exact.saturating_sub(1));
+    }
+
+    #[test]
+    fn eccentricities_match_reference_per_vertex() {
+        let g = figure1();
+        let r = g.reverse();
+        let vs: Vec<VertexId> = g.vertices().collect();
+        for (v, e) in eccentricities(&g, &r, &vs, EngineKind::Joint, 4) {
+            let want =
+                eccentricity_from_depths(&ibfs_graph::validate::reference_bfs(&g, v));
+            assert_eq!(e, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_zero_eccentricity() {
+        let g = CsrBuilder::new(3).build();
+        let r = g.reverse();
+        let e = eccentricities(&g, &r, &[1], EngineKind::Sequential, 1);
+        assert_eq!(e, vec![(1, 0)]);
+        assert_eq!(eccentricity_from_depths(&[]), 0);
+    }
+}

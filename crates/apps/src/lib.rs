@@ -1,0 +1,25 @@
+//! Applications built on the iBFS public API.
+//!
+//! The paper motivates concurrent BFS through downstream graph analytics;
+//! this crate implements the three it names:
+//!
+//! * [`reachability`] — the k-hop reachability index of Table 1 ("one can
+//!   leverage iBFS to construct the index for answering graph reachability
+//!   queries ... whether there exists a path from vertex s to t with the
+//!   number of edges in-between less than k").
+//! * [`betweenness`] — Brandes betweenness centrality with the forward BFS
+//!   phase driven by concurrent traversals.
+//! * [`closeness`] — closeness centrality and top-k closeness search from
+//!   iBFS depth arrays.
+//! * [`diameter`] — eccentricities, double-sweep and exact diameter via
+//!   concurrent traversals.
+
+pub mod betweenness;
+pub mod closeness;
+pub mod diameter;
+pub mod reachability;
+
+pub use betweenness::betweenness_centrality;
+pub use diameter::{double_sweep_lower_bound, exact_diameter};
+pub use closeness::{closeness_centrality, top_k_closeness};
+pub use reachability::ReachabilityIndex;

@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! status-word width (int/long/int4/long4), bottom-up early termination,
+//! the CTA shared-memory adjacency cache, and the direction-switch policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs::bitwise::{BitwiseEngine, BitwiseStyle};
+use ibfs::direction::DirectionPolicy;
+use ibfs::engine::{Engine, GpuGraph};
+use ibfs::joint::JointEngine;
+use ibfs::word::W256;
+use ibfs_graph::generators::{rmat, RmatParams};
+use ibfs_graph::Csr;
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+
+fn graph() -> Csr {
+    rmat(10, 16, RmatParams::graph500(), 5)
+}
+
+/// Word-width ablation: same 24 instances through each CUDA-native word.
+fn bench_word_width(c: &mut Criterion) {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..24).collect();
+    let engine = BitwiseEngine::default();
+
+    let mut group = c.benchmark_group("ablation_word_width");
+    macro_rules! bench_w {
+        ($name:literal, $w:ty) => {
+            group.bench_with_input(BenchmarkId::from_parameter($name), &sources, |b, s| {
+                b.iter(|| {
+                    let mut prof = Profiler::new(DeviceConfig::k40());
+                    let gg = GpuGraph::new(&g, &r, &mut prof);
+                    engine.run_group_with_word::<$w>(&gg, s, &mut prof)
+                })
+            });
+        };
+    }
+    bench_w!("u32-int", u32);
+    bench_w!("u64-long", u64);
+    bench_w!("u128-int4", u128);
+    bench_w!("w256-long4", W256);
+    group.finish();
+}
+
+/// Early-termination ablation: iBFS semantics vs per-level-reset MS-BFS
+/// semantics on the same coherent group.
+fn bench_early_termination(c: &mut Criterion) {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..64).collect();
+
+    let mut group = c.benchmark_group("ablation_early_termination");
+    for (name, style) in [("ibfs", BitwiseStyle::Ibfs), ("msbfs-reset", BitwiseStyle::MsBfs)] {
+        let engine = BitwiseEngine { style, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sources, |b, s| {
+            b.iter(|| {
+                let mut prof = Profiler::new(DeviceConfig::k40());
+                let gg = GpuGraph::new(&g, &r, &mut prof);
+                engine.run_group(&gg, s, &mut prof)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CTA shared-memory cache ablation on the joint engine.
+fn bench_shared_cache(c: &mut Criterion) {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..64).collect();
+
+    let mut group = c.benchmark_group("ablation_shared_cache");
+    for (name, engine) in [
+        ("cached", JointEngine::default()),
+        ("uncached", JointEngine::without_shared_cache()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sources, |b, s| {
+            b.iter(|| {
+                let mut prof = Profiler::new(DeviceConfig::k40());
+                let gg = GpuGraph::new(&g, &r, &mut prof);
+                engine.run_group(&gg, s, &mut prof)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Direction-policy ablation: Beamer α/β vs top-down-only.
+fn bench_direction_policy(c: &mut Criterion) {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..64).collect();
+
+    let mut group = c.benchmark_group("ablation_direction_policy");
+    for (name, policy) in [
+        ("direction-optimizing", DirectionPolicy::beamer()),
+        ("top-down-only", DirectionPolicy::top_down_only()),
+    ] {
+        let engine = BitwiseEngine { policy, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sources, |b, s| {
+            b.iter(|| {
+                let mut prof = Profiler::new(DeviceConfig::k40());
+                let gg = GpuGraph::new(&g, &r, &mut prof);
+                engine.run_group(&gg, s, &mut prof)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_word_width, bench_early_termination, bench_shared_cache, bench_direction_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench mirroring Figure 15: wall-clock cost of each engine
+//! simulating one concurrent group (the simulation itself is the system
+//! under test here; simulated TEPS come from the `reproduce` harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs_graph::suite;
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+
+fn bench_engines(c: &mut Criterion) {
+    let spec = suite::by_name("PK").unwrap();
+    let g = spec.generate_scaled(2);
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..64).collect();
+
+    let mut group = c.benchmark_group("fig15_engines");
+    for kind in EngineKind::all() {
+        let engine = kind.build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let mut prof = Profiler::new(DeviceConfig::k40());
+                    let gg = GpuGraph::new(&g, &r, &mut prof);
+                    engine.run_group(&gg, sources, &mut prof)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

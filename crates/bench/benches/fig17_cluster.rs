@@ -1,0 +1,34 @@
+//! Criterion bench mirroring Figure 17: cost of the multi-GPU cluster
+//! simulation at different device counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs::groupby::GroupingStrategy;
+use ibfs_cluster::{run_cluster, ClusterConfig};
+use ibfs_graph::suite;
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let spec = suite::by_name("RD").unwrap();
+    let g = spec.generate_scaled(2);
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..128.min(g.num_vertices()) as u32).collect();
+
+    let mut group = c.benchmark_group("fig17_cluster");
+    for gpus in [1usize, 4, 16, 64] {
+        let config = ClusterConfig {
+            gpus,
+            grouping: GroupingStrategy::Random { seed: 1, group_size: 16 },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &sources, |b, s| {
+            b.iter(|| run_cluster(&g, &r, s, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cluster_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! One criterion bench per reproduced table/figure: times each
+//! regenerator end-to-end at reduced scale. The simulated results
+//! themselves come from the `reproduce` binary; this tracks the harness's
+//! own cost so regressions in the engines or the simulator show up in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_bench::figures::{run_by_id, ALL_IDS};
+use ibfs_bench::HarnessConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = HarnessConfig::tiny();
+    // Warm the graph cache so generation cost doesn't pollute the numbers.
+    for id in ALL_IDS {
+        run_by_id(id, &cfg).unwrap();
+    }
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in ALL_IDS {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &cfg, |b, cfg| {
+            b.iter(|| run_by_id(id, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benches of the substrate primitives: the coalescer, warp votes,
+//! status-word operations, and graph generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs::word::{StatusWord, W256};
+use ibfs_gpu_sim::warp::{ballot, tree_or_reduce};
+use ibfs_gpu_sim::{transactions_for_contiguous, transactions_for_warp};
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer");
+    let contiguous: Vec<u64> = (0..32).map(|i| 4096 + i * 4).collect();
+    let scattered: Vec<u64> = (0..32).map(|i| (i * 2654435761) % 1_000_000).collect();
+    group.bench_function("warp_contiguous", |b| {
+        b.iter(|| transactions_for_warp(contiguous.iter().copied(), 4, 32))
+    });
+    group.bench_function("warp_scattered", |b| {
+        b.iter(|| transactions_for_warp(scattered.iter().copied(), 4, 32))
+    });
+    group.bench_function("contiguous_span", |b| {
+        b.iter(|| transactions_for_contiguous(4096, 17, 1000, 4, 128))
+    });
+    group.finish();
+}
+
+fn bench_warp_votes(c: &mut Criterion) {
+    let preds: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+    let words: Vec<u64> = (0..32).map(|i| 1u64 << (i % 64)).collect();
+    let mut group = c.benchmark_group("warp_votes");
+    group.bench_function("ballot", |b| b.iter(|| ballot(preds.iter().copied())));
+    group.bench_function("tree_or_reduce", |b| b.iter(|| tree_or_reduce(&words)));
+    group.finish();
+}
+
+fn bench_word_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("status_words");
+    macro_rules! bench_w {
+        ($name:literal, $w:ty) => {
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                let full = <$w as StatusWord>::low_mask(<$w as StatusWord>::BITS);
+                let x = <$w as StatusWord>::bit(3);
+                b.iter(|| {
+                    let or = x.or(full);
+                    let xor = or.xor(x);
+                    (xor.count_ones(), or.and(xor).is_zero())
+                })
+            });
+        };
+    }
+    bench_w!("u32", u32);
+    bench_w!("u128", u128);
+    bench_w!("w256", W256);
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    use ibfs_graph::generators::{rmat, uniform_random, RmatParams};
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("rmat_2^10x16", |b| {
+        b.iter(|| rmat(10, 16, RmatParams::graph500(), 1))
+    });
+    group.bench_function("uniform_1024x16", |b| b.iter(|| uniform_random(1024, 16, 1)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_coalescer, bench_warp_votes, bench_word_ops, bench_generators
+}
+criterion_main!(benches);

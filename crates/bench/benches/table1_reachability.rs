@@ -1,0 +1,35 @@
+//! Criterion bench mirroring Table 1: 3-hop reachability index
+//! construction with each builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_apps::reachability::{IndexBuilder, ReachabilityIndex};
+use ibfs_graph::suite;
+
+fn bench_index_builders(c: &mut Criterion) {
+    let spec = suite::by_name("KG0").unwrap();
+    let g = spec.generate_scaled(2);
+    let r = g.reverse();
+    let sources: Vec<u32> = (0..64.min(g.num_vertices()) as u32).collect();
+
+    let mut group = c.benchmark_group("table1_reachability");
+    for builder in [
+        IndexBuilder::CpuMsBfs,
+        IndexBuilder::CpuIbfs,
+        IndexBuilder::GpuB40c,
+        IndexBuilder::GpuIbfs,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{builder:?}")),
+            &sources,
+            |b, sources| b.iter(|| ReachabilityIndex::build(&g, &r, sources, 3, builder, 64)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_builders
+}
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! `bfs` — run concurrent BFS on a graph file and report statistics.
+//!
+//! ```text
+//! bfs <GRAPH> [--engine ENGINE] [--sources N | --source-list a,b,c]
+//!             [--group-size N] [--groupby] [--depths]
+//!
+//! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
+//!          name prefixed with `suite:` (e.g. `suite:FB`)
+//! ENGINE   sequential | naive | joint | bitwise (default) | msbfs | spmm
+//! ```
+
+use ibfs::engine::EngineKind;
+use ibfs::groupby::GroupingStrategy;
+use ibfs::runner::{run_ibfs, RunConfig};
+use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing graph argument");
+    }
+    let graph_arg = args.remove(0);
+    let mut engine = EngineKind::Bitwise;
+    let mut sources_n = 64usize;
+    let mut source_list: Option<Vec<VertexId>> = None;
+    let mut group_size = 64usize;
+    let mut groupby = false;
+    let mut print_depths = false;
+    let mut print_levels = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("sequential") => EngineKind::Sequential,
+                    Some("naive") => EngineKind::Naive,
+                    Some("joint") => EngineKind::Joint,
+                    Some("bitwise") => EngineKind::Bitwise,
+                    Some("msbfs") => EngineKind::BitwiseMsBfsStyle,
+                    Some("spmm") => EngineKind::Spmm,
+                    other => return usage(&format!("unknown engine {other:?}")),
+                }
+            }
+            "--sources" => {
+                sources_n = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--sources needs a number"),
+                }
+            }
+            "--source-list" => {
+                let Some(list) = it.next() else {
+                    return usage("--source-list needs ids");
+                };
+                let parsed: Result<Vec<VertexId>, _> =
+                    list.split(',').map(|x| x.trim().parse()).collect();
+                match parsed {
+                    Ok(v) => source_list = Some(v),
+                    Err(_) => return usage("bad --source-list"),
+                }
+            }
+            "--group-size" => {
+                group_size = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--group-size needs a number"),
+                }
+            }
+            "--groupby" => groupby = true,
+            "--depths" => print_depths = true,
+            "--levels" => print_levels = true,
+            other => return usage(&format!("unknown option {other}")),
+        }
+    }
+
+    let graph: Csr = if let Some(name) = graph_arg.strip_prefix("suite:") {
+        match suite::by_name(name) {
+            Some(spec) => spec.generate(),
+            None => return usage(&format!("unknown suite graph `{name}`")),
+        }
+    } else {
+        match io::load(std::path::Path::new(&graph_arg)) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error loading {graph_arg}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let reverse = graph.reverse();
+    let sources: Vec<VertexId> = source_list.unwrap_or_else(|| {
+        (0..graph.num_vertices().min(sources_n) as VertexId).collect()
+    });
+    if let Some(&bad) = sources.iter().find(|&&s| s as usize >= graph.num_vertices()) {
+        return usage(&format!("source {bad} out of range"));
+    }
+
+    eprintln!(
+        "graph: {} vertices, {} edges; engine {engine:?}; {} sources in groups of {group_size}{}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        sources.len(),
+        if groupby { " (GroupBy)" } else { " (random grouping)" }
+    );
+    let grouping = if groupby {
+        GroupingStrategy::OutDegreeRules(
+            ibfs::groupby::GroupByConfig::default().with_group_size(group_size),
+        )
+    } else {
+        GroupingStrategy::Random { seed: 1, group_size }
+    };
+    let run = run_ibfs(&graph, &reverse, &sources, &RunConfig {
+        engine,
+        grouping,
+        ..Default::default()
+    });
+
+    println!("groups:                {}", run.groups.len());
+    println!("simulated time:        {:.6} s", run.sim_seconds);
+    println!("traversed edges:       {}", run.traversed_edges);
+    println!("traversal rate:        {}", ibfs::metrics::format_teps(run.teps()));
+    println!("sharing degree:        {:.2}", run.sharing_degree());
+    println!("load transactions:     {}", run.counters.global_load_transactions);
+    println!("store transactions:    {}", run.counters.global_store_transactions);
+    println!("atomic transactions:   {}", run.counters.atomic_transactions);
+
+    if print_levels {
+        for (gi, group) in run.groups.iter().enumerate() {
+            println!("group {gi} ({} instances):", group.num_instances);
+            for l in &group.levels {
+                println!(
+                    "  level {:3} {:9?}  unique {:7}  instance-frontiers {:9}  edges {:9}  early-term {:6}",
+                    l.level, l.direction, l.unique_frontiers, l.instance_frontiers,
+                    l.edges_inspected, l.early_terminations
+                );
+            }
+        }
+    }
+
+    if print_depths {
+        for (gi, group) in run.groups.iter().enumerate() {
+            for j in 0..group.num_instances {
+                let depths = group.instance_depths(j);
+                let reached = depths.iter().filter(|&&d| d != DEPTH_UNVISITED).count();
+                let ecc = depths
+                    .iter()
+                    .filter(|&&d| d != DEPTH_UNVISITED)
+                    .max()
+                    .copied()
+                    .unwrap_or(0);
+                println!("group {gi} instance {j}: reached {reached}, eccentricity {ecc}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm] \
+         [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,133 @@
+//! `graphgen` — generate benchmark graphs to files.
+//!
+//! ```text
+//! graphgen suite <NAME> [--shrink N] [--out PATH] [--format bin|edges|dimacs]
+//! graphgen rmat --scale S --edge-factor F [--seed N] [--out PATH] [--format ...]
+//! graphgen uniform --vertices N --degree D [--seed N] [--out PATH] [--format ...]
+//! graphgen list
+//! ```
+//!
+//! Formats: `bin` (the crate's compact binary CSR), `edges` (SNAP-style
+//! text edge list), `dimacs` (DIMACS `.gr` with random weights 1..=100).
+
+use ibfs_graph::generators::{rmat, uniform_random, RmatParams};
+use ibfs_graph::weighted::WeightedCsr;
+use ibfs_graph::{dimacs, io, suite, Csr, EdgeList};
+use std::process::ExitCode;
+
+struct Opts {
+    out: Option<String>,
+    format: String,
+    seed: u64,
+    shrink: u32,
+    scale: u32,
+    edge_factor: usize,
+    vertices: usize,
+    degree: usize,
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    let mut opts = Opts {
+        out: None,
+        format: "bin".into(),
+        seed: 1,
+        shrink: 0,
+        scale: 10,
+        edge_factor: 16,
+        vertices: 1024,
+        degree: 8,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => opts.out = it.next(),
+            "--format" => opts.format = it.next().unwrap_or_default(),
+            "--seed" => opts.seed = parse(it.next()),
+            "--shrink" => opts.shrink = parse(it.next()),
+            "--scale" => opts.scale = parse(it.next()),
+            "--edge-factor" => opts.edge_factor = parse(it.next()),
+            "--vertices" => opts.vertices = parse(it.next()),
+            "--degree" => opts.degree = parse(it.next()),
+            other if other.starts_with("--") => return usage(&format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let graph: Csr = match cmd.as_str() {
+        "list" => {
+            for spec in suite::suite() {
+                println!("{}\t{:?}", spec.name, spec.kind);
+            }
+            return ExitCode::SUCCESS;
+        }
+        "suite" => {
+            let Some(name) = positional.first() else {
+                return usage("suite needs a graph name (see `graphgen list`)");
+            };
+            let Some(spec) = suite::by_name(name) else {
+                return usage(&format!("unknown suite graph `{name}`"));
+            };
+            spec.generate_scaled(opts.shrink)
+        }
+        "rmat" => rmat(opts.scale, opts.edge_factor, RmatParams::graph500(), opts.seed),
+        "uniform" => uniform_random(opts.vertices, opts.degree, opts.seed),
+        other => return usage(&format!("unknown subcommand `{other}`")),
+    };
+
+    eprintln!(
+        "generated: {} vertices, {} edges (avg degree {:.1})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+
+    let bytes: Vec<u8> = match opts.format.as_str() {
+        "bin" => io::encode(&graph).to_vec(),
+        "edges" => EdgeList::from(&graph).to_text().into_bytes(),
+        "dimacs" => {
+            let weighted = WeightedCsr::random_weights(graph, 100, opts.seed);
+            dimacs::to_string(&weighted).into_bytes()
+        }
+        other => return usage(&format!("unknown format `{other}`")),
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} bytes to {path}", bytes.len());
+        }
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(&bytes).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: expected a numeric value");
+        std::process::exit(2)
+    })
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: graphgen suite <NAME> | rmat --scale S --edge-factor F | \
+         uniform --vertices N --degree D | list   [--seed N] [--shrink N] \
+         [--out PATH] [--format bin|edges|dimacs]"
+    );
+    ExitCode::from(2)
+}

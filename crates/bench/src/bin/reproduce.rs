@@ -1,0 +1,132 @@
+//! `reproduce` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [OPTIONS] [EXPERIMENT ...]
+//!
+//! EXPERIMENT   fig2 fig6 fig8 fig9 fig11 fig14 fig15 fig16 fig17 fig18
+//!              fig19 fig20 fig21 fig22 table1 ablations, or `all`
+//!              (default)
+//!
+//! OPTIONS
+//!   --shrink N      divide every graph's vertex count by 2^N (default 0)
+//!   --sources N     BFS sources per graph (default 256)
+//!   --group-size N  concurrent group size (default 64)
+//!   --json PATH     also write all results as JSON
+//!   --csv DIR       also write one CSV per experiment into DIR
+//!   --list          list experiments and exit
+//! ```
+
+use ibfs_bench::figures::{run_by_id, ALL_IDS};
+use ibfs_bench::{FigureResult, HarnessConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = HarnessConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shrink" => cfg.shrink = parse(it.next(), "--shrink"),
+            "--sources" => cfg.sources = parse(it.next(), "--sources"),
+            "--group-size" => cfg.group_size = parse(it.next(), "--group-size"),
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage("--json needs a path"))),
+            "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("--csv needs a directory"))),
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--shrink N] [--sources N] [--group-size N] \
+                     [--json PATH] [EXPERIMENT ...|all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => usage(&format!("unknown option {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+    }
+
+    let mut results: Vec<FigureResult> = Vec::new();
+    for id in &ids {
+        eprintln!(
+            "[reproduce] running {id} (shrink={}, sources={}, N={})",
+            cfg.shrink, cfg.sources, cfg.group_size
+        );
+        let started = std::time::Instant::now();
+        match run_by_id(id, &cfg) {
+            Some(result) => {
+                println!("{}", result.render());
+                eprintln!(
+                    "[reproduce] {id} done in {:.1}s",
+                    started.elapsed().as_secs_f64()
+                );
+                results.push(result);
+            }
+            None => usage(&format!("unknown experiment `{id}` (try --list)")),
+        }
+    }
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("failed to create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for result in &results {
+            let mut csv = String::new();
+            csv.push_str(&result.header.join(","));
+            csv.push('\n');
+            for row in &result.rows {
+                csv.push_str(&row.join(","));
+                csv.push('\n');
+            }
+            let path = format!("{dir}/{}.csv", result.id);
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("[reproduce] wrote {} CSV files to {dir}", results.len());
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&results) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[reproduce] wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: reproduce [--shrink N] [--sources N] [--group-size N] [--json PATH] \
+         [EXPERIMENT ...|all]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,60 @@
+//! Figure 14: the graph benchmark suite (vertex and edge counts).
+//!
+//! The paper plots |V| vs |E| for the 13 graphs; we tabulate the scaled
+//! laptop-size instances plus their degree statistics, preserving each
+//! graph's *relative* position (KG2 biggest, PK smallest, KG0 densest,
+//! RD uniform).
+
+use crate::result::f1;
+use crate::{FigureResult, HarnessConfig};
+use ibfs_graph::degree::DegreeStats;
+use ibfs_graph::suite;
+
+/// Runs the Figure 14 tabulation.
+pub fn run(cfg: &HarnessConfig) -> FigureResult {
+    let mut out = FigureResult::new(
+        "fig14",
+        "Graph benchmarks (laptop-scale stand-ins for the paper's suite)",
+        &["graph", "|V|", "|E|", "avg deg", "max deg", "deg stddev"],
+    );
+    let mut edge_counts = Vec::new();
+    for spec in suite::suite() {
+        let (g, _r) = cfg.load(&spec);
+        let stats = DegreeStats::of(&g);
+        edge_counts.push((spec.name, g.num_edges()));
+        out.push_row(vec![
+            spec.name.to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            f1(stats.avg),
+            stats.max.to_string(),
+            f1(stats.stddev),
+        ]);
+    }
+    let kg2 = edge_counts.iter().find(|(n, _)| *n == "KG2").unwrap().1;
+    let pk = edge_counts.iter().find(|(n, _)| *n == "PK").unwrap().1;
+    let bigger_than_kg2 = edge_counts.iter().filter(|&&(_, e)| e > kg2).count();
+    let smaller_than_pk = edge_counts.iter().filter(|&&(_, e)| e < pk).count();
+    out.note(format!(
+        "shape check (KG2 among the two biggest edge counts, PK among the three smallest): {}",
+        if bigger_than_kg2 <= 1 && smaller_than_pk <= 2 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_and_kg2_biggest() {
+        let cfg = HarnessConfig::tiny();
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 13);
+        assert!(r.notes.iter().any(|n| n.contains("HOLDS")), "{:?}", r.notes);
+    }
+}

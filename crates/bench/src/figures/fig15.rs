@@ -1,0 +1,89 @@
+//! Figure 15: traversal rate of Sequential, Naive, Joint traversal,
+//! Bitwise operation, and GroupBy across all 13 graphs.
+//!
+//! Paper shape: sequential ≈ naive; joint ≈ 1.4× sequential; bitwise ≈ 11×
+//! on top; GroupBy another ≈ 2×. Absolute TEPS differ (simulated device,
+//! scaled graphs); the bar ordering is what must reproduce.
+
+use crate::result::gteps;
+use crate::{FigureResult, HarnessConfig};
+use ibfs::engine::EngineKind;
+use ibfs::groupby::{GroupByConfig, GroupingStrategy};
+use ibfs::runner::{run_ibfs, RunConfig};
+use ibfs_graph::suite;
+
+/// Runs the Figure 15 comparison.
+pub fn run(cfg: &HarnessConfig) -> FigureResult {
+    let mut out = FigureResult::new(
+        "fig15",
+        "Traversal rate (GTEPS, simulated): engine comparison",
+        &["graph", "sequential", "naive", "joint", "bitwise", "groupby"],
+    );
+    let random = GroupingStrategy::Random { seed: 3, group_size: cfg.group_size };
+    let grouped = GroupingStrategy::OutDegreeRules(
+        GroupByConfig::default().with_group_size(cfg.group_size),
+    );
+    let mut ordering_holds = 0usize;
+    let mut graphs = 0usize;
+    let mut speedups = [0.0f64; 4]; // joint/seq, bitwise/joint, groupby/bitwise, naive/seq
+    for spec in suite::suite() {
+        let (g, r) = cfg.load(&spec);
+        let sources = cfg.source_set(&g);
+        let teps = |engine: EngineKind, grouping: &GroupingStrategy| {
+            run_ibfs(&g, &r, &sources, &RunConfig {
+                engine,
+                grouping: grouping.clone(),
+                ..Default::default()
+            })
+            .teps()
+        };
+        let seq = teps(EngineKind::Sequential, &random);
+        let naive = teps(EngineKind::Naive, &random);
+        let joint = teps(EngineKind::Joint, &random);
+        let bitwise = teps(EngineKind::Bitwise, &random);
+        let groupby = teps(EngineKind::Bitwise, &grouped);
+        graphs += 1;
+        if joint > seq && bitwise > joint * 0.9 && groupby > bitwise * 0.9 {
+            ordering_holds += 1;
+        }
+        speedups[0] += joint / seq;
+        speedups[1] += bitwise / joint;
+        speedups[2] += groupby / bitwise;
+        speedups[3] += naive / seq;
+        out.push_row(vec![
+            spec.name.to_string(),
+            gteps(seq),
+            gteps(naive),
+            gteps(joint),
+            gteps(bitwise),
+            gteps(groupby),
+        ]);
+    }
+    let gf = graphs as f64;
+    out.note(format!(
+        "mean speedups: naive/seq {:.2}x (paper ~1.05x), joint/seq {:.2}x (paper 1.4x), \
+         bitwise/joint {:.2}x (paper ~8x), groupby/bitwise {:.2}x (paper 2x)",
+        speedups[3] / gf,
+        speedups[0] / gf,
+        speedups[1] / gf,
+        speedups[2] / gf
+    ));
+    out.note(format!(
+        "shape check (seq≈naive < joint <= bitwise <= groupby) on {ordering_holds}/{graphs} graphs: {}",
+        if ordering_holds * 4 >= graphs * 3 { "HOLDS" } else { "VIOLATED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_ordering_reproduces() {
+        let cfg = HarnessConfig::tiny();
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 13);
+        assert!(r.notes.iter().any(|n| n.contains("HOLDS")), "{:?}", r.notes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 17: scalability of bitwise iBFS from 1 to 112 GPUs on RD, FB,
+//! OR, TW and RM.
+//!
+//! Paper shape: near-linear speedup (1.97× at 2 GPUs for RD, 85× average
+//! at 112), with RD — the most balanced workload — scaling best, and
+//! imbalance slowly eroding speedup as the device count approaches the
+//! group count.
+
+use crate::result::f1;
+use crate::{FigureResult, HarnessConfig};
+use ibfs_cluster::{run_cluster, ClusterConfig};
+use ibfs_graph::suite;
+
+/// GPU counts swept (the paper's x-axis ends at Stampede's 112 K20s).
+pub const GPU_COUNTS: [usize; 6] = [1, 2, 4, 16, 64, 112];
+
+/// Runs the Figure 17 scalability experiment.
+pub fn run(cfg: &HarnessConfig) -> FigureResult {
+    let specs = suite::scalability_suite();
+    let mut header = vec!["gpus".to_string()];
+    header.extend(specs.iter().map(|s| format!("{} speedup", s.name)));
+    let mut out = FigureResult::new(
+        "fig17",
+        "Multi-GPU speedup of bitwise iBFS (RD, FB, OR, TW, RM)",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for spec in &specs {
+        let (g, r) = cfg.load(spec);
+        let sources = cfg.source_set(&g);
+        let base = ClusterConfig {
+            gpus: 1,
+            grouping: ibfs::groupby::GroupingStrategy::Random {
+                seed: 17,
+                group_size: (cfg.group_size / 4).max(8),
+            },
+            ..Default::default()
+        };
+        let t1 = run_cluster(&g, &r, &sources, &base).makespan_seconds;
+        let speedups: Vec<f64> = GPU_COUNTS
+            .iter()
+            .map(|&gpus| {
+                let c = ClusterConfig { gpus, ..base.clone() };
+                run_cluster(&g, &r, &sources, &c).speedup_vs(t1)
+            })
+            .collect();
+        curves.push(speedups);
+    }
+    for (i, &gpus) in GPU_COUNTS.iter().enumerate() {
+        let mut row = vec![gpus.to_string()];
+        row.extend(curves.iter().map(|c| f1(c[i])));
+        out.push_row(row);
+    }
+    // Shape checks: 2-GPU speedup near 2 for RD (curve 0), monotone
+    // non-decreasing until saturation.
+    let rd2 = curves[0][1];
+    let avg_last: f64 = curves.iter().map(|c| c[GPU_COUNTS.len() - 1]).sum::<f64>()
+        / curves.len() as f64;
+    out.note(format!(
+        "RD 2-GPU speedup {rd2:.2}x (paper 1.97x); mean speedup at {} GPUs {avg_last:.1}x",
+        GPU_COUNTS[GPU_COUNTS.len() - 1]
+    ));
+    out.note(format!(
+        "shape check (RD near-2x at 2 GPUs, speedup grows with GPUs): {}",
+        if rd2 > 1.6 && avg_last > curves.iter().map(|c| c[1]).sum::<f64>() / curves.len() as f64 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_curves_produced() {
+        let cfg = HarnessConfig::tiny();
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), GPU_COUNTS.len());
+        assert_eq!(r.rows[0].len(), 6);
+    }
+}

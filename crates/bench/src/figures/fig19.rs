@@ -1,0 +1,63 @@
+//! Figure 19: global load transactions per warp request — naive private
+//! traversal vs joint traversal.
+//!
+//! Paper shape: the joint status array coalesces contiguous threads'
+//! status accesses, dropping from ~4 transactions per request to ~1.
+
+use crate::result::f2;
+use crate::{FigureResult, HarnessConfig};
+use ibfs::engine::EngineKind;
+use ibfs::groupby::GroupingStrategy;
+use ibfs::runner::{run_ibfs, RunConfig};
+use ibfs_graph::suite;
+
+/// Runs the Figure 19 measurement.
+pub fn run(cfg: &HarnessConfig) -> FigureResult {
+    let mut out = FigureResult::new(
+        "fig19",
+        "Global load transactions per request: naive vs joint",
+        &["graph", "naive", "joint"],
+    );
+    let grouping = GroupingStrategy::Random { seed: 23, group_size: cfg.group_size };
+    let mut improved = 0usize;
+    let mut graphs = 0usize;
+    for spec in suite::suite() {
+        let (g, r) = cfg.load(&spec);
+        let sources = cfg.source_set(&g);
+        let tpr = |engine: EngineKind| {
+            run_ibfs(&g, &r, &sources, &RunConfig {
+                engine,
+                grouping: grouping.clone(),
+                ..Default::default()
+            })
+            .counters
+            .load_transactions_per_request()
+        };
+        let naive = tpr(EngineKind::Naive);
+        let joint = tpr(EngineKind::Joint);
+        graphs += 1;
+        if joint < naive {
+            improved += 1;
+        }
+        out.push_row(vec![spec.name.to_string(), f2(naive), f2(joint)]);
+    }
+    out.note("paper: joint coalescing reduces ~4 loads per request to ~1".to_string());
+    out.note(format!(
+        "shape check (joint < naive on all but at most one graph): {} ({improved}/{graphs})",
+        if improved + 1 >= graphs { "HOLDS" } else { "VIOLATED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_coalesces_better() {
+        let cfg = HarnessConfig::tiny();
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 13);
+        assert!(r.notes.iter().any(|n| n.contains("HOLDS")), "{:?}", r.notes);
+    }
+}

@@ -1,0 +1,134 @@
+//! Uniform result type for reproduced figures and tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One reproduced figure or table: a header, rows of cells, and free-form
+/// notes comparing against the paper's reported shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier ("fig2", "table1", ...).
+    pub id: String,
+    /// Human title matching the paper's caption.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows of formatted cells, parallel to `header`.
+    pub rows: Vec<Vec<String>>,
+    /// Observations (e.g. measured speedup factors) for EXPERIMENTS.md.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result with the given identity.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        FigureResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a TEPS value in billions.
+pub fn gteps(teps: f64) -> String {
+    format!("{:.2}", teps / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = FigureResult::new("figX", "Test", &["graph", "value"]);
+        r.push_row(vec!["FB".into(), "1.5".into()]);
+        r.push_row(vec!["KG0".into(), "10.25".into()]);
+        r.note("shape holds");
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("note: shape holds"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut r = FigureResult::new("f", "t", &["a", "b"]);
+        r.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_round_trip_for_artifact_contract() {
+        // reproduce --json consumers rely on this shape being stable.
+        let mut r = FigureResult::new("fig15", "Traversal rate", &["graph", "gteps"]);
+        r.push_row(vec!["FB".into(), "309.62".into()]);
+        r.note("shape check: HOLDS");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FigureResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.rows, r.rows);
+        assert_eq!(back.notes, r.notes);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(gteps(2.5e9), "2.50");
+    }
+}

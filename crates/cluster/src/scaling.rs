@@ -1,0 +1,279 @@
+//! Cluster scaling: partition groups over devices, report the makespan.
+
+use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs::groupby::GroupingStrategy;
+use ibfs_graph::partition::{bin_loads, lpt_assign};
+use ibfs_graph::{Csr, VertexId};
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated GPUs (the paper sweeps 1..=112 K20s).
+    pub gpus: usize,
+    /// Per-device engine.
+    pub engine: EngineKind,
+    /// Source grouping (groups are the unit of device assignment).
+    pub grouping: GroupingStrategy,
+    /// Per-device hardware.
+    pub device: DeviceConfig,
+    /// Use LPT scheduling by estimated group weight instead of round-robin.
+    /// The paper distributes statically; LPT models its balance-aware
+    /// placement.
+    pub lpt: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            gpus: 1,
+            engine: EngineKind::Bitwise,
+            grouping: GroupingStrategy::group_by(),
+            device: DeviceConfig::k20(),
+            lpt: true,
+        }
+    }
+}
+
+/// Per-device outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceRun {
+    /// Device index.
+    pub device: usize,
+    /// Groups executed on this device.
+    pub groups: usize,
+    /// Instances executed on this device.
+    pub instances: usize,
+    /// Simulated seconds this device was busy.
+    pub sim_seconds: f64,
+    /// Edges traversed by this device's instances.
+    pub traversed_edges: u64,
+}
+
+/// Result of a cluster run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterRun {
+    /// Number of devices.
+    pub gpus: usize,
+    /// Per-device outcomes.
+    pub devices: Vec<DeviceRun>,
+    /// Makespan: the slowest device's time (what the paper reports).
+    pub makespan_seconds: f64,
+    /// Total traversed edges across the cluster.
+    pub traversed_edges: u64,
+}
+
+impl ClusterRun {
+    /// Aggregate cluster traversal rate: all traversed edges over the
+    /// makespan.
+    pub fn teps(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            0.0
+        } else {
+            self.traversed_edges as f64 / self.makespan_seconds
+        }
+    }
+
+    /// Speedup relative to a single-device run time `t1`.
+    pub fn speedup_vs(&self, t1: f64) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            0.0
+        } else {
+            t1 / self.makespan_seconds
+        }
+    }
+}
+
+/// Runs iBFS from `sources` across `config.gpus` simulated devices.
+pub fn run_cluster(
+    graph: &Csr,
+    reverse: &Csr,
+    sources: &[VertexId],
+    config: &ClusterConfig,
+) -> ClusterRun {
+    assert!(config.gpus > 0, "need at least one GPU");
+    let grouping = config.grouping.group(graph, sources);
+    let engine = config.engine.build();
+
+    // Assign groups to devices. Weight = estimated work ∝ Σ outdeg of the
+    // whole graph (every group traverses everything) — in practice group
+    // *size* is the imbalance driver, with a skew correction from the
+    // group's source degrees (hub-adjacent groups finish bottom-up sooner).
+    let weights: Vec<u64> = grouping
+        .groups
+        .iter()
+        .map(|g| {
+            let deg_sum: u64 = g.iter().map(|&s| graph.out_degree(s) as u64).sum();
+            // Base work per instance plus a term for slow parent discovery
+            // on low-degree sources.
+            g.len() as u64 * 1_000 + deg_sum
+        })
+        .collect();
+    let assignment = if config.lpt {
+        lpt_assign(&weights, config.gpus)
+    } else {
+        (0..grouping.groups.len()).map(|i| i % config.gpus).collect()
+    };
+    let _loads = bin_loads(&weights, &assignment, config.gpus);
+
+    let mut devices: Vec<DeviceRun> = (0..config.gpus)
+        .map(|d| DeviceRun {
+            device: d,
+            groups: 0,
+            instances: 0,
+            sim_seconds: 0.0,
+            traversed_edges: 0,
+        })
+        .collect();
+
+    for (gi, group) in grouping.groups.iter().enumerate() {
+        let d = assignment[gi];
+        // Each device has its own profiler (its own memory and counters).
+        let mut prof = Profiler::new(config.device);
+        let gg = GpuGraph::new(graph, reverse, &mut prof);
+        let run = engine.run_group(&gg, group, &mut prof);
+        devices[d].groups += 1;
+        devices[d].instances += run.num_instances;
+        devices[d].sim_seconds += run.sim_seconds;
+        devices[d].traversed_edges += run.traversed_edges;
+    }
+
+    let makespan = devices
+        .iter()
+        .map(|d| d.sim_seconds)
+        .fold(0.0f64, f64::max);
+    let traversed = devices.iter().map(|d| d.traversed_edges).sum();
+    ClusterRun {
+        gpus: config.gpus,
+        devices,
+        makespan_seconds: makespan,
+        traversed_edges: traversed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::generators::{rmat, uniform_random, RmatParams};
+
+    fn sources(n: usize) -> Vec<VertexId> {
+        (0..n as VertexId).collect()
+    }
+
+    #[test]
+    fn single_gpu_matches_sum_of_groups() {
+        let g = rmat(9, 8, RmatParams::graph500(), 3);
+        let r = g.reverse();
+        let run = run_cluster(&g, &r, &sources(64), &ClusterConfig {
+            gpus: 1,
+            grouping: GroupingStrategy::Random { seed: 1, group_size: 16 },
+            ..Default::default()
+        });
+        assert_eq!(run.gpus, 1);
+        assert_eq!(run.devices.len(), 1);
+        assert_eq!(run.devices[0].groups, 4);
+        assert!((run.makespan_seconds - run.devices[0].sim_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_gpus_speed_up_nearly_2x() {
+        // The paper: "from one to two GPUs, the biggest speedup ... 1.97×".
+        let g = uniform_random(2048, 8, 5);
+        let r = g.reverse();
+        let srcs = sources(256);
+        let grouping = GroupingStrategy::Random { seed: 2, group_size: 32 };
+        let one = run_cluster(&g, &r, &srcs, &ClusterConfig {
+            gpus: 1,
+            grouping: grouping.clone(),
+            ..Default::default()
+        });
+        let two = run_cluster(&g, &r, &srcs, &ClusterConfig {
+            gpus: 2,
+            grouping,
+            ..Default::default()
+        });
+        let speedup = two.speedup_vs(one.makespan_seconds);
+        assert!(
+            speedup > 1.7 && speedup <= 2.0 + 1e-9,
+            "2-GPU speedup {speedup}"
+        );
+        assert_eq!(one.traversed_edges, two.traversed_edges);
+    }
+
+    #[test]
+    fn speedup_saturates_when_gpus_exceed_groups() {
+        let g = rmat(8, 8, RmatParams::graph500(), 7);
+        let r = g.reverse();
+        let srcs = sources(64);
+        let grouping = GroupingStrategy::Random { seed: 3, group_size: 16 };
+        let four = run_cluster(&g, &r, &srcs, &ClusterConfig {
+            gpus: 4,
+            grouping: grouping.clone(),
+            ..Default::default()
+        });
+        let many = run_cluster(&g, &r, &srcs, &ClusterConfig {
+            gpus: 64,
+            grouping,
+            ..Default::default()
+        });
+        // Only 4 groups exist: 64 GPUs cannot beat the slowest single group.
+        assert!(many.makespan_seconds <= four.makespan_seconds + 1e-12);
+        let busy = many.devices.iter().filter(|d| d.groups > 0).count();
+        assert_eq!(busy, 4);
+    }
+
+    #[test]
+    fn uniform_graph_scales_better_than_skewed() {
+        // The paper's RD gets the best speedup because its workload is the
+        // most balanced.
+        let rd = uniform_random(2048, 8, 9);
+        let rm = rmat(11, 8, RmatParams::dimacs_rm(), 9);
+        let gpus = 8;
+        let mut speedups = Vec::new();
+        for g in [&rd, &rm] {
+            let r = g.reverse();
+            let srcs = sources(256);
+            let grouping = GroupingStrategy::Random { seed: 4, group_size: 16 };
+            let one = run_cluster(g, &r, &srcs, &ClusterConfig {
+                gpus: 1,
+                grouping: grouping.clone(),
+                ..Default::default()
+            });
+            let multi = run_cluster(g, &r, &srcs, &ClusterConfig {
+                gpus,
+                grouping,
+                ..Default::default()
+            });
+            speedups.push(multi.speedup_vs(one.makespan_seconds));
+        }
+        assert!(
+            speedups[0] >= speedups[1] * 0.95,
+            "RD speedup {} should be at least RM speedup {}",
+            speedups[0],
+            speedups[1]
+        );
+    }
+
+    #[test]
+    fn round_robin_assignment_works_too() {
+        let g = rmat(8, 8, RmatParams::graph500(), 2);
+        let r = g.reverse();
+        let run = run_cluster(&g, &r, &sources(64), &ClusterConfig {
+            gpus: 2,
+            lpt: false,
+            grouping: GroupingStrategy::Random { seed: 5, group_size: 16 },
+            ..Default::default()
+        });
+        assert_eq!(run.devices[0].groups + run.devices[1].groups, 4);
+        assert_eq!(run.devices[0].groups, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_zero_gpus() {
+        let g = rmat(6, 4, RmatParams::graph500(), 1);
+        let r = g.reverse();
+        run_cluster(&g, &r, &[0], &ClusterConfig { gpus: 0, ..Default::default() });
+    }
+}

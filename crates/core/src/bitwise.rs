@@ -1,0 +1,532 @@
+//! Bitwise iBFS (§6): one status bit per (vertex, instance), bitwise
+//! inspection, bitwise frontier identification, and bottom-up early
+//! termination.
+//!
+//! One thread inspects a vertex *for all concurrent instances at once*:
+//!
+//! * **Top-down** (Algorithm 1): a thread loads the frontier's status word
+//!   `BSA_k[f]` and ORs it into each neighbor — `BSA_{k+1}[v] |=atomic
+//!   BSA_k[f]`. Updates are first merged in CTA shared memory, then pushed
+//!   with one atomic per distinct neighbor.
+//! * **Bottom-up**: `BSA_{k+1}[f] |= BSA_k[v]`, breaking out as soon as
+//!   `BSA_{k+1}[f]` is all ones — **early termination**, possible only
+//!   because iBFS's BSA accumulates every visited vertex instead of
+//!   resetting per level.
+//! * **Frontier identification** (Algorithm 2): top-down enqueues vertices
+//!   whose word changed (`XOR`); bottom-up enqueues vertices with unset bits
+//!   (`NOT`).
+//!
+//! The same engine, with [`BitwiseStyle::MsBfs`], models the MS-BFS
+//! baseline the paper compares against in Figure 20: per-level status reset
+//! (extra `seen`/`visit` array traffic each level) and *no* early
+//! termination.
+
+use crate::direction::{Direction, DirectionPolicy};
+use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
+use crate::sequential::MAX_LEVELS;
+use crate::status::BitwiseStatusArray;
+use crate::word::{StatusWord, W256};
+use ibfs_graph::{Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_gpu_sim::{CostModel, PhaseKind, Profiler, SimTimer};
+
+/// Which bitwise semantics to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BitwiseStyle {
+    /// iBFS: accumulate visited bits, XOR identification, early termination.
+    #[default]
+    Ibfs,
+    /// MS-BFS-style baseline: per-level reset bookkeeping and no early
+    /// termination (the `[26]` baseline of Figure 20).
+    MsBfs,
+}
+
+/// The bitwise concurrent-BFS engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitwiseEngine {
+    /// Direction-switch policy (applied group-wide: GroupBy makes the
+    /// instances of a group behave alike, which is what lets a single
+    /// thread handle all of them).
+    pub policy: DirectionPolicy,
+    /// iBFS or the MS-BFS-style baseline.
+    pub style: BitwiseStyle,
+    /// Cap on traversal levels; 0 means unlimited. The k-hop reachability
+    /// index builds truncated traversals with this.
+    pub max_levels: u32,
+}
+
+impl BitwiseEngine {
+    /// The MS-BFS-style baseline engine.
+    pub fn ms_bfs_style() -> Self {
+        BitwiseEngine {
+            policy: DirectionPolicy::default(),
+            style: BitwiseStyle::MsBfs,
+            max_levels: 0,
+        }
+    }
+
+    /// Caps the traversal at `k` levels (k-hop truncation).
+    pub fn with_max_levels(mut self, k: u32) -> Self {
+        self.max_levels = k;
+        self
+    }
+
+    /// Runs a group with an explicit status-word type (`u32` ≈ `int`,
+    /// `u64` ≈ `long`, `u128` ≈ `int4`, [`W256`] ≈ `long4`). The word must
+    /// hold at least `sources.len()` bits. Exposed for the vector-width
+    /// ablation bench.
+    pub fn run_group_with_word<W: StatusWord>(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+    ) -> GroupRun {
+        run_generic::<W>(self, g, sources, prof)
+    }
+}
+
+impl Engine for BitwiseEngine {
+    fn name(&self) -> &'static str {
+        match self.style {
+            BitwiseStyle::Ibfs => "bitwise",
+            BitwiseStyle::MsBfs => "bitwise-msbfs",
+        }
+    }
+
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+        // Pick the narrowest CUDA-native word that fits the group, as the
+        // paper does with int/long/vector types.
+        match sources.len() {
+            0..=32 => run_generic::<u32>(self, g, sources, prof),
+            33..=64 => run_generic::<u64>(self, g, sources, prof),
+            65..=128 => run_generic::<u128>(self, g, sources, prof),
+            129..=256 => run_generic::<W256>(self, g, sources, prof),
+            n => panic!("bitwise group limited to 256 instances, got {n}"),
+        }
+    }
+}
+
+fn run_generic<W: StatusWord>(
+    engine: &BitwiseEngine,
+    g: &GpuGraph<'_>,
+    sources: &[VertexId],
+    prof: &mut Profiler,
+) -> GroupRun {
+    let ni = sources.len();
+    assert!(
+        ni as u32 <= W::BITS,
+        "group of {ni} does not fit a {}-bit status word",
+        W::BITS
+    );
+    let csr = g.csr;
+    let rev = g.reverse;
+    let n = csr.num_vertices();
+    let total_edges = csr.num_edges() as u64;
+    let full = W::low_mask(ni as u32);
+    let before = prof.snapshot();
+    let model = CostModel::new(prof.config);
+    let word_bytes = W::bytes();
+
+    let mut cur: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
+    let mut next: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
+    let jfq_base = prof.alloc(n as u64 * 4);
+    let mut timer = SimTimer::start(model, prof);
+
+    let mut depths = vec![DEPTH_UNVISITED; ni * n];
+
+    // Level 0: set source bits in both buffers, queue the unique sources.
+    for (j, &s) in sources.iter().enumerate() {
+        cur.or_word(s, W::bit(j as u32));
+        depths[j * n + s as usize] = 0;
+        prof.atomic_rmw(cur.addr(s), word_bytes);
+    }
+    next.copy_from(&cur);
+    let mut queue: Vec<VertexId> = {
+        let mut uniq: Vec<VertexId> = sources.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq
+    };
+    let mut instance_frontier_count = ni as u64;
+    timer.phase(prof, PhaseKind::Other);
+
+    // Level 1 always runs top-down from the sources; the per-level direction
+    // for later levels is chosen during frontier identification (the queue's
+    // contents depend on it, so the decision and the queue travel together).
+    let mut direction = Direction::TopDown;
+    let mut frontier_edges: u64 = sources.iter().map(|&s| csr.out_degree(s) as u64).sum();
+    let mut visited_edges = frontier_edges;
+    let mut levels = Vec::new();
+    // Scratch for CTA-level merging of top-down updates.
+    let mut cta_touched: Vec<VertexId> = Vec::new();
+    let level_cap = if engine.max_levels == 0 {
+        MAX_LEVELS
+    } else {
+        engine.max_levels.min(MAX_LEVELS)
+    };
+
+    for level in 1..=level_cap {
+        if queue.is_empty() {
+            break;
+        }
+        let depth = level as Depth;
+        timer.kernel_launch();
+
+        // --- BSA_{k+1} <- BSA_k (Algorithm 1, line 1). ---
+        next.copy_from(&cur);
+        prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
+        prof.store_contiguous(next.base, 0, n as u64, word_bytes);
+        if engine.style == BitwiseStyle::MsBfs {
+            // MS-BFS keeps separate seen/visit/visitNext arrays and resets
+            // the visit map every level: one more array swept per level.
+            prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
+            prof.store_contiguous(next.base, 0, n as u64, word_bytes);
+        }
+        timer.phase(prof, PhaseKind::Other);
+
+        // --- Traversal (Algorithm 1). ---
+        prof.load_contiguous(jfq_base, 0, queue.len() as u64, 4);
+        let mut edges_inspected = 0u64;
+        let mut early_terms = 0u64;
+
+        match direction {
+            Direction::TopDown => {
+                let cta = prof.config.cta_size as usize;
+                for batch in queue.chunks(cta) {
+                    cta_touched.clear();
+                    // Each thread loads its frontier's status word.
+                    for fchunk in batch.chunks(32) {
+                        prof.warp_gather(fchunk.iter().map(|&f| cur.addr(f)), word_bytes);
+                    }
+                    for &f in batch {
+                        let mask = cur.word(f);
+                        debug_assert!(!mask.is_zero());
+                        let neighbors = csr.neighbors(f);
+                        prof.load_contiguous(
+                            g.adj_base,
+                            csr.adj_start(f),
+                            neighbors.len() as u64,
+                            4,
+                        );
+                        prof.lanes(neighbors.len() as u64);
+                        edges_inspected += neighbors.len() as u64;
+                        // Merge updates in shared memory within the CTA
+                        // ("avoids the overhead of atomic operations at this
+                        // step").
+                        prof.shared_store(neighbors.len() as u64);
+                        for &w in neighbors {
+                            next.or_word(w, mask);
+                            cta_touched.push(w);
+                        }
+                    }
+                    // Push the combined updates to global memory with one
+                    // atomic per distinct vertex touched by this CTA.
+                    cta_touched.sort_unstable();
+                    cta_touched.dedup();
+                    for wchunk in cta_touched.chunks(32) {
+                        prof.warp_atomic(wchunk.iter().map(|&w| next.addr(w)), word_bytes);
+                    }
+                }
+            }
+            Direction::BottomUp => {
+                for fchunk in queue.chunks(32) {
+                    prof.warp_gather(fchunk.iter().map(|&f| next.addr(f)), word_bytes);
+                    for &f in fchunk {
+                        let parents = rev.neighbors(f);
+                        let mut acc = next.word(f);
+                        let mut scanned = 0u64;
+                        for &p in parents {
+                            if engine.style == BitwiseStyle::Ibfs && acc.and(full) == full {
+                                // Early termination: every instance found a
+                                // parent for f.
+                                break;
+                            }
+                            scanned += 1;
+                            acc = acc.or(cur.word(p));
+                        }
+                        // One thread streams f's parents and their words.
+                        prof.load_contiguous(g.radj_base, rev.adj_start(f), scanned, 4);
+                        for pchunk in parents[..scanned as usize].chunks(32) {
+                            prof.warp_gather(pchunk.iter().map(|&p| cur.addr(p)), word_bytes);
+                        }
+                        prof.lanes(scanned);
+                        edges_inspected += scanned;
+                        if scanned < parents.len() as u64 {
+                            early_terms += 1;
+                        }
+                        if acc != next.word(f) {
+                            next.set_word(f, acc);
+                        }
+                    }
+                    // Tree-based merging within the warp, then one store per
+                    // updated frontier word ("avoiding atomic operations").
+                    prof.warp_scatter(fchunk.iter().map(|&f| next.addr(f)), word_bytes);
+                }
+            }
+        }
+        timer.phase(prof, PhaseKind::Inspection);
+
+        // --- Frontier identification (Algorithm 2) + depth recording. ---
+        prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
+        prof.load_contiguous(next.base, 0, n as u64, word_bytes);
+        prof.lanes(n as u64);
+        let mut new_queue: Vec<VertexId> = Vec::new();
+        let mut new_frontier_edges = 0u64;
+        let mut new_marked_total = 0u64;
+        let mut next_instance_frontiers = 0u64;
+        let mut any_unvisited = false;
+
+        // Peek at the direction the policy would choose for the next level
+        // to identify the right frontier kind; stats first, then decide.
+        for v in 0..n as VertexId {
+            let diff = next.word(v).xor(cur.word(v));
+            if !diff.is_zero() {
+                for j in diff.iter_ones() {
+                    depths[j as usize * n + v as usize] = depth;
+                }
+                new_marked_total += diff.count_ones() as u64;
+                new_frontier_edges += diff.count_ones() as u64 * csr.out_degree(v) as u64;
+            }
+            if next.word(v).and(full) != full {
+                any_unvisited = true;
+            }
+        }
+        visited_edges += new_frontier_edges;
+        frontier_edges = new_frontier_edges;
+
+        let next_direction = engine.policy.next(
+            direction,
+            frontier_edges,
+            new_marked_total,
+            (total_edges * ni as u64).saturating_sub(visited_edges),
+            n as u64 * ni as u64,
+        );
+        if new_marked_total > 0 {
+            match next_direction {
+                Direction::TopDown => {
+                    for v in 0..n as VertexId {
+                        let diff = next.word(v).xor(cur.word(v));
+                        if !diff.is_zero() {
+                            new_queue.push(v);
+                            next_instance_frontiers += diff.count_ones() as u64;
+                        }
+                    }
+                }
+                Direction::BottomUp => {
+                    if any_unvisited {
+                        for v in 0..n as VertexId {
+                            let missing = next.word(v).and(full).xor(full);
+                            if !missing.is_zero() {
+                                new_queue.push(v);
+                                next_instance_frontiers += missing.count_ones() as u64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        prof.store_contiguous(jfq_base, 0, new_queue.len() as u64, 4);
+        timer.phase(prof, PhaseKind::FrontierGeneration);
+
+        levels.push(LevelStats {
+            level,
+            direction,
+            unique_frontiers: queue.len() as u64,
+            instance_frontiers: instance_frontier_count,
+            edges_inspected,
+            early_terminations: early_terms,
+        });
+
+        std::mem::swap(&mut cur, &mut next);
+        queue = new_queue;
+        instance_frontier_count = next_instance_frontiers;
+        direction = next_direction;
+        if new_marked_total == 0 {
+            break;
+        }
+    }
+
+    let counters = prof.snapshot().delta(&before);
+    let traversed = traversed_edges_for(csr, &depths, ni);
+    GroupRun {
+        engine: engine.name(),
+        num_instances: ni,
+        num_vertices: n,
+        depths,
+        levels,
+        counters,
+        sim_seconds: timer.seconds(),
+        traversed_edges: traversed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::JointEngine;
+    use ibfs_graph::generators::{rmat, uniform_random, RmatParams};
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::{check_depths, reference_bfs};
+    use ibfs_gpu_sim::DeviceConfig;
+
+    fn check_engine(engine: &BitwiseEngine, g: &ibfs_graph::Csr, sources: &[VertexId]) {
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(g, &r, &mut prof);
+        let run = engine.run_group(&gg, sources, &mut prof);
+        for (j, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                run.instance_depths(j),
+                &reference_bfs(g, s)[..],
+                "{} instance {j} source {s}",
+                engine.name()
+            );
+            check_depths(g, &r, s, run.instance_depths(j)).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_figure1() {
+        check_engine(&BitwiseEngine::default(), &figure1(), &FIGURE1_SOURCES);
+    }
+
+    #[test]
+    fn msbfs_style_matches_reference_too() {
+        check_engine(&BitwiseEngine::ms_bfs_style(), &figure1(), &FIGURE1_SOURCES);
+    }
+
+    #[test]
+    fn matches_reference_on_rmat_all_word_widths() {
+        let g = rmat(8, 8, RmatParams::graph500(), 21);
+        // 16 instances → u32; 48 → u64; 100 → u128; 150 → W256.
+        for count in [16usize, 48, 100, 150] {
+            let sources: Vec<VertexId> =
+                (0..count as u32).map(|i| i % g.num_vertices() as u32).collect();
+            let mut uniq = sources.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            check_engine(&BitwiseEngine::default(), &g, &uniq);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_uniform_graph() {
+        let g = uniform_random(512, 4, 9);
+        let sources: Vec<VertexId> = (0..64).collect();
+        check_engine(&BitwiseEngine::default(), &g, &sources);
+    }
+
+    #[test]
+    fn explicit_word_widths_agree() {
+        let g = rmat(7, 8, RmatParams::graph500(), 2);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..24).collect();
+        let e = BitwiseEngine::default();
+
+        let mut runs = Vec::new();
+        macro_rules! run_w {
+            ($w:ty) => {{
+                let mut prof = Profiler::new(DeviceConfig::k40());
+                let gg = GpuGraph::new(&g, &r, &mut prof);
+                e.run_group_with_word::<$w>(&gg, &sources, &mut prof)
+            }};
+        }
+        runs.push(run_w!(u32));
+        runs.push(run_w!(u64));
+        runs.push(run_w!(u128));
+        runs.push(run_w!(W256));
+        for pair in runs.windows(2) {
+            assert_eq!(pair[0].depths, pair[1].depths);
+        }
+        // Wider words move more status bytes: u32 should not lose to W256
+        // on load traffic for the same 24 instances.
+        assert!(
+            runs[0].counters.global_load_transactions
+                <= runs[3].counters.global_load_transactions
+        );
+    }
+
+    /// Two hubs adjacent to every leaf: a coherent group (all sources are
+    /// leaves) fills each leaf's status word from the first hub scanned, so
+    /// bitwise bottom-up early termination must fire — this is the
+    /// paper's Figure 13(b) situation where one neighbor "can set all bits
+    /// of this frontier".
+    fn two_hub_graph(leaves: usize) -> ibfs_graph::Csr {
+        let mut b = ibfs_graph::CsrBuilder::new(leaves + 2);
+        for leaf in 2..(leaves + 2) as VertexId {
+            b.add_undirected_edge(0, leaf);
+            b.add_undirected_edge(1, leaf);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn early_termination_only_in_ibfs_style() {
+        let g = two_hub_graph(64);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (2..34).collect();
+        // Force bottom-up as soon as the frontier has any weight.
+        let bu_policy = crate::direction::DirectionPolicy { alpha: 1e6, beta: 1e6 };
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let g1 = GpuGraph::new(&g, &r, &mut p1);
+        let ibfs = BitwiseEngine { policy: bu_policy, style: BitwiseStyle::Ibfs, max_levels: 0 }
+            .run_group(&g1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let g2 = GpuGraph::new(&g, &r, &mut p2);
+        let msbfs = BitwiseEngine { policy: bu_policy, style: BitwiseStyle::MsBfs, max_levels: 0 }
+            .run_group(&g2, &sources, &mut p2);
+
+        assert_eq!(ibfs.depths, msbfs.depths);
+        for (j, &s) in sources.iter().enumerate() {
+            assert_eq!(ibfs.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+        let et_ibfs: u64 = ibfs.levels.iter().map(|l| l.early_terminations).sum();
+        let et_msbfs: u64 = msbfs.levels.iter().map(|l| l.early_terminations).sum();
+        assert!(et_ibfs > 0, "iBFS should terminate early somewhere");
+        assert_eq!(et_msbfs, 0, "MS-BFS style never terminates early");
+        // Early termination inspects strictly fewer edges.
+        let edges_ibfs: u64 = ibfs.levels.iter().map(|l| l.edges_inspected).sum();
+        let edges_msbfs: u64 = msbfs.levels.iter().map(|l| l.edges_inspected).sum();
+        assert!(edges_ibfs < edges_msbfs);
+        // And that plus the per-level reset costs time.
+        assert!(ibfs.sim_seconds < msbfs.sim_seconds);
+    }
+
+    #[test]
+    fn bitwise_beats_joint_on_traffic_and_time() {
+        // Figure 15/21: bitwise over joint is the big win (~11× time, ~40%
+        // fewer loads in the paper).
+        let g = rmat(9, 16, RmatParams::graph500(), 8);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..64).collect();
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let g1 = GpuGraph::new(&g, &r, &mut p1);
+        let joint = JointEngine::default().run_group(&g1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let g2 = GpuGraph::new(&g, &r, &mut p2);
+        let bitwise = BitwiseEngine::default().run_group(&g2, &sources, &mut p2);
+
+        assert_eq!(joint.depths, bitwise.depths);
+        assert!(
+            bitwise.counters.global_load_transactions < joint.counters.global_load_transactions
+        );
+        assert!(bitwise.sim_seconds < joint.sim_seconds);
+    }
+
+    #[test]
+    fn duplicate_sources_rejected_by_word_capacity_only() {
+        // 300 instances exceed every supported word.
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let sources: Vec<VertexId> = (0..300).map(|i| (i % 9) as u32).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BitwiseEngine::default().run_group(&gg, &sources, &mut prof)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Real multithreaded CPU implementations (§7, Figure 22, Table 1).
+//!
+//! Two engines, both measured in *wall-clock* time rather than the GPU
+//! simulator's model:
+//!
+//! * [`CpuIbfs`] — iBFS ported to CPUs as §7 describes: the same bitwise
+//!   status arrays, joint traversal and early termination, with atomic
+//!   fetch-OR for the multi-threaded bitwise updates ("iBFS would need
+//!   atomic operation on CPUs for the multi-thread bitwise operation").
+//! * [`CpuMsBfs`] — the MS-BFS algorithm of Then et al. (VLDB'15): per-level
+//!   `seen`/`visit`/`visitNext` bitsets, no early termination. Threads
+//!   partition the vertex range; within a partition each BFS group word is
+//!   processed single-threadedly, so no atomics are needed — matching the
+//!   original's single-thread-per-BFS design.
+//!
+//! Both process up to 64 instances per group (one `u64` register word, the
+//! width MS-BFS uses) and run groups back to back.
+
+use crate::direction::{Direction, DirectionPolicy};
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Maximum instances per CPU group (one register word).
+pub const CPU_GROUP: usize = 64;
+
+/// Result of a CPU group run.
+#[derive(Clone, Debug)]
+pub struct CpuRun {
+    /// Instances in the group.
+    pub num_instances: usize,
+    /// Vertices in the graph.
+    pub num_vertices: usize,
+    /// Depths, flattened `[instance][vertex]`.
+    pub depths: Vec<Depth>,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Traversed directed edges summed over instances.
+    pub traversed_edges: u64,
+}
+
+impl CpuRun {
+    /// Instance `j`'s depth array.
+    pub fn instance_depths(&self, j: usize) -> &[Depth] {
+        &self.depths[j * self.num_vertices..(j + 1) * self.num_vertices]
+    }
+
+    /// Traversal rate.
+    pub fn teps(&self) -> f64 {
+        crate::metrics::teps(self.traversed_edges, self.wall_seconds)
+    }
+}
+
+fn full_mask(ni: usize) -> u64 {
+    if ni >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ni) - 1
+    }
+}
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Splits `n` items into per-thread contiguous ranges.
+fn ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    ibfs_graph::partition::even_ranges(n, threads.max(1))
+}
+
+/// The CPU port of bitwise iBFS.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpuIbfs {
+    /// Direction-switch policy (group-wide).
+    pub policy: DirectionPolicy,
+    /// Worker threads; 0 = all available.
+    pub threads: usize,
+    /// Cap on traversal levels; 0 means unlimited.
+    pub max_levels: u32,
+}
+
+impl CpuIbfs {
+    /// Runs one group of up to 64 instances.
+    pub fn run_group(&self, csr: &Csr, rev: &Csr, sources: &[VertexId]) -> CpuRun {
+        run_cpu(csr, rev, sources, self.policy, self.threads, true, false, self.max_levels)
+    }
+}
+
+/// The MS-BFS baseline on CPUs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpuMsBfs {
+    /// Direction-switch policy (group-wide).
+    pub policy: DirectionPolicy,
+    /// Worker threads; 0 = all available.
+    pub threads: usize,
+    /// Cap on traversal levels; 0 means unlimited.
+    pub max_levels: u32,
+}
+
+impl CpuMsBfs {
+    /// Runs one group of up to 64 instances.
+    pub fn run_group(&self, csr: &Csr, rev: &Csr, sources: &[VertexId]) -> CpuRun {
+        run_cpu(csr, rev, sources, self.policy, self.threads, false, true, self.max_levels)
+    }
+}
+
+/// Shared level-synchronous implementation.
+///
+/// `early_termination` enables the iBFS bottom-up break; `per_level_reset`
+/// adds the MS-BFS `visit`-map maintenance (an extra full sweep per level),
+/// the cost difference the paper attributes to [26].
+#[allow(clippy::too_many_arguments)]
+fn run_cpu(
+    csr: &Csr,
+    rev: &Csr,
+    sources: &[VertexId],
+    policy: DirectionPolicy,
+    threads: usize,
+    early_termination: bool,
+    per_level_reset: bool,
+    max_levels: u32,
+) -> CpuRun {
+    let ni = sources.len();
+    assert!(ni <= CPU_GROUP, "CPU group limited to {CPU_GROUP} instances");
+    let n = csr.num_vertices();
+    let total_edges = csr.num_edges() as u64;
+    let full = full_mask(ni);
+    let threads = if threads == 0 { thread_count() } else { threads };
+
+    let start = Instant::now();
+    // Status words; `cur` is read-only within a level, `next` is written.
+    let cur: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    // Depths in `[vertex][instance]` order during the run so identification
+    // threads (which own vertex ranges) write disjoint slices.
+    let mut depths_vm = vec![DEPTH_UNVISITED; n * ni.max(1)];
+
+    for (j, &s) in sources.iter().enumerate() {
+        cur[s as usize].fetch_or(1 << j, Ordering::Relaxed);
+        if ni > 0 {
+            depths_vm[s as usize * ni + j] = 0;
+        }
+    }
+    for v in 0..n {
+        next[v].store(cur[v].load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    let mut queue: Vec<VertexId> = {
+        let mut q: Vec<VertexId> = sources.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        q
+    };
+    let mut direction = Direction::TopDown;
+    let mut frontier_edges: u64 = sources.iter().map(|&s| csr.out_degree(s) as u64).sum();
+    let mut visited_edges = frontier_edges;
+    let mut cur_ref: &[AtomicU64] = &cur;
+    let mut next_ref: &[AtomicU64] = &next;
+
+    let level_cap = if max_levels == 0 {
+        crate::sequential::MAX_LEVELS
+    } else {
+        max_levels.min(crate::sequential::MAX_LEVELS)
+    };
+    for level in 1..=level_cap {
+        if queue.is_empty() || ni == 0 {
+            break;
+        }
+        let depth = level as Depth;
+
+        // next <- cur (parallelized sweep).
+        crossbeam::thread::scope(|scope| {
+            for r in ranges(n, threads) {
+                let (cur_ref, next_ref) = (cur_ref, next_ref);
+                scope.spawn(move |_| {
+                    for v in r {
+                        next_ref[v].store(cur_ref[v].load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        if per_level_reset {
+            // MS-BFS maintains an extra visit map each level: model the
+            // cost with one more sweep over the words.
+            crossbeam::thread::scope(|scope| {
+                for r in ranges(n, threads) {
+                    let next_ref = next_ref;
+                    scope.spawn(move |_| {
+                        for v in r {
+                            // A load+store of the visit word.
+                            let w = next_ref[v].load(Ordering::Relaxed);
+                            next_ref[v].store(w, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        }
+
+        // Traversal.
+        match direction {
+            Direction::TopDown => {
+                crossbeam::thread::scope(|scope| {
+                    for r in ranges(queue.len(), threads) {
+                        let q = &queue[r];
+                        let (cur_ref, next_ref) = (cur_ref, next_ref);
+                        scope.spawn(move |_| {
+                            for &f in q {
+                                let mask = cur_ref[f as usize].load(Ordering::Relaxed);
+                                for &w in csr.neighbors(f) {
+                                    let old = next_ref[w as usize].load(Ordering::Relaxed);
+                                    if mask & !old != 0 {
+                                        next_ref[w as usize].fetch_or(mask, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+            }
+            Direction::BottomUp => {
+                crossbeam::thread::scope(|scope| {
+                    for r in ranges(queue.len(), threads) {
+                        let q = &queue[r];
+                        let (cur_ref, next_ref) = (cur_ref, next_ref);
+                        scope.spawn(move |_| {
+                            for &f in q {
+                                // Only this thread writes f's word.
+                                let mut acc = next_ref[f as usize].load(Ordering::Relaxed);
+                                for &p in rev.neighbors(f) {
+                                    if early_termination && acc & full == full {
+                                        break;
+                                    }
+                                    acc |= cur_ref[p as usize].load(Ordering::Relaxed);
+                                }
+                                next_ref[f as usize].store(acc, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+            }
+        }
+
+        // Identification: diff words, record depths, build the next queue.
+        struct Part {
+            new_marked: u64,
+            new_edges: u64,
+            td_queue: Vec<VertexId>,
+            bu_queue: Vec<VertexId>,
+        }
+        let rs = ranges(n, threads);
+        let mut parts: Vec<Part> = Vec::with_capacity(rs.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest: &mut [Depth] = &mut depths_vm;
+            let mut offset = 0usize;
+            for r in rs {
+                let take = (r.end - r.start) * ni;
+                debug_assert_eq!(r.start * ni, offset);
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                offset += take;
+                let (cur_ref, next_ref) = (cur_ref, next_ref);
+                handles.push(scope.spawn(move |_| {
+                    let mut part = Part {
+                        new_marked: 0,
+                        new_edges: 0,
+                        td_queue: Vec::new(),
+                        bu_queue: Vec::new(),
+                    };
+                    for (i, v) in r.clone().enumerate() {
+                        let old = cur_ref[v].load(Ordering::Relaxed);
+                        let new = next_ref[v].load(Ordering::Relaxed);
+                        let diff = new & !old;
+                        if diff != 0 {
+                            let mut m = diff;
+                            while m != 0 {
+                                let j = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                mine[i * ni + j] = depth;
+                            }
+                            part.new_marked += diff.count_ones() as u64;
+                            part.new_edges +=
+                                diff.count_ones() as u64 * csr.out_degree(v as VertexId) as u64;
+                            part.td_queue.push(v as VertexId);
+                        }
+                        if new & full != full {
+                            part.bu_queue.push(v as VertexId);
+                        }
+                    }
+                    part
+                }));
+            }
+            for h in handles {
+                parts.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+
+        let new_marked: u64 = parts.iter().map(|p| p.new_marked).sum();
+        let new_edges: u64 = parts.iter().map(|p| p.new_edges).sum();
+        visited_edges += new_edges;
+        frontier_edges = new_edges;
+
+        let next_direction = policy.next(
+            direction,
+            frontier_edges,
+            new_marked,
+            (total_edges * ni as u64).saturating_sub(visited_edges),
+            (n * ni) as u64,
+        );
+        queue = match next_direction {
+            Direction::TopDown => parts.into_iter().flat_map(|p| p.td_queue).collect(),
+            Direction::BottomUp => parts.into_iter().flat_map(|p| p.bu_queue).collect(),
+        };
+        direction = next_direction;
+        // Swap buffers.
+        std::mem::swap(&mut cur_ref, &mut next_ref);
+        if new_marked == 0 {
+            break;
+        }
+    }
+
+    // Transpose depths to `[instance][vertex]`.
+    let mut depths = vec![DEPTH_UNVISITED; ni * n];
+    for v in 0..n {
+        for j in 0..ni {
+            depths[j * n + v] = depths_vm[v * ni + j];
+        }
+    }
+    let traversed = crate::engine::traversed_edges_for(csr, &depths, ni);
+    CpuRun {
+        num_instances: ni,
+        num_vertices: n,
+        depths,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        traversed_edges: traversed,
+    }
+}
+
+/// Runs a whole source set on the CPU in groups of `group_size`, returning
+/// per-group results. Used by the Figure 22 / Table 1 harnesses.
+pub fn run_cpu_many<F>(sources: &[VertexId], group_size: usize, run: F) -> Vec<CpuRun>
+where
+    F: FnMut(&[VertexId]) -> CpuRun,
+{
+    assert!((1..=CPU_GROUP).contains(&group_size));
+    sources.chunks(group_size).map(run).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::generators::{rmat, RmatParams};
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::reference_bfs;
+
+    #[test]
+    fn cpu_ibfs_matches_reference_figure1() {
+        let g = figure1();
+        let r = g.reverse();
+        let run = CpuIbfs::default().run_group(&g, &r, &FIGURE1_SOURCES);
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+        assert!(run.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn cpu_msbfs_matches_reference_figure1() {
+        let g = figure1();
+        let r = g.reverse();
+        let run = CpuMsBfs::default().run_group(&g, &r, &FIGURE1_SOURCES);
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn cpu_engines_match_reference_on_rmat() {
+        let g = rmat(9, 8, RmatParams::graph500(), 19);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..64).collect();
+        for run in [
+            CpuIbfs { threads: 3, ..Default::default() }.run_group(&g, &r, &sources),
+            CpuMsBfs { threads: 3, ..Default::default() }.run_group(&g, &r, &sources),
+        ] {
+            for (j, &s) in sources.iter().enumerate() {
+                assert_eq!(
+                    run.instance_depths(j),
+                    &reference_bfs(&g, s)[..],
+                    "source {s}"
+                );
+            }
+            assert!(run.teps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = figure1();
+        let r = g.reverse();
+        let run = CpuIbfs { threads: 1, ..Default::default() }.run_group(&g, &r, &[0, 8]);
+        assert_eq!(run.instance_depths(0), &reference_bfs(&g, 0)[..]);
+        assert_eq!(run.instance_depths(1), &reference_bfs(&g, 8)[..]);
+    }
+
+    #[test]
+    fn run_many_covers_all_sources() {
+        let g = rmat(7, 8, RmatParams::graph500(), 23);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..40).collect();
+        let engine = CpuIbfs::default();
+        let runs = run_cpu_many(&sources, 16, |group| engine.run_group(&g, &r, group));
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs.iter().map(|r| r.num_instances).sum::<usize>(), 40);
+        assert_eq!(runs[0].instance_depths(5), &reference_bfs(&g, 5)[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU group limited")]
+    fn rejects_oversized_group() {
+        let g = figure1();
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..65).map(|i| i % 9).collect();
+        CpuIbfs::default().run_group(&g, &r, &sources);
+    }
+}

@@ -1,0 +1,297 @@
+//! Common engine interface, result types, and accounting conventions.
+//!
+//! # Accounting conventions (shared by every engine)
+//!
+//! So that transaction counts are comparable across engines — which is what
+//! Figures 15, 18, 19, 20 and 21 compare — all engines charge the simulated
+//! device identically:
+//!
+//! * **Frontier-queue generation**: a contiguous scan of the status
+//!   array(s) (loads), plus coalesced stores of the enqueued frontiers.
+//! * **Expansion**: a contiguous load of each expanded frontier's adjacency
+//!   list. The joint engines load each *unique* frontier's list once (via
+//!   the CTA shared-memory cache); the private engines load it once per
+//!   instance that has the frontier.
+//! * **Inspection**: warp-level gathers/scatters of neighbor statuses, one
+//!   lane-instruction per edge inspected. Private SA bytes scatter; JSA
+//!   blocks coalesce; BSA words are one load per vertex for all instances.
+//! * **Levels are kernel phases**: each level boundary pays the kernel
+//!   launch overhead through [`ibfs_gpu_sim::SimTimer`].
+
+use crate::direction::Direction;
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_gpu_sim::{Counters, Profiler};
+use serde::{Deserialize, Serialize};
+
+/// A graph resident on the simulated device: the CSR arrays plus their
+/// device base addresses.
+#[derive(Debug)]
+pub struct GpuGraph<'a> {
+    /// Out-edge CSR.
+    pub csr: &'a Csr,
+    /// In-edge CSR (equal to `csr` for symmetric graphs); bottom-up
+    /// traversal searches it for parents.
+    pub reverse: &'a Csr,
+    /// Device base address of the out-adjacency array (u32 elements).
+    pub adj_base: u64,
+    /// Device base address of the in-adjacency array.
+    pub radj_base: u64,
+    /// Device base address of the offsets array (u64 elements).
+    pub offsets_base: u64,
+}
+
+impl<'a> GpuGraph<'a> {
+    /// Uploads `csr`/`reverse` to the simulated device (allocates their
+    /// address ranges).
+    pub fn new(csr: &'a Csr, reverse: &'a Csr, prof: &mut Profiler) -> Self {
+        assert_eq!(csr.num_vertices(), reverse.num_vertices());
+        assert_eq!(csr.num_edges(), reverse.num_edges());
+        GpuGraph {
+            csr,
+            reverse,
+            adj_base: prof.alloc(csr.num_edges() as u64 * 4),
+            radj_base: prof.alloc(reverse.num_edges() as u64 * 4),
+            offsets_base: prof.alloc((csr.num_vertices() as u64 + 1) * 8),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+}
+
+/// Per-level traversal statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Level number (depth assigned at this level).
+    pub level: u32,
+    /// Direction executed.
+    pub direction: Direction,
+    /// Unique frontiers in the (joint) queue this level.
+    pub unique_frontiers: u64,
+    /// Sum over instances of per-instance frontier counts
+    /// (`Σ_j |FQ_j(k)|`) — the sharing-degree numerator.
+    pub instance_frontiers: u64,
+    /// Edges inspected across all instances this level.
+    pub edges_inspected: u64,
+    /// Bottom-up inspections cut short by early termination.
+    pub early_terminations: u64,
+}
+
+/// Result of running one group of concurrent BFS instances.
+#[derive(Clone, Debug)]
+pub struct GroupRun {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Number of instances in the group.
+    pub num_instances: usize,
+    /// Number of vertices in the graph.
+    pub num_vertices: usize,
+    /// Depths, flattened `[instance][vertex]`.
+    pub depths: Vec<Depth>,
+    /// Per-level statistics.
+    pub levels: Vec<LevelStats>,
+    /// Counter activity attributable to this run.
+    pub counters: Counters,
+    /// Simulated wall time of the run in seconds.
+    pub sim_seconds: f64,
+    /// Directed edges traversed, summed over instances (TEPS numerator).
+    pub traversed_edges: u64,
+}
+
+impl GroupRun {
+    /// Depth of `v` in instance `j`'s traversal.
+    pub fn depth_of(&self, j: usize, v: VertexId) -> Depth {
+        self.depths[j * self.num_vertices + v as usize]
+    }
+
+    /// Instance `j`'s full depth array.
+    pub fn instance_depths(&self, j: usize) -> &[Depth] {
+        &self.depths[j * self.num_vertices..(j + 1) * self.num_vertices]
+    }
+
+    /// Traversed edges per simulated second.
+    pub fn teps(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            self.traversed_edges as f64 / self.sim_seconds
+        }
+    }
+
+    /// The run's sharing degree `SD = Σ_k Σ_j |FQ_j(k)| / Σ_k |JFQ(k)|`
+    /// (Equation 1). For private-queue engines every frontier is its own
+    /// queue entry, so SD is 1 by construction.
+    pub fn sharing_degree(&self) -> f64 {
+        let unique: u64 = self.levels.iter().map(|l| l.unique_frontiers).sum();
+        let total: u64 = self.levels.iter().map(|l| l.instance_frontiers).sum();
+        if unique == 0 {
+            0.0
+        } else {
+            total as f64 / unique as f64
+        }
+    }
+
+    /// Sharing ratio: sharing degree over group size (§5.1).
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.num_instances == 0 {
+            0.0
+        } else {
+            self.sharing_degree() / self.num_instances as f64
+        }
+    }
+}
+
+/// Computes the traversed-edge total for a set of depth arrays: out-degrees
+/// of visited vertices, summed over instances.
+pub fn traversed_edges_for(csr: &Csr, depths: &[Depth], num_instances: usize) -> u64 {
+    let n = csr.num_vertices();
+    let mut total = 0u64;
+    for j in 0..num_instances {
+        for v in 0..n {
+            if depths[j * n + v] != DEPTH_UNVISITED {
+                total += csr.out_degree(v as VertexId) as u64;
+            }
+        }
+    }
+    total
+}
+
+/// A concurrent-BFS engine: runs one group of instances to completion.
+pub trait Engine {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs BFS from every source in `sources` concurrently (per the
+    /// engine's strategy) and returns depths plus accounting.
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun;
+}
+
+/// Engine selector used by the runner and the figure harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Per-instance direction-optimizing BFS, run back-to-back
+    /// (the paper's "sequential" and its B40C comparison point).
+    Sequential,
+    /// Private queues/status arrays, all instances concurrent via Hyper-Q.
+    Naive,
+    /// Joint traversal: JFQ + JSA + shared-memory adjacency cache (§4).
+    Joint,
+    /// Bitwise status array with early termination (§6) — full iBFS.
+    Bitwise,
+    /// Bitwise with per-level status reset and no early termination — the
+    /// MS-BFS-style GPU baseline of Figure 20.
+    BitwiseMsBfsStyle,
+    /// Top-down-only concurrent BFS (the SpMM-BC comparison point).
+    Spmm,
+}
+
+impl EngineKind {
+    /// Instantiates the engine with default settings.
+    pub fn build(self) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Sequential => Box::new(crate::sequential::SequentialEngine::default()),
+            EngineKind::Naive => Box::new(crate::naive::NaiveEngine::default()),
+            EngineKind::Joint => Box::new(crate::joint::JointEngine::default()),
+            EngineKind::Bitwise => Box::new(crate::bitwise::BitwiseEngine::default()),
+            EngineKind::BitwiseMsBfsStyle => {
+                Box::new(crate::bitwise::BitwiseEngine::ms_bfs_style())
+            }
+            EngineKind::Spmm => Box::new(crate::spmm::SpmmEngine),
+        }
+    }
+
+    /// All kinds, in the order of the paper's Figure 15 bars plus extras.
+    pub fn all() -> [EngineKind; 6] {
+        [
+            EngineKind::Sequential,
+            EngineKind::Naive,
+            EngineKind::Joint,
+            EngineKind::Bitwise,
+            EngineKind::BitwiseMsBfsStyle,
+            EngineKind::Spmm,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::figure1;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn gpu_graph_allocates_device_ranges() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        assert_ne!(gg.adj_base, gg.radj_base);
+        assert!(prof.allocated_bytes() >= (28 * 4 * 2 + 10 * 8) as u64);
+        assert_eq!(gg.num_vertices(), 9);
+        assert_eq!(gg.num_edges(), 28);
+    }
+
+    #[test]
+    fn group_run_accessors() {
+        let run = GroupRun {
+            engine: "test",
+            num_instances: 2,
+            num_vertices: 3,
+            depths: vec![0, 1, 2, 255, 0, 1],
+            levels: vec![
+                LevelStats {
+                    level: 1,
+                    direction: Direction::TopDown,
+                    unique_frontiers: 2,
+                    instance_frontiers: 4,
+                    edges_inspected: 10,
+                    early_terminations: 0,
+                },
+                LevelStats {
+                    level: 2,
+                    direction: Direction::BottomUp,
+                    unique_frontiers: 1,
+                    instance_frontiers: 2,
+                    edges_inspected: 5,
+                    early_terminations: 1,
+                },
+            ],
+            counters: Counters::default(),
+            sim_seconds: 2.0,
+            traversed_edges: 50,
+        };
+        assert_eq!(run.depth_of(0, 1), 1);
+        assert_eq!(run.depth_of(1, 0), 255);
+        assert_eq!(run.instance_depths(1), &[255, 0, 1]);
+        assert_eq!(run.teps(), 25.0);
+        assert_eq!(run.sharing_degree(), 2.0);
+        assert_eq!(run.sharing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn traversed_edges_sums_instances() {
+        let g = figure1();
+        let n = g.num_vertices();
+        // Instance 0 visits everything, instance 1 visits only vertex 0.
+        let mut depths = vec![0u8; n];
+        depths.extend(std::iter::repeat_n(DEPTH_UNVISITED, n));
+        depths[n] = 0;
+        let total = traversed_edges_for(&g, &depths, 2);
+        assert_eq!(total, g.num_edges() as u64 + g.out_degree(0) as u64);
+    }
+
+    #[test]
+    fn engine_kind_builds_every_engine() {
+        for kind in EngineKind::all() {
+            let e = kind.build();
+            assert!(!e.name().is_empty());
+        }
+    }
+}

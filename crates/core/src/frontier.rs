@@ -1,0 +1,204 @@
+//! Frontier queues: private (FQ) and joint (JFQ).
+//!
+//! The joint frontier queue (§4) stores each frontier *once* no matter how
+//! many instances share it, so it needs at most `|V|` slots versus `i × |V|`
+//! for private queues — and, more importantly for the Figure 18 result, each
+//! shared frontier costs one global store instead of one per instance.
+//! Alongside each joint frontier iBFS keeps the `__ballot()` mask of which
+//! instances share it.
+
+use ibfs_graph::VertexId;
+use ibfs_gpu_sim::Profiler;
+
+/// Private per-instance frontier queue.
+#[derive(Clone, Debug)]
+pub struct FrontierQueue {
+    items: Vec<VertexId>,
+    /// Simulated device base address.
+    pub base: u64,
+}
+
+impl FrontierQueue {
+    /// Allocates a queue with capacity for every vertex.
+    pub fn new(capacity: usize, prof: &mut Profiler) -> Self {
+        FrontierQueue {
+            items: Vec::with_capacity(capacity),
+            base: prof.alloc(capacity as u64 * 4),
+        }
+    }
+
+    /// Appends a frontier.
+    #[inline]
+    pub fn push(&mut self, v: VertexId) {
+        self.items.push(v);
+    }
+
+    /// The queued frontiers.
+    #[inline]
+    pub fn items(&self) -> &[VertexId] {
+        &self.items
+    }
+
+    /// Number of queued frontiers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty (traversal finished).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Device byte address of slot `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * 4
+    }
+
+    /// Clears for the next level (keeps capacity — the workhorse-collection
+    /// pattern).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// Joint frontier queue: unique frontiers plus, for each, the ballot mask of
+/// instances that consider it a frontier (bit `j` = instance `j`).
+#[derive(Clone, Debug)]
+pub struct JointFrontierQueue {
+    vertices: Vec<VertexId>,
+    masks: Vec<u128>,
+    /// Simulated device base address of the vertex slots.
+    pub base: u64,
+    /// Simulated device base address of the mask slots.
+    pub mask_base: u64,
+}
+
+impl JointFrontierQueue {
+    /// Allocates a JFQ with capacity for every vertex — "this queue requires
+    /// the maximum size of |V|".
+    pub fn new(capacity: usize, prof: &mut Profiler) -> Self {
+        JointFrontierQueue {
+            vertices: Vec::with_capacity(capacity),
+            masks: Vec::with_capacity(capacity),
+            base: prof.alloc(capacity as u64 * 4),
+            mask_base: prof.alloc(capacity as u64 * 16),
+        }
+    }
+
+    /// Appends a frontier shared by the instances in `mask`.
+    ///
+    /// # Panics
+    /// Panics if `mask` is zero — a vertex no instance wants is not a
+    /// frontier.
+    #[inline]
+    pub fn push(&mut self, v: VertexId, mask: u128) {
+        assert!(mask != 0, "joint frontier must be shared by some instance");
+        self.vertices.push(v);
+        self.masks.push(mask);
+    }
+
+    /// The queued frontier vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The per-frontier instance masks, parallel to [`Self::vertices`].
+    #[inline]
+    pub fn masks(&self) -> &[u128] {
+        &self.masks
+    }
+
+    /// Iterator over `(vertex, mask)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, u128)> + '_ {
+        self.vertices.iter().copied().zip(self.masks.iter().copied())
+    }
+
+    /// Number of unique frontiers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether no instance has any frontier left.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Sum over frontiers of how many instances share each — the numerator
+    /// of the per-level sharing degree.
+    pub fn total_instance_frontiers(&self) -> u64 {
+        self.masks.iter().map(|m| m.count_ones() as u64).sum()
+    }
+
+    /// Device byte address of vertex slot `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * 4
+    }
+
+    /// Clears for the next level (keeps capacity).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.vertices.clear();
+        self.masks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    fn prof() -> Profiler {
+        Profiler::new(DeviceConfig::k40())
+    }
+
+    #[test]
+    fn fq_push_and_clear_keeps_capacity() {
+        let mut p = prof();
+        let mut q = FrontierQueue::new(8, &mut p);
+        assert!(q.is_empty());
+        q.push(3);
+        q.push(5);
+        assert_eq!(q.items(), &[3, 5]);
+        assert_eq!(q.addr(1) - q.addr(0), 4);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn jfq_stores_vertex_once_with_mask() {
+        let mut p = prof();
+        let mut q = JointFrontierQueue::new(8, &mut p);
+        q.push(7, 0b1100); // shared by instances 2 and 3
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.vertices(), &[7]);
+        assert_eq!(q.masks(), &[0b1100]);
+        assert_eq!(q.total_instance_frontiers(), 2);
+        let pairs: Vec<_> = q.iter().collect();
+        assert_eq!(pairs, vec![(7, 0b1100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared by some instance")]
+    fn jfq_rejects_empty_mask() {
+        let mut p = prof();
+        let mut q = JointFrontierQueue::new(4, &mut p);
+        q.push(1, 0);
+    }
+
+    #[test]
+    fn jfq_total_counts_multiplicity() {
+        let mut p = prof();
+        let mut q = JointFrontierQueue::new(4, &mut p);
+        q.push(0, 0b1);
+        q.push(1, u128::MAX);
+        assert_eq!(q.total_instance_frontiers(), 1 + 128);
+    }
+}

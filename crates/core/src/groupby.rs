@@ -1,0 +1,377 @@
+//! GroupBy (§5): forming groups of BFS instances that maximize frontier
+//! sharing.
+//!
+//! The out-degree-based rules of §5.2:
+//!
+//! * **Rule 1** — the out-degrees of grouped source vertices are less than
+//!   `p` (selected ascending from 4, 16, 64, 128);
+//! * **Rule 2** — grouped sources connect to at least one common vertex with
+//!   out-degree greater than `q` (default 128).
+//!
+//! Small-degree sources hanging off a shared hub reach the hub's huge
+//! neighborhood at the same level with little non-shared fringe, so their
+//! frontiers overlap heavily (Figure 7). Groups are applied in order: full
+//! rule-1+2 groups per hub, merged leftovers across hubs, then random
+//! grouping for whatever remains. A uniform-degree fallback groups sources
+//! by any shared neighbor (the paper's RD-graph rule).
+
+use ibfs_graph::{degree, Csr, VertexId};
+
+/// When to use the common-neighbor rule for uniform-degree graphs
+/// ("For random graph that has a relatively uniform outdegree distribution,
+/// iBFS can adopt a slightly different rule").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UniformFallback {
+    /// Use the common-neighbor rule when no hubs exceed `q` *and* the
+    /// degree distribution is actually uniform (coefficient of variation
+    /// below ½). Power-law graphs with a too-large `q` fall through to
+    /// random grouping, as the paper describes.
+    #[default]
+    Auto,
+    /// Always use the common-neighbor rule when no hubs exceed `q`.
+    Always,
+    /// Never use it.
+    Never,
+}
+
+/// Tuning for the out-degree rules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupByConfig {
+    /// Rule 2 threshold: hubs have out-degree > `q`.
+    pub q: usize,
+    /// Rule 1 thresholds, tried in ascending order.
+    pub p_sequence: Vec<usize>,
+    /// Maximum group size `N` (the paper defaults to 128).
+    pub group_size: usize,
+    /// Seed for the random fallback.
+    pub seed: u64,
+    /// Common-neighbor rule policy for uniform graphs.
+    pub uniform_fallback: UniformFallback,
+}
+
+impl Default for GroupByConfig {
+    fn default() -> Self {
+        GroupByConfig {
+            q: 128,
+            p_sequence: vec![4, 16, 64, 128],
+            group_size: 128,
+            seed: 0x5EED,
+            uniform_fallback: UniformFallback::Auto,
+        }
+    }
+}
+
+impl GroupByConfig {
+    /// Same rules with a different hub threshold `q` (the Figure 8 sweep).
+    pub fn with_q(mut self, q: usize) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Same rules with a different group size `N`.
+    pub fn with_group_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.group_size = n;
+        self
+    }
+}
+
+/// How to partition sources into groups.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GroupingStrategy {
+    /// Deterministic pseudo-random grouping (the paper's baseline).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+        /// Group size `N`.
+        group_size: usize,
+    },
+    /// The out-degree GroupBy rules.
+    OutDegreeRules(GroupByConfig),
+}
+
+impl GroupingStrategy {
+    /// Random grouping with the paper's default N = 128.
+    pub fn random(seed: u64) -> Self {
+        GroupingStrategy::Random { seed, group_size: 128 }
+    }
+
+    /// GroupBy with default configuration.
+    pub fn group_by() -> Self {
+        GroupingStrategy::OutDegreeRules(GroupByConfig::default())
+    }
+
+    /// The group size this strategy produces.
+    pub fn group_size(&self) -> usize {
+        match self {
+            GroupingStrategy::Random { group_size, .. } => *group_size,
+            GroupingStrategy::OutDegreeRules(c) => c.group_size,
+        }
+    }
+
+    /// Partitions `sources` into groups.
+    pub fn group(&self, g: &Csr, sources: &[VertexId]) -> Grouping {
+        match self {
+            GroupingStrategy::Random { seed, group_size } => {
+                random_grouping(sources, *group_size, *seed)
+            }
+            GroupingStrategy::OutDegreeRules(cfg) => outdegree_grouping(g, sources, cfg),
+        }
+    }
+}
+
+/// A partition of the requested sources into traversal groups.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grouping {
+    /// The groups, each at most `N` sources. Rule-formed groups come first.
+    pub groups: Vec<Vec<VertexId>>,
+    /// How many of the leading groups were formed by the GroupBy rules
+    /// (the rest are the random remainder; 0 for random grouping).
+    pub rule_groups: usize,
+}
+
+impl Grouping {
+    /// Total sources across groups.
+    pub fn total_sources(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// Asserts the grouping is a partition of `sources` (every source
+    /// exactly once) with groups within `max_size`. Used by tests and
+    /// debug assertions.
+    pub fn validate(&self, sources: &[VertexId], max_size: usize) {
+        assert!(self.groups.iter().all(|g| !g.is_empty() && g.len() <= max_size));
+        let mut seen: Vec<VertexId> = self.groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut want = sources.to_vec();
+        want.sort_unstable();
+        assert_eq!(seen, want, "grouping must be a permutation of the sources");
+    }
+}
+
+/// Deterministic Fisher–Yates shuffle with an xorshift generator (no rand
+/// dependency in the hot library path).
+fn shuffle(items: &mut [VertexId], seed: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Random grouping: shuffle, then chunk into groups of `n`.
+pub fn random_grouping(sources: &[VertexId], n: usize, seed: u64) -> Grouping {
+    assert!(n > 0);
+    let mut order = sources.to_vec();
+    shuffle(&mut order, seed);
+    Grouping {
+        groups: order.chunks(n).map(|c| c.to_vec()).collect(),
+        rule_groups: 0,
+    }
+}
+
+/// The out-degree GroupBy rules.
+pub fn outdegree_grouping(g: &Csr, sources: &[VertexId], cfg: &GroupByConfig) -> Grouping {
+    assert!(cfg.group_size > 0);
+    let n = cfg.group_size;
+    let mut assigned = vec![false; g.num_vertices()];
+    let mut in_request = vec![false; g.num_vertices()];
+    for &s in sources {
+        in_request[s as usize] = true;
+    }
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+    let mut leftovers: Vec<VertexId> = Vec::new();
+
+    let hubs = degree::hubs(g, cfg.q);
+    // Rule 1 escalates p; each (p, hub) pass collects that hub's unassigned
+    // source neighbors with out-degree below p.
+    for &p in &cfg.p_sequence {
+        for &h in &hubs {
+            let mut bucket: Vec<VertexId> = Vec::new();
+            for &s in g.neighbors(h) {
+                if in_request[s as usize]
+                    && !assigned[s as usize]
+                    && g.out_degree(s) < p
+                    && g.has_edge(s, h)
+                {
+                    bucket.push(s);
+                    assigned[s as usize] = true;
+                }
+            }
+            // Full groups run directly; partial buckets are merged with
+            // other hubs' leftovers below.
+            let mut it = bucket.chunks_exact(n);
+            for chunk in it.by_ref() {
+                groups.push(chunk.to_vec());
+            }
+            leftovers.extend_from_slice(it.remainder());
+        }
+    }
+
+    // Uniform-degree fallback (the RD rule): sources sharing any common
+    // neighbor when there are no hubs at all.
+    let use_fallback = hubs.is_empty()
+        && match cfg.uniform_fallback {
+            UniformFallback::Always => true,
+            UniformFallback::Never => false,
+            UniformFallback::Auto => {
+                let stats = degree::DegreeStats::of(g);
+                stats.avg > 0.0 && stats.stddev / stats.avg < 0.5
+            }
+        };
+    if use_fallback {
+        for v in g.vertices() {
+            let mut bucket: Vec<VertexId> = Vec::new();
+            for &s in g.neighbors(v) {
+                if in_request[s as usize] && !assigned[s as usize] {
+                    bucket.push(s);
+                    assigned[s as usize] = true;
+                }
+            }
+            let mut it = bucket.chunks_exact(n);
+            for chunk in it.by_ref() {
+                groups.push(chunk.to_vec());
+            }
+            leftovers.extend_from_slice(it.remainder());
+        }
+    }
+
+    // Merge leftovers across hubs into full groups.
+    let mut it = leftovers.chunks_exact(n);
+    for chunk in it.by_ref() {
+        groups.push(chunk.to_vec());
+    }
+    let mut remaining: Vec<VertexId> = it.remainder().to_vec();
+
+    // Anything the rules never touched is grouped randomly (the paper:
+    // "when no BFS satisfies both rules, iBFS will group the remaining
+    // them in a random manner").
+    let mut untouched: Vec<VertexId> = sources
+        .iter()
+        .copied()
+        .filter(|&s| !assigned[s as usize])
+        .collect();
+    // `sources` may contain duplicates of an assigned vertex only if the
+    // caller passed duplicates; the partition contract assumes distinct
+    // sources.
+    remaining.append(&mut untouched);
+    let rule_groups = groups.len();
+    shuffle(&mut remaining, cfg.seed);
+    for chunk in remaining.chunks(n) {
+        groups.push(chunk.to_vec());
+    }
+
+    Grouping { groups, rule_groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharing::analytic_sharing_degree;
+    use ibfs_graph::generators::{chung_lu, powerlaw_weights, uniform_random};
+    use ibfs_graph::validate::reference_bfs;
+
+    fn powerlaw() -> Csr {
+        let w = powerlaw_weights(2048, 16.0, 2.1);
+        chung_lu(&w, 77)
+    }
+
+    #[test]
+    fn random_grouping_is_partition() {
+        let sources: Vec<VertexId> = (0..100).collect();
+        let grouping = random_grouping(&sources, 16, 42);
+        grouping.validate(&sources, 16);
+        assert_eq!(grouping.groups.len(), 7);
+        assert_eq!(grouping.total_sources(), 100);
+    }
+
+    #[test]
+    fn random_grouping_deterministic_in_seed() {
+        let sources: Vec<VertexId> = (0..64).collect();
+        assert_eq!(random_grouping(&sources, 8, 1), random_grouping(&sources, 8, 1));
+        assert_ne!(random_grouping(&sources, 8, 1), random_grouping(&sources, 8, 2));
+    }
+
+    #[test]
+    fn outdegree_grouping_is_partition() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let cfg = GroupByConfig { group_size: 32, q: 64, ..Default::default() };
+        let grouping = outdegree_grouping(&g, &sources, &cfg);
+        grouping.validate(&sources, 32);
+    }
+
+    #[test]
+    fn groupby_beats_random_on_sharing_degree() {
+        // The point of §5: rule-formed groups share more frontiers. Compare
+        // the analytic sharing degree of the first full group under each
+        // strategy.
+        let g = powerlaw();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let n = 32;
+        let by = outdegree_grouping(&g, &sources, &GroupByConfig {
+            group_size: n,
+            q: 64,
+            ..Default::default()
+        });
+        let rnd = random_grouping(&sources, n, 7);
+
+        let sd_of = |group: &[VertexId]| {
+            let arrays: Vec<_> = group.iter().map(|&s| reference_bfs(&g, s)).collect();
+            analytic_sharing_degree(&arrays)
+        };
+        // Average the first few full groups of each.
+        let avg = |grouping: &Grouping| {
+            let full: Vec<_> = grouping.groups.iter().filter(|gr| gr.len() == n).take(4).collect();
+            assert!(!full.is_empty());
+            full.iter().map(|gr| sd_of(gr)).sum::<f64>() / full.len() as f64
+        };
+        let sd_by = avg(&by);
+        let sd_rnd = avg(&rnd);
+        assert!(
+            sd_by > sd_rnd,
+            "GroupBy SD {sd_by:.2} should beat random SD {sd_rnd:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_fallback_groups_by_common_neighbor() {
+        let g = uniform_random(512, 4, 3);
+        let sources: Vec<VertexId> = g.vertices().collect();
+        // q larger than any degree: no hubs → fallback path.
+        let cfg = GroupByConfig { q: 10_000, group_size: 16, ..Default::default() };
+        let grouping = outdegree_grouping(&g, &sources, &cfg);
+        grouping.validate(&sources, 16);
+    }
+
+    #[test]
+    fn strategy_api_round_trip() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = (0..256).collect();
+        for strat in [
+            GroupingStrategy::random(9),
+            GroupingStrategy::group_by(),
+            GroupingStrategy::OutDegreeRules(GroupByConfig::default().with_q(64).with_group_size(64)),
+        ] {
+            let grouping = strat.group(&g, &sources);
+            grouping.validate(&sources, strat.group_size());
+        }
+    }
+
+    #[test]
+    fn subset_of_sources_only_groups_requested() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = (0..100).map(|i| i * 7 % 2048).collect();
+        let mut dedup = sources.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let grouping = GroupingStrategy::group_by().group(&g, &dedup);
+        grouping.validate(&dedup, 128);
+    }
+}

@@ -1,0 +1,455 @@
+//! Joint traversal (§4): one kernel, joint frontier queue, joint status
+//! array, shared-memory adjacency cache.
+//!
+//! All instances of a group traverse together. Each level:
+//!
+//! 1. **JFQ generation** (Figure 4): one warp scans each vertex's N
+//!    contiguous statuses; a `__any()` vote decides whether any instance
+//!    considers it a frontier (top-down: just visited; bottom-up:
+//!    unvisited), `__ballot()` records which, and one thread enqueues the
+//!    vertex once.
+//! 2. **Expansion** (Figure 5): the frontier's adjacency list is loaded from
+//!    global memory *once* into the CTA's shared-memory cache, feeding all
+//!    instances.
+//! 3. **Inspection**: N contiguous threads per neighbor touch the neighbor's
+//!    contiguous JSA block, so the statuses of all instances move in
+//!    coalesced transactions instead of N scattered ones. Instances that do
+//!    not share the frontier do not inspect.
+//!
+//! Directions are decided per instance with the shared α/β policy; a vertex
+//! can simultaneously be a top-down frontier for some instances and a
+//! bottom-up frontier for others (the paper's vertex 7 in Figure 5).
+
+use crate::direction::{Direction, DirectionPolicy};
+use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
+use crate::frontier::JointFrontierQueue;
+use crate::sequential::MAX_LEVELS;
+use crate::status::JointStatusArray;
+use ibfs_graph::{Depth, VertexId};
+use ibfs_gpu_sim::{CostModel, PhaseKind, Profiler, SimTimer};
+
+/// Maximum instances a joint group supports (the paper's default N).
+pub const MAX_GROUP: usize = 128;
+
+/// The joint-traversal engine.
+#[derive(Clone, Copy, Debug)]
+pub struct JointEngine {
+    /// Direction-switch policy applied per instance.
+    pub policy: DirectionPolicy,
+    /// Use the CTA shared-memory adjacency cache (§4's "new cache ... to
+    /// load the adjacent vertices of a frontier from GPU's global memory to
+    /// its shared memory to feed all BFS instances"). Disabling it reloads
+    /// a shared frontier's adjacency once per sharing instance — the
+    /// ablation of DESIGN.md §5.
+    pub shared_cache: bool,
+}
+
+impl Default for JointEngine {
+    fn default() -> Self {
+        JointEngine {
+            policy: DirectionPolicy::default(),
+            shared_cache: true,
+        }
+    }
+}
+
+impl JointEngine {
+    /// The cache-ablated variant.
+    pub fn without_shared_cache() -> Self {
+        JointEngine {
+            shared_cache: false,
+            ..Default::default()
+        }
+    }
+}
+
+struct InstanceState {
+    direction: Direction,
+    frontier_edges: u64,
+    frontier_count: u64,
+    visited_edges: u64,
+    done: bool,
+}
+
+impl Engine for JointEngine {
+    fn name(&self) -> &'static str {
+        "joint"
+    }
+
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+        let ni = sources.len();
+        assert!(ni <= MAX_GROUP, "joint group limited to {MAX_GROUP} instances");
+        let csr = g.csr;
+        let rev = g.reverse;
+        let n = csr.num_vertices();
+        let total_edges = csr.num_edges() as u64;
+        let before = prof.snapshot();
+        let model = CostModel::new(prof.config);
+
+        let mut jsa = JointStatusArray::new(n, ni.max(1), prof);
+        let mut jfq = JointFrontierQueue::new(n, prof);
+        let mut timer = SimTimer::start(model, prof);
+
+        // Level 0: sources.
+        for (j, &s) in sources.iter().enumerate() {
+            jsa.set(s, j, 0);
+            prof.lane_store(jsa.addr(s, j), 1);
+        }
+        timer.phase(prof, PhaseKind::Other);
+
+        let mut inst: Vec<InstanceState> = sources
+            .iter()
+            .map(|&s| InstanceState {
+                direction: Direction::TopDown,
+                frontier_edges: csr.out_degree(s) as u64,
+                frontier_count: 1,
+                visited_edges: csr.out_degree(s) as u64,
+                done: false,
+            })
+            .collect();
+
+        let mut levels = Vec::new();
+        let mut td_masks: Vec<u128> = Vec::with_capacity(n);
+        let mut newly_marked_count = vec![0u64; ni];
+        let mut newly_marked_edges = vec![0u64; ni];
+
+        for level in 1..=MAX_LEVELS {
+            if inst.iter().all(|i| i.done) || ni == 0 {
+                break;
+            }
+            let depth = level as Depth;
+            let prev = depth - 1;
+            timer.kernel_launch();
+
+            // Per-instance direction decisions.
+            for st in inst.iter_mut().filter(|i| !i.done) {
+                st.direction = self.policy.next(
+                    st.direction,
+                    st.frontier_edges,
+                    st.frontier_count,
+                    total_edges - st.visited_edges,
+                    n as u64,
+                );
+            }
+
+            // --- JFQ generation: one warp scans each vertex's statuses. ---
+            jfq.clear();
+            td_masks.clear();
+            prof.load_contiguous(jsa.base, 0, (n * ni) as u64, 1);
+            prof.lanes((n * ni) as u64);
+            for v in 0..n as VertexId {
+                let statuses = jsa.statuses(v);
+                let mut td = 0u128;
+                let mut bu = 0u128;
+                for (j, st) in inst.iter().enumerate() {
+                    if st.done {
+                        continue;
+                    }
+                    match st.direction {
+                        Direction::TopDown => {
+                            if statuses[j] == prev {
+                                td |= 1 << j;
+                            }
+                        }
+                        Direction::BottomUp => {
+                            if statuses[j] == ibfs_graph::DEPTH_UNVISITED {
+                                bu |= 1 << j;
+                            }
+                        }
+                    }
+                }
+                if td | bu != 0 {
+                    // `__any()` vote found a frontier; one thread enqueues.
+                    jfq.push(v, td | bu);
+                    td_masks.push(td);
+                }
+            }
+            prof.store_contiguous(jfq.base, 0, jfq.len() as u64, 4);
+            prof.store_contiguous(jfq.mask_base, 0, jfq.len() as u64, 16);
+            timer.phase(prof, PhaseKind::FrontierGeneration);
+
+            // --- Expansion + inspection. ---
+            prof.load_contiguous(jfq.base, 0, jfq.len() as u64, 4);
+            newly_marked_count.iter_mut().for_each(|c| *c = 0);
+            newly_marked_edges.iter_mut().for_each(|c| *c = 0);
+            let mut edges_inspected = 0u64;
+            let mut early_terms = 0u64;
+
+            for (idx, (v, mask)) in jfq.iter().enumerate() {
+                let td = td_masks[idx];
+                let bu = mask & !td;
+
+                if td != 0 {
+                    // Top-down: expand v's out-neighbors once for all
+                    // sharing instances via the shared-memory cache (or,
+                    // ablated, once per sharing instance from global).
+                    let neighbors = csr.neighbors(v);
+                    let sharers = td.count_ones() as u64;
+                    if self.shared_cache {
+                        prof.load_contiguous(
+                            g.adj_base,
+                            csr.adj_start(v),
+                            neighbors.len() as u64,
+                            4,
+                        );
+                        prof.shared_store(neighbors.len() as u64);
+                        prof.shared_load(neighbors.len() as u64 * sharers);
+                    } else {
+                        for _ in 0..sharers {
+                            prof.load_contiguous(
+                                g.adj_base,
+                                csr.adj_start(v),
+                                neighbors.len() as u64,
+                                4,
+                            );
+                        }
+                    }
+                    edges_inspected += neighbors.len() as u64 * sharers;
+                    prof.lanes(neighbors.len() as u64 * sharers);
+                    for &w in neighbors {
+                        // N contiguous threads inspect w's contiguous JSA
+                        // block: coalesced load + (if updated) store.
+                        prof.load_block(jsa.addr(w, 0), ni as u32);
+                        let mut wrote = 0u64;
+                        let mut m = td;
+                        while m != 0 {
+                            let j = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            if !jsa.visited(w, j) {
+                                jsa.set(w, j, depth);
+                                newly_marked_count[j] += 1;
+                                newly_marked_edges[j] += csr.out_degree(w) as u64;
+                                wrote += 1;
+                            }
+                        }
+                        if wrote > 0 {
+                            prof.store_block(jsa.addr(w, 0), ni as u32);
+                        }
+                    }
+                }
+
+                if bu != 0 {
+                    // Bottom-up: v is unvisited for the instances in `bu`;
+                    // scan its in-neighbors until each finds a parent.
+                    let parents = rev.neighbors(v);
+                    let mut searching = bu;
+                    let mut scanned = 0u64;
+                    for &p in parents {
+                        if searching == 0 {
+                            break;
+                        }
+                        scanned += 1;
+                        prof.load_block(jsa.addr(p, 0), ni as u32);
+                        prof.lanes(searching.count_ones() as u64);
+                        edges_inspected += searching.count_ones() as u64;
+                        let mut m = searching;
+                        while m != 0 {
+                            let j = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let d = jsa.depth(p, j);
+                            if d < depth {
+                                // Found a parent: early termination for j.
+                                jsa.set(v, j, depth);
+                                newly_marked_count[j] += 1;
+                                newly_marked_edges[j] += csr.out_degree(v) as u64;
+                                searching &= !(1 << j);
+                            }
+                        }
+                    }
+                    // Adjacency was streamed once through the cache for the
+                    // whole sub-warp, up to the last scan position (or per
+                    // instance when the cache is ablated).
+                    let streams = if self.shared_cache { 1 } else { bu.count_ones() as u64 };
+                    for _ in 0..streams {
+                        prof.load_contiguous(g.radj_base, rev.adj_start(v), scanned, 4);
+                    }
+                    if self.shared_cache {
+                        prof.shared_store(scanned);
+                    }
+                    if scanned < parents.len() as u64 {
+                        early_terms += (bu & !searching).count_ones() as u64;
+                    }
+                    let found = (bu & !searching).count_ones() as u64;
+                    if found > 0 {
+                        prof.store_block(jsa.addr(v, 0), ni as u32);
+                    }
+                }
+            }
+            timer.phase(prof, PhaseKind::Inspection);
+
+            levels.push(LevelStats {
+                level,
+                direction: if inst
+                    .iter()
+                    .any(|i| !i.done && i.direction == Direction::BottomUp)
+                {
+                    Direction::BottomUp
+                } else {
+                    Direction::TopDown
+                },
+                unique_frontiers: jfq.len() as u64,
+                instance_frontiers: jfq.total_instance_frontiers(),
+                edges_inspected,
+                early_terminations: early_terms,
+            });
+
+            // Per-instance progress bookkeeping.
+            for (j, st) in inst.iter_mut().enumerate() {
+                if st.done {
+                    continue;
+                }
+                if newly_marked_count[j] == 0 {
+                    st.done = true;
+                } else {
+                    st.frontier_count = newly_marked_count[j];
+                    st.frontier_edges = newly_marked_edges[j];
+                    st.visited_edges += newly_marked_edges[j];
+                }
+            }
+        }
+
+        let counters = prof.snapshot().delta(&before);
+        let mut depths = Vec::with_capacity(ni * n);
+        for j in 0..ni {
+            depths.extend(jsa.instance_depths(j));
+        }
+        let traversed = traversed_edges_for(csr, &depths, ni);
+        GroupRun {
+            engine: self.name(),
+            num_instances: ni,
+            num_vertices: n,
+            depths,
+            levels,
+            counters,
+            sim_seconds: timer.seconds(),
+            traversed_edges: traversed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialEngine;
+    use ibfs_graph::generators::{rmat, RmatParams};
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::{check_depths, reference_bfs};
+    use ibfs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn matches_reference_on_figure1() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = JointEngine::default().run_group(&gg, &FIGURE1_SOURCES, &mut prof);
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(
+                run.instance_depths(j),
+                &reference_bfs(&g, s)[..],
+                "instance {j} from source {s}"
+            );
+            check_depths(&g, &r, s, run.instance_depths(j)).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let g = rmat(9, 8, RmatParams::graph500(), 11);
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let sources: Vec<VertexId> = (0..32).collect();
+        let run = JointEngine::default().run_group(&gg, &sources, &mut prof);
+        for (j, &s) in sources.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn sharing_degree_at_least_one() {
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let sources: Vec<VertexId> = (0..16).collect();
+        let run = JointEngine::default().run_group(&gg, &sources, &mut prof);
+        assert!(run.sharing_degree() >= 1.0);
+        assert!(run.sharing_ratio() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fewer_adjacency_loads_than_naive() {
+        // The core §4 claim: joint expansion loads shared frontiers'
+        // adjacency once, so total load transactions drop vs private
+        // traversal.
+        let g = rmat(9, 16, RmatParams::graph500(), 7);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..64).collect();
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let g1 = GpuGraph::new(&g, &r, &mut p1);
+        let seq = SequentialEngine::default().run_group(&g1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let g2 = GpuGraph::new(&g, &r, &mut p2);
+        let joint = JointEngine::default().run_group(&g2, &sources, &mut p2);
+
+        assert_eq!(seq.depths, joint.depths);
+        assert!(
+            joint.counters.global_load_transactions < seq.counters.global_load_transactions,
+            "joint {} vs sequential {}",
+            joint.counters.global_load_transactions,
+            seq.counters.global_load_transactions
+        );
+        assert!(joint.sim_seconds < seq.sim_seconds);
+    }
+
+    #[test]
+    fn shared_cache_reduces_adjacency_loads() {
+        // DESIGN.md §5 ablation: without the CTA cache, a shared frontier's
+        // adjacency is reloaded per sharing instance.
+        let g = rmat(9, 16, RmatParams::graph500(), 7);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..64).collect();
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let g1 = GpuGraph::new(&g, &r, &mut p1);
+        let cached = JointEngine::default().run_group(&g1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let g2 = GpuGraph::new(&g, &r, &mut p2);
+        let ablated = JointEngine::without_shared_cache().run_group(&g2, &sources, &mut p2);
+
+        assert_eq!(cached.depths, ablated.depths);
+        assert!(
+            cached.counters.global_load_transactions
+                < ablated.counters.global_load_transactions,
+            "cache must cut global loads: {} vs {}",
+            cached.counters.global_load_transactions,
+            ablated.counters.global_load_transactions
+        );
+        assert!(cached.sim_seconds < ablated.sim_seconds);
+    }
+
+    #[test]
+    fn single_instance_group_works() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = JointEngine::default().run_group(&gg, &[6], &mut prof);
+        assert_eq!(run.instance_depths(0), &reference_bfs(&g, 6)[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint group limited")]
+    fn rejects_oversized_groups() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let sources: Vec<VertexId> = (0..129).map(|i| i % 9).collect();
+        JointEngine::default().run_group(&gg, &sources, &mut prof);
+    }
+}

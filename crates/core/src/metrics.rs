@@ -1,0 +1,169 @@
+//! Metrics: TEPS, workload-balance statistics, and run summaries.
+
+use crate::direction::Direction;
+use crate::engine::GroupRun;
+use ibfs_graph::{Csr, Depth, DEPTH_UNVISITED};
+use serde::{Deserialize, Serialize};
+
+/// Traversed-edges-per-second from raw quantities.
+pub fn teps(traversed_edges: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        traversed_edges as f64 / seconds
+    }
+}
+
+/// Formats a TEPS value the way the paper quotes them ("640 billion TEPS").
+pub fn format_teps(teps: f64) -> String {
+    if teps >= 1e12 {
+        format!("{:.1} trillion TEPS", teps / 1e12)
+    } else if teps >= 1e9 {
+        format!("{:.1} billion TEPS", teps / 1e9)
+    } else if teps >= 1e6 {
+        format!("{:.1} million TEPS", teps / 1e6)
+    } else {
+        format!("{teps:.0} TEPS")
+    }
+}
+
+/// Population mean and standard deviation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Computes mean and stddev of a sample.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    if values.is_empty() {
+        return MeanStd::default();
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    MeanStd {
+        mean,
+        stddev: var.max(0.0).sqrt(),
+    }
+}
+
+/// Number of bottom-up inspections instance with depth array `depths` would
+/// perform, given the set of levels the group ran bottom-up. This is the
+/// per-instance workload of Figure 11: an unvisited vertex scans parents
+/// until it finds one at the previous depth (early termination), a vertex
+/// that stays unvisited scans its whole parent list.
+pub fn bottom_up_inspections(rev: &Csr, depths: &[Depth], bottom_up_levels: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for v in rev.vertices() {
+        let d = depths[v as usize];
+        for &k in bottom_up_levels {
+            let k = k as Depth;
+            if d == k {
+                // Scan until the first parent at depth k-1.
+                let mut scanned = 0u64;
+                for &p in rev.neighbors(v) {
+                    scanned += 1;
+                    if depths[p as usize] == k - 1 {
+                        break;
+                    }
+                }
+                total += scanned;
+            } else if d > k {
+                // Unvisited at this level (including never visited): full
+                // scan finds no parent.
+                total += rev.out_degree(v) as u64;
+            }
+        }
+    }
+    total
+}
+
+/// Per-instance bottom-up inspection counts for a group run, and their
+/// spread — the Figure 11 statistic. Uses the run's recorded bottom-up
+/// levels.
+pub fn bottom_up_balance(rev: &Csr, run: &GroupRun) -> MeanStd {
+    let bu_levels: Vec<u32> = run
+        .levels
+        .iter()
+        .filter(|l| l.direction == Direction::BottomUp)
+        .map(|l| l.level)
+        .collect();
+    let counts: Vec<f64> = (0..run.num_instances)
+        .map(|j| bottom_up_inspections(rev, run.instance_depths(j), &bu_levels) as f64)
+        .collect();
+    mean_std(&counts)
+}
+
+/// Fraction of vertices each instance reached (sanity metric for APSP runs
+/// on graphs with small disconnected fringes).
+pub fn reach_fraction(run: &GroupRun) -> f64 {
+    if run.num_instances == 0 || run.num_vertices == 0 {
+        return 0.0;
+    }
+    let reached = run
+        .depths
+        .iter()
+        .filter(|&&d| d != DEPTH_UNVISITED)
+        .count();
+    reached as f64 / (run.num_instances * run.num_vertices) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::figure1;
+    use ibfs_graph::validate::reference_bfs;
+
+    #[test]
+    fn teps_and_formatting() {
+        assert_eq!(teps(100, 2.0), 50.0);
+        assert_eq!(teps(100, 0.0), 0.0);
+        assert_eq!(format_teps(5.0e9), "5.0 billion TEPS");
+        assert_eq!(format_teps(1.5e12), "1.5 trillion TEPS");
+        assert_eq!(format_teps(2.0e6), "2.0 million TEPS");
+        assert_eq!(format_teps(10.0), "10 TEPS");
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let s = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), MeanStd::default());
+    }
+
+    #[test]
+    fn bottom_up_inspections_counts_early_termination() {
+        let g = figure1();
+        let d = reference_bfs(&g, 0);
+        // Level 3 bottom-up: vertices 6, 7, 8 have depth 3 in BFS-0
+        // (the paper's Figure 1(c) bottom-up level). Each scans its parent
+        // list until a depth-2 parent.
+        let total = bottom_up_inspections(&g, &d, &[3]);
+        // Vertex 6: parents sorted [3, 7]; 3 has depth 2 → 1 inspection
+        // (the paper's early-termination example for vertex 6!).
+        // Vertex 7: [5, 6, 8]; 5 has depth 2 → 1. Vertex 8: [5, 7]; 5 → 1.
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn unvisited_vertices_scan_fully() {
+        let mut b = ibfs_graph::CsrBuilder::new(4);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(2, 3);
+        let g = b.build();
+        let d = reference_bfs(&g, 0);
+        // Level 1 bottom-up: 1 has depth 1 (parent 0 found, 1 inspection);
+        // 2 and 3 are unreachable, each scans its single parent.
+        assert_eq!(bottom_up_inspections(&g, &d, &[1]), 3);
+    }
+
+    #[test]
+    fn no_bottom_up_levels_means_zero() {
+        let g = figure1();
+        let d = reference_bfs(&g, 0);
+        assert_eq!(bottom_up_inspections(&g, &d, &[]), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Orchestration of full iBFS runs: group the requested sources, run each
+//! group through the chosen engine on one simulated device, aggregate.
+//!
+//! This is the top of the paper's stack: `i` sources (SSSP when `i = 1`,
+//! MSSP for `1 < i < |V|`, APSP when `i = |V|`), partitioned into groups of
+//! at most `N` by a [`GroupingStrategy`], each group traversed jointly, the
+//! groups executed back to back on the device.
+
+use crate::engine::{EngineKind, GpuGraph, GroupRun};
+use crate::groupby::GroupingStrategy;
+use ibfs_graph::{Csr, VertexId};
+use ibfs_gpu_sim::{Counters, DeviceConfig, Profiler};
+
+/// Configuration of a full run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Which engine executes each group.
+    pub engine: EngineKind,
+    /// How sources are grouped.
+    pub grouping: GroupingStrategy,
+    /// Simulated device.
+    pub device: DeviceConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            engine: EngineKind::Bitwise,
+            grouping: GroupingStrategy::group_by(),
+            device: DeviceConfig::k40(),
+        }
+    }
+}
+
+/// Aggregated result of a full iBFS run.
+#[derive(Debug)]
+pub struct IbfsRun {
+    /// Per-group results, in execution order.
+    pub groups: Vec<GroupRun>,
+    /// Total simulated seconds (groups run back to back on one device).
+    pub sim_seconds: f64,
+    /// Total traversed edges across instances.
+    pub traversed_edges: u64,
+    /// Total device counters for the whole run.
+    pub counters: Counters,
+}
+
+impl IbfsRun {
+    /// Aggregate traversal rate.
+    pub fn teps(&self) -> f64 {
+        crate::metrics::teps(self.traversed_edges, self.sim_seconds)
+    }
+
+    /// Number of instances run.
+    pub fn num_instances(&self) -> usize {
+        self.groups.iter().map(|g| g.num_instances).sum()
+    }
+
+    /// Overall sharing degree across groups (weighted by joint-queue size).
+    pub fn sharing_degree(&self) -> f64 {
+        let unique: u64 = self
+            .groups
+            .iter()
+            .flat_map(|g| g.levels.iter())
+            .map(|l| l.unique_frontiers)
+            .sum();
+        let total: u64 = self
+            .groups
+            .iter()
+            .flat_map(|g| g.levels.iter())
+            .map(|l| l.instance_frontiers)
+            .sum();
+        if unique == 0 {
+            0.0
+        } else {
+            total as f64 / unique as f64
+        }
+    }
+}
+
+/// The §3 device-memory bound on group size for this graph and engine:
+/// `N <= (M - S - |JFQ|) / |SA|`, with `S` the CSR bytes (both directions),
+/// `|JFQ|` a full-|V| joint queue with ballot masks, and `|SA|` one byte per
+/// vertex per instance (the JSA; the bitwise engine needs 8x less, so this
+/// is the conservative bound).
+pub fn device_group_bound(graph: &Csr, device: &DeviceConfig, cap: u32) -> u32 {
+    let graph_bytes = graph.storage_bytes() * 2;
+    let jfq_bytes = graph.num_vertices() as u64 * (4 + 16);
+    let sa_bytes = graph.num_vertices() as u64;
+    device.max_group_size(graph_bytes, jfq_bytes, sa_bytes, cap)
+}
+
+/// Runs iBFS from every source in `sources` on `graph`.
+///
+/// `reverse` must be `graph.reverse()` (pass the same graph when symmetric —
+/// the suite graphs are). The grouping's group size is clamped to the §3
+/// device-memory bound.
+pub fn run_ibfs(graph: &Csr, reverse: &Csr, sources: &[VertexId], config: &RunConfig) -> IbfsRun {
+    let bound = device_group_bound(graph, &config.device, 1 << 20);
+    assert!(
+        bound as usize >= 1,
+        "graph does not fit device memory alongside one status array"
+    );
+    let mut grouping_strategy = config.grouping.clone();
+    if grouping_strategy.group_size() > bound as usize {
+        grouping_strategy = match grouping_strategy {
+            crate::groupby::GroupingStrategy::Random { seed, .. } => {
+                crate::groupby::GroupingStrategy::Random { seed, group_size: bound as usize }
+            }
+            crate::groupby::GroupingStrategy::OutDegreeRules(cfg) => {
+                crate::groupby::GroupingStrategy::OutDegreeRules(
+                    cfg.with_group_size(bound as usize),
+                )
+            }
+        };
+    }
+    let grouping = grouping_strategy.group(graph, sources);
+    let engine = config.engine.build();
+    let mut prof = Profiler::new(config.device);
+    let g = GpuGraph::new(graph, reverse, &mut prof);
+    let mut groups = Vec::with_capacity(grouping.groups.len());
+    let mut sim_seconds = 0.0;
+    let mut traversed = 0u64;
+    let before = prof.snapshot();
+    for group in &grouping.groups {
+        let run = engine.run_group(&g, group, &mut prof);
+        sim_seconds += run.sim_seconds;
+        traversed += run.traversed_edges;
+        groups.push(run);
+    }
+    let counters = prof.snapshot().delta(&before);
+    IbfsRun {
+        groups,
+        sim_seconds,
+        traversed_edges: traversed,
+        counters,
+    }
+}
+
+/// Convenience: all-pairs shortest path — BFS from every vertex (optionally
+/// capped at `max_sources` for laptop-scale reproduction runs, keeping the
+/// per-group behaviour identical).
+pub fn run_apsp(graph: &Csr, reverse: &Csr, max_sources: usize, config: &RunConfig) -> IbfsRun {
+    let n = graph.num_vertices().min(max_sources);
+    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    run_ibfs(graph, reverse, &sources, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::generators::{rmat, RmatParams};
+    use ibfs_graph::validate::reference_bfs;
+
+    fn small_graph() -> Csr {
+        rmat(8, 8, RmatParams::graph500(), 31)
+    }
+
+    #[test]
+    fn full_run_produces_correct_depths_for_every_engine() {
+        let g = small_graph();
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..48).collect();
+        for engine in EngineKind::all() {
+            let config = RunConfig {
+                engine,
+                grouping: GroupingStrategy::Random { seed: 3, group_size: 16 },
+                ..Default::default()
+            };
+            let run = run_ibfs(&g, &r, &sources, &config);
+            assert_eq!(run.num_instances(), 48);
+            // Reassemble (group, instance) → source and validate depths.
+            let grouping = config.grouping.group(&g, &sources);
+            for (gi, group) in grouping.groups.iter().enumerate() {
+                for (j, &s) in group.iter().enumerate() {
+                    assert_eq!(
+                        run.groups[gi].instance_depths(j),
+                        &reference_bfs(&g, s)[..],
+                        "engine {engine:?} group {gi} source {s}"
+                    );
+                }
+            }
+            assert!(run.sim_seconds > 0.0);
+            assert!(run.teps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn groupby_run_beats_random_run() {
+        // Figure 15's final bar: GroupBy ≈ 2× over random grouping for the
+        // bitwise engine.
+        let g = small_graph();
+        let r = g.reverse();
+        let sources: Vec<VertexId> = g.vertices().collect();
+
+        let random = run_ibfs(&g, &r, &sources, &RunConfig {
+            engine: EngineKind::Bitwise,
+            grouping: GroupingStrategy::Random { seed: 5, group_size: 64 },
+            ..Default::default()
+        });
+        let grouped = run_ibfs(&g, &r, &sources, &RunConfig {
+            engine: EngineKind::Bitwise,
+            grouping: GroupingStrategy::OutDegreeRules(
+                crate::groupby::GroupByConfig::default().with_group_size(64).with_q(32),
+            ),
+            ..Default::default()
+        });
+        assert!(grouped.sharing_degree() > random.sharing_degree());
+        assert!(
+            grouped.sim_seconds < random.sim_seconds,
+            "groupby {} vs random {}",
+            grouped.sim_seconds,
+            random.sim_seconds
+        );
+    }
+
+    #[test]
+    fn group_size_clamped_by_device_memory() {
+        // A device with barely more memory than the graph forces smaller
+        // groups (the paper's §3 bound).
+        let g = small_graph();
+        let r = g.reverse();
+        let mut device = ibfs_gpu_sim::DeviceConfig::k40();
+        // Room for the graph plus ~8 status arrays only.
+        device.global_mem_bytes =
+            g.storage_bytes() * 2 + g.num_vertices() as u64 * 20 + g.num_vertices() as u64 * 10;
+        let bound = device_group_bound(&g, &device, 128);
+        assert!((1..=16).contains(&bound), "bound {bound}");
+        let sources: Vec<VertexId> = (0..64).collect();
+        let run = run_ibfs(&g, &r, &sources, &RunConfig {
+            engine: EngineKind::Bitwise,
+            grouping: GroupingStrategy::Random { seed: 1, group_size: 128 },
+            device,
+        });
+        assert!(run
+            .groups
+            .iter()
+            .all(|gr| gr.num_instances <= bound as usize));
+        assert_eq!(run.num_instances(), 64);
+    }
+
+    #[test]
+    fn apsp_caps_sources() {
+        let g = small_graph();
+        let r = g.reverse();
+        let run = run_apsp(&g, &r, 10, &RunConfig::default());
+        assert_eq!(run.num_instances(), 10);
+    }
+}

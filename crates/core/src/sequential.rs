@@ -1,0 +1,428 @@
+//! Sequential baseline: per-instance direction-optimizing BFS.
+//!
+//! This is the paper's "sequential" comparison point — a state-of-the-art
+//! single-source GPU BFS (Enterprise-style status-array traversal with
+//! Beamer direction switching and bottom-up early termination) run once per
+//! source, back to back. It is also the stand-in for B40C in the Figure 22
+//! comparison: the paper notes B40C "has similar performance as the
+//! sequential or naive implementation".
+
+use crate::direction::{Direction, DirectionPolicy};
+use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
+use crate::status::StatusArray;
+use ibfs_graph::{Depth, VertexId};
+use ibfs_gpu_sim::hyperq::KernelDemand;
+use ibfs_gpu_sim::{CostModel, Counters, Profiler};
+
+/// Maximum BFS depth the engines support (u8 with a sentinel).
+pub const MAX_LEVELS: u32 = 254;
+
+/// Accumulates per-phase roofline costs and total compute/memory demand.
+///
+/// `solo_cycles` prices each phase as `max(compute, memory) + launch`,
+/// which is the kernel-per-level execution every engine uses when it owns
+/// the whole device. `demand` keeps the unrooflined totals so Hyper-Q can
+/// model instances *sharing* the device (the naive engine).
+pub(crate) struct PhaseAccum {
+    model: CostModel,
+    last: Counters,
+    /// Cycles if this instance runs alone.
+    pub solo_cycles: f64,
+    /// Aggregate compute/memory demand (no launch overhead, no roofline).
+    pub demand: KernelDemand,
+    /// Kernel phases executed.
+    pub phases: u64,
+    /// Kernel launches performed (one per level).
+    pub launches: u64,
+}
+
+impl PhaseAccum {
+    pub(crate) fn start(model: CostModel, prof: &Profiler) -> Self {
+        PhaseAccum {
+            model,
+            last: prof.snapshot(),
+            solo_cycles: 0.0,
+            demand: KernelDemand::default(),
+            phases: 0,
+            launches: 0,
+        }
+    }
+
+    pub(crate) fn phase(&mut self, prof: &Profiler) {
+        let now = prof.snapshot();
+        let d = now.delta(&self.last);
+        self.last = now;
+        let compute = self.model.compute_cycles(&d);
+        let memory = self.model.memory_cycles(&d);
+        self.demand.compute_cycles += compute;
+        self.demand.memory_cycles += memory;
+        self.solo_cycles += compute.max(memory);
+        self.phases += 1;
+    }
+
+    /// Charges one kernel launch (one per BFS level).
+    pub(crate) fn launch(&mut self) {
+        self.solo_cycles += self.model.launch_overhead_cycles;
+        self.launches += 1;
+    }
+}
+
+/// Output of one single-source traversal.
+pub(crate) struct SingleRun {
+    pub depths: Vec<Depth>,
+    pub levels: Vec<LevelStats>,
+    pub demand: KernelDemand,
+    pub solo_cycles: f64,
+    pub launches: u64,
+}
+
+/// Runs one direction-optimizing BFS from `source`, charging the profiler
+/// for every access per the conventions in [`crate::engine`].
+pub(crate) fn run_single(
+    g: &GpuGraph<'_>,
+    source: VertexId,
+    policy: DirectionPolicy,
+    prof: &mut Profiler,
+) -> SingleRun {
+    run_single_capped(g, source, policy, 0, prof)
+}
+
+/// [`run_single`] with a level cap (0 = unlimited).
+pub(crate) fn run_single_capped(
+    g: &GpuGraph<'_>,
+    source: VertexId,
+    policy: DirectionPolicy,
+    max_levels: u32,
+    prof: &mut Profiler,
+) -> SingleRun {
+    let csr = g.csr;
+    let rev = g.reverse;
+    let n = csr.num_vertices();
+    let total_edges = csr.num_edges() as u64;
+
+    let mut sa = StatusArray::new(n, prof);
+    let fq_base = prof.alloc(n as u64 * 4);
+    let model = CostModel::new(prof.config);
+    let mut acc = PhaseAccum::start(model, prof);
+
+    // Level 0: the source.
+    acc.launch();
+    sa.set(source, 0);
+    prof.lane_store(sa.addr(source), 1);
+    acc.phase(prof);
+
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut frontier_edges = csr.out_degree(source) as u64;
+    let mut visited_edges = frontier_edges;
+    let mut dir = Direction::TopDown;
+    let mut levels = Vec::new();
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut newly_marked: Vec<VertexId> = Vec::new();
+    let level_cap = if max_levels == 0 { MAX_LEVELS } else { max_levels.min(MAX_LEVELS) };
+
+    for level in 1..=level_cap {
+        if frontier.is_empty() {
+            break;
+        }
+        let depth = level as Depth;
+        acc.launch();
+        dir = policy.next(
+            dir,
+            frontier_edges,
+            frontier.len() as u64,
+            total_edges - visited_edges,
+            n as u64,
+        );
+
+        // --- Frontier-queue generation: scan the status array. ---
+        queue.clear();
+        prof.load_contiguous(sa.base, 0, n as u64, 1);
+        prof.lanes(n as u64);
+        match dir {
+            Direction::TopDown => {
+                // Enqueue the vertices discovered at the previous level.
+                queue.extend_from_slice(&frontier);
+            }
+            Direction::BottomUp => {
+                // Bottom-up treats unvisited vertices as frontiers.
+                queue.extend((0..n as VertexId).filter(|&v| !sa.visited(v)));
+            }
+        }
+        prof.store_contiguous(fq_base, 0, queue.len() as u64, 4);
+        acc.phase(prof);
+
+        // --- Expansion + inspection. ---
+        prof.load_contiguous(fq_base, 0, queue.len() as u64, 4);
+        newly_marked.clear();
+        let mut edges_inspected = 0u64;
+        let mut early_terms = 0u64;
+        match dir {
+            Direction::TopDown => {
+                for &f in &queue {
+                    let neighbors = csr.neighbors(f);
+                    prof.load_contiguous(
+                        g.adj_base,
+                        csr.adj_start(f),
+                        neighbors.len() as u64,
+                        4,
+                    );
+                    prof.lanes(neighbors.len() as u64);
+                    edges_inspected += neighbors.len() as u64;
+                    for chunk in neighbors.chunks(32) {
+                        prof.warp_gather(chunk.iter().map(|&w| sa.addr(w)), 1);
+                        let mut marked_addrs: Vec<u64> = Vec::new();
+                        for &w in chunk {
+                            if !sa.visited(w) {
+                                sa.set(w, depth);
+                                newly_marked.push(w);
+                                marked_addrs.push(sa.addr(w));
+                            }
+                        }
+                        if !marked_addrs.is_empty() {
+                            prof.warp_scatter(marked_addrs.iter().copied(), 1);
+                        }
+                    }
+                }
+            }
+            Direction::BottomUp => {
+                for chunk in queue.chunks(32) {
+                    let mut marked_addrs: Vec<u64> = Vec::new();
+                    for &f in chunk {
+                        let parents = rev.neighbors(f);
+                        let mut inspected = 0u64;
+                        let mut found = false;
+                        for &p in parents {
+                            inspected += 1;
+                            if sa.visited(p) && sa.depth(p) < depth {
+                                found = true;
+                                break;
+                            }
+                        }
+                        prof.load_contiguous(g.radj_base, rev.adj_start(f), inspected, 4);
+                        // Each status check loads the parent's status byte;
+                        // scans longer than a warp issue multiple requests.
+                        for pch in parents[..inspected as usize].chunks(32) {
+                            prof.warp_gather(pch.iter().map(|&p| sa.addr(p)), 1);
+                        }
+                        prof.lanes(inspected);
+                        edges_inspected += inspected;
+                        if found {
+                            if inspected < parents.len() as u64 {
+                                early_terms += 1;
+                            }
+                            sa.set(f, depth);
+                            newly_marked.push(f);
+                            marked_addrs.push(sa.addr(f));
+                        }
+                    }
+                    if !marked_addrs.is_empty() {
+                        prof.warp_scatter(marked_addrs.iter().copied(), 1);
+                    }
+                }
+            }
+        }
+        acc.phase(prof);
+
+        levels.push(LevelStats {
+            level,
+            direction: dir,
+            unique_frontiers: queue.len() as u64,
+            instance_frontiers: queue.len() as u64,
+            edges_inspected,
+            early_terminations: early_terms,
+        });
+
+        if newly_marked.is_empty() {
+            break;
+        }
+        frontier_edges = newly_marked
+            .iter()
+            .map(|&v| csr.out_degree(v) as u64)
+            .sum();
+        visited_edges += frontier_edges;
+        std::mem::swap(&mut frontier, &mut newly_marked);
+        newly_marked.clear();
+    }
+
+    SingleRun {
+        depths: sa.into_depths(),
+        levels,
+        demand: acc.demand,
+        solo_cycles: acc.solo_cycles,
+        launches: acc.launches,
+    }
+}
+
+/// Merges per-instance level stats into group-level stats by level index.
+/// With private queues nothing is shared, so unique and per-instance
+/// frontier counts both sum.
+pub(crate) fn merge_level_stats(per_instance: &[Vec<LevelStats>]) -> Vec<LevelStats> {
+    let max_levels = per_instance.iter().map(|l| l.len()).max().unwrap_or(0);
+    (0..max_levels)
+        .map(|k| {
+            let mut out = LevelStats {
+                level: k as u32 + 1,
+                direction: Direction::TopDown,
+                unique_frontiers: 0,
+                instance_frontiers: 0,
+                edges_inspected: 0,
+                early_terminations: 0,
+            };
+            for levels in per_instance {
+                if let Some(l) = levels.get(k) {
+                    out.direction = l.direction;
+                    out.unique_frontiers += l.unique_frontiers;
+                    out.instance_frontiers += l.instance_frontiers;
+                    out.edges_inspected += l.edges_inspected;
+                    out.early_terminations += l.early_terminations;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The sequential engine: instances run back to back, each owning the whole
+/// device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialEngine {
+    /// Direction-switch policy.
+    pub policy: DirectionPolicy,
+    /// Cap on traversal levels; 0 means unlimited.
+    pub max_levels: u32,
+}
+
+impl Engine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+        let before = prof.snapshot();
+        let model = CostModel::new(prof.config);
+        let n = g.num_vertices();
+        let mut depths = Vec::with_capacity(sources.len() * n);
+        let mut all_levels = Vec::with_capacity(sources.len());
+        let mut cycles = 0.0;
+        for &s in sources {
+            let run = run_single_capped(g, s, self.policy, self.max_levels, prof);
+            depths.extend_from_slice(&run.depths);
+            all_levels.push(run.levels);
+            cycles += run.solo_cycles;
+        }
+        let counters = prof.snapshot().delta(&before);
+        let traversed = traversed_edges_for(g.csr, &depths, sources.len());
+        GroupRun {
+            engine: self.name(),
+            num_instances: sources.len(),
+            num_vertices: n,
+            depths,
+            levels: merge_level_stats(&all_levels),
+            counters,
+            sim_seconds: model.seconds(cycles),
+            traversed_edges: traversed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::{check_depths, reference_bfs};
+    use ibfs_graph::DEPTH_UNVISITED;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn matches_reference_on_figure1() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &FIGURE1_SOURCES, &mut prof);
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..], "source {s}");
+            check_depths(&g, &r, s, run.instance_depths(j)).unwrap();
+        }
+        assert!(run.sim_seconds > 0.0);
+        assert!(run.teps() > 0.0);
+        assert_eq!(run.traversed_edges, 4 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut b = ibfs_graph::CsrBuilder::new(6);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(4, 5);
+        let g = b.build();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &[0], &mut prof);
+        assert_eq!(run.depth_of(0, 2), 2);
+        assert_eq!(run.depth_of(0, 4), DEPTH_UNVISITED);
+        assert_eq!(run.depth_of(0, 3), DEPTH_UNVISITED);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = ibfs_graph::CsrBuilder::new(1).build();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &[0], &mut prof);
+        assert_eq!(run.depth_of(0, 0), 0);
+        assert_eq!(run.traversed_edges, 0);
+    }
+
+    #[test]
+    fn counters_accumulate_traffic() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &[0], &mut prof);
+        assert!(run.counters.global_load_transactions > 0);
+        assert!(run.counters.global_store_transactions > 0);
+        assert!(run.counters.lane_instructions > 0);
+    }
+
+    #[test]
+    fn uses_bottom_up_on_dense_graphs() {
+        // A clique forces a frontier explosion and a bottom-up level.
+        let n = 64;
+        let mut b = ibfs_graph::CsrBuilder::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_undirected_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &[0], &mut prof);
+        assert!(run
+            .levels
+            .iter()
+            .any(|l| l.direction == Direction::BottomUp));
+        assert_eq!(run.instance_depths(0), &reference_bfs(&g, 0)[..]);
+    }
+
+    #[test]
+    fn early_termination_happens_bottom_up() {
+        use ibfs_graph::generators::{rmat, RmatParams};
+        let g = rmat(9, 16, RmatParams::graph500(), 8);
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SequentialEngine::default().run_group(&gg, &[0, 1, 2, 3], &mut prof);
+        assert!(run
+            .levels
+            .iter()
+            .any(|l| l.direction == Direction::BottomUp));
+        let et: u64 = run.levels.iter().map(|l| l.early_terminations).sum();
+        assert!(et > 0, "power-law bottom-up should terminate early");
+    }
+}

@@ -1,0 +1,209 @@
+//! Frontier-sharing statistics: the measurements behind Figures 2, 6 and 9
+//! and the Sharing Degree / Sharing Ratio theory of §5.1.
+//!
+//! All sharing quantities are functions of the per-instance depth arrays, so
+//! they are engine-independent: at a top-down level `k` instance `j`'s
+//! frontier is `{v : d_j(v) = k}`; at a bottom-up level it is the unvisited
+//! set `{v : d_j(v) ≥ k or unreachable}`.
+
+use crate::engine::GroupRun;
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+
+/// Average percentage of frontiers shared between two instances, separately
+/// for top-down and bottom-up levels (the two bars of Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairSharing {
+    /// Mean over top-down levels of `|F_a ∩ F_b| / |F_a ∪ F_b|`, as a
+    /// percentage.
+    pub top_down_pct: f64,
+    /// Same for bottom-up levels (unvisited-set sharing).
+    pub bottom_up_pct: f64,
+}
+
+/// Computes [`PairSharing`] for two depth arrays over the same graph.
+///
+/// Top-down levels are `1..=min(max_a, max_b)` (frontier-set sharing);
+/// bottom-up levels are those where both instances still have unvisited
+/// reachable vertices — the stage where a direction-optimized traversal
+/// actually runs bottom-up.
+pub fn pair_sharing(a: &[Depth], b: &[Depth]) -> PairSharing {
+    assert_eq!(a.len(), b.len());
+    let max_a = max_depth(a);
+    let max_b = max_depth(b);
+    let max_level = max_a.max(max_b);
+
+    let mut td_sum = 0.0;
+    let mut td_levels = 0u32;
+    let mut bu_sum = 0.0;
+    let mut bu_levels = 0u32;
+    for k in 1..=max_level {
+        // Top-down: exact-depth frontier sets.
+        let mut inter = 0u64;
+        let mut union = 0u64;
+        for i in 0..a.len() {
+            let fa = a[i] == k;
+            let fb = b[i] == k;
+            if fa && fb {
+                inter += 1;
+            }
+            if fa || fb {
+                union += 1;
+            }
+        }
+        if union > 0 {
+            td_sum += inter as f64 / union as f64;
+            td_levels += 1;
+        }
+
+        // Bottom-up: unvisited sets at the start of level k, restricted to
+        // levels where both traversals are still discovering vertices.
+        if k <= max_a && k <= max_b {
+            let mut inter = 0u64;
+            let mut union = 0u64;
+            for i in 0..a.len() {
+                let ua = a[i] >= k; // includes DEPTH_UNVISITED
+                let ub = b[i] >= k;
+                if ua && ub {
+                    inter += 1;
+                }
+                if ua || ub {
+                    union += 1;
+                }
+            }
+            if union > 0 {
+                bu_sum += inter as f64 / union as f64;
+                bu_levels += 1;
+            }
+        }
+    }
+    PairSharing {
+        top_down_pct: if td_levels == 0 { 0.0 } else { 100.0 * td_sum / td_levels as f64 },
+        bottom_up_pct: if bu_levels == 0 { 0.0 } else { 100.0 * bu_sum / bu_levels as f64 },
+    }
+}
+
+fn max_depth(d: &[Depth]) -> Depth {
+    d.iter().copied().filter(|&x| x != DEPTH_UNVISITED).max().unwrap_or(0)
+}
+
+/// Average [`PairSharing`] over consecutive source pairs — the Figure 2
+/// measurement ("average frontier sharing percentage between two different
+/// BFS instances").
+pub fn average_pair_sharing(g: &Csr, sources: &[VertexId]) -> PairSharing {
+    assert!(sources.len() >= 2, "need at least two sources");
+    let depths: Vec<Vec<Depth>> = sources
+        .iter()
+        .map(|&s| ibfs_graph::validate::reference_bfs(g, s))
+        .collect();
+    let mut td = 0.0;
+    let mut bu = 0.0;
+    let mut pairs = 0u32;
+    for w in depths.windows(2) {
+        let p = pair_sharing(&w[0], &w[1]);
+        td += p.top_down_pct;
+        bu += p.bottom_up_pct;
+        pairs += 1;
+    }
+    PairSharing {
+        top_down_pct: td / pairs as f64,
+        bottom_up_pct: bu / pairs as f64,
+    }
+}
+
+/// Per-level sharing degree of a group run
+/// (`SD(k) = Σ_j |FQ_j(k)| / |JFQ(k)|`) — the Figure 6 series.
+pub fn per_level_sharing_degree(run: &GroupRun) -> Vec<(u32, f64)> {
+    run.levels
+        .iter()
+        .filter(|l| l.unique_frontiers > 0)
+        .map(|l| {
+            (
+                l.level,
+                l.instance_frontiers as f64 / l.unique_frontiers as f64,
+            )
+        })
+        .collect()
+}
+
+/// Group sharing degree computed *analytically* from depth arrays under
+/// pure top-down semantics — the quantity of Lemma 1's proof, where
+/// `Σ_k |FQ_j(k)| = |V_reached,j|` and `JFQ(k)` is the union of the
+/// per-depth frontier sets.
+pub fn analytic_sharing_degree(depth_arrays: &[Vec<Depth>]) -> f64 {
+    assert!(!depth_arrays.is_empty());
+    let n = depth_arrays[0].len();
+    let max_level = depth_arrays.iter().map(|d| max_depth(d)).max().unwrap_or(0);
+    let mut total_instance = 0u64;
+    let mut total_unique = 0u64;
+    for k in 0..=max_level {
+        for v in 0..n {
+            let sharers = depth_arrays.iter().filter(|d| d[v] == k).count() as u64;
+            total_instance += sharers;
+            if sharers > 0 {
+                total_unique += 1;
+            }
+        }
+    }
+    if total_unique == 0 {
+        0.0
+    } else {
+        total_instance as f64 / total_unique as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::reference_bfs;
+
+    #[test]
+    fn identical_instances_share_everything() {
+        let g = figure1();
+        let d = reference_bfs(&g, 0);
+        let p = pair_sharing(&d, &d);
+        assert!((p.top_down_pct - 100.0).abs() < 1e-9);
+        assert!((p.bottom_up_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_sources_share_partially() {
+        let g = figure1();
+        let a = reference_bfs(&g, 0);
+        let b = reference_bfs(&g, 8);
+        let p = pair_sharing(&a, &b);
+        assert!(p.top_down_pct > 0.0 && p.top_down_pct < 100.0);
+        assert!(p.bottom_up_pct > 0.0);
+        // The paper's Figure 2 observation: bottom-up sharing far exceeds
+        // top-down sharing.
+        assert!(p.bottom_up_pct > p.top_down_pct);
+    }
+
+    #[test]
+    fn average_over_sources_is_finite() {
+        let g = figure1();
+        let p = average_pair_sharing(&g, &FIGURE1_SOURCES);
+        assert!(p.top_down_pct >= 0.0 && p.top_down_pct <= 100.0);
+        assert!(p.bottom_up_pct >= 0.0 && p.bottom_up_pct <= 100.0);
+    }
+
+    #[test]
+    fn analytic_sd_bounds() {
+        let g = figure1();
+        let arrays: Vec<Vec<Depth>> = FIGURE1_SOURCES
+            .iter()
+            .map(|&s| reference_bfs(&g, s))
+            .collect();
+        let sd = analytic_sharing_degree(&arrays);
+        assert!(sd >= 1.0);
+        assert!(sd <= FIGURE1_SOURCES.len() as f64);
+    }
+
+    #[test]
+    fn analytic_sd_of_identical_group_is_group_size() {
+        let g = figure1();
+        let d = reference_bfs(&g, 0);
+        let arrays = vec![d.clone(), d.clone(), d];
+        assert!((analytic_sharing_degree(&arrays) - 3.0).abs() < 1e-12);
+    }
+}

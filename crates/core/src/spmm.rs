@@ -1,0 +1,80 @@
+//! SpMM-BC-like baseline: concurrent top-down-only BFS.
+//!
+//! The paper compares against SpMM-BC (Sarıyüce et al.), a GPU concurrent
+//! BFS used for regularized centrality that "does not support bottom-up
+//! BFS". We model it as joint traversal pinned to top-down: it enjoys the
+//! joint frontier queue but pays full top-down inspection on the heavy
+//! middle levels where direction-optimizing engines switch to bottom-up.
+
+use crate::direction::DirectionPolicy;
+use crate::engine::{Engine, GpuGraph, GroupRun};
+use crate::joint::JointEngine;
+use ibfs_graph::VertexId;
+use ibfs_gpu_sim::Profiler;
+
+/// The SpMM-BC-like top-down-only engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpmmEngine;
+
+impl Engine for SpmmEngine {
+    fn name(&self) -> &'static str {
+        "spmm-bc"
+    }
+
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+        let inner = JointEngine {
+            policy: DirectionPolicy::top_down_only(),
+            ..Default::default()
+        };
+        let mut run = inner.run_group(g, sources, prof);
+        run.engine = self.name();
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwise::BitwiseEngine;
+    use crate::direction::Direction;
+    use ibfs_graph::generators::{rmat, RmatParams};
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::reference_bfs;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn matches_reference_and_never_goes_bottom_up() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = SpmmEngine.run_group(&gg, &FIGURE1_SOURCES, &mut prof);
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+        assert!(run
+            .levels
+            .iter()
+            .all(|l| l.direction == Direction::TopDown));
+        assert_eq!(run.engine, "spmm-bc");
+    }
+
+    #[test]
+    fn slower_than_full_ibfs_on_powerlaw_graphs() {
+        // Figure 22: GPU-iBFS traverses ~2× faster than SpMM-BC.
+        let g = rmat(9, 16, RmatParams::graph500(), 13);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..64).collect();
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let g1 = GpuGraph::new(&g, &r, &mut p1);
+        let spmm = SpmmEngine.run_group(&g1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let g2 = GpuGraph::new(&g, &r, &mut p2);
+        let ibfs = BitwiseEngine::default().run_group(&g2, &sources, &mut p2);
+
+        assert_eq!(spmm.depths, ibfs.depths);
+        assert!(ibfs.sim_seconds < spmm.sim_seconds);
+    }
+}

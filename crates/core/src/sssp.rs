@@ -1,0 +1,392 @@
+//! Concurrent SSSP on weighted graphs — the "traverse weighted graphs"
+//! configuration the paper mentions (§8) and its positioning among
+//! shortest-path algorithms (§9: "our iBFS applies to all types of
+//! shortest path problems on a unweighted graph"; with weights the same
+//! joint machinery runs a frontier-based Bellman–Ford).
+//!
+//! The engine keeps a joint distance table (`[vertex][instance]`
+//! contiguous, like the JSA) and a joint frontier queue of vertices whose
+//! distance improved for *any* instance; each round loads a frontier's
+//! adjacency-with-weights once for all sharing instances and relaxes.
+//! Non-negative weights guarantee convergence in at most `|V|` rounds.
+
+use crate::engine::GpuGraph;
+use ibfs_graph::weighted::{Dist, WeightedCsr, DIST_UNREACHED};
+use ibfs_graph::VertexId;
+use ibfs_gpu_sim::{CostModel, Counters, PhaseKind, Profiler, SimTimer};
+
+/// Maximum concurrent SSSP instances per group (mask width).
+pub const MAX_SSSP_GROUP: usize = 128;
+
+/// Result of one concurrent SSSP group run.
+#[derive(Clone, Debug)]
+pub struct SsspRun {
+    /// Instances in the group.
+    pub num_instances: usize,
+    /// Vertices in the graph.
+    pub num_vertices: usize,
+    /// Distances, flattened `[instance][vertex]` (`DIST_UNREACHED` if
+    /// unreachable).
+    pub dists: Vec<Dist>,
+    /// Relaxation rounds executed.
+    pub rounds: u32,
+    /// Device counter activity.
+    pub counters: Counters,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Edge relaxations performed (across instances).
+    pub relaxations: u64,
+}
+
+impl SsspRun {
+    /// Instance `j`'s distance array.
+    pub fn instance_dists(&self, j: usize) -> &[Dist] {
+        &self.dists[j * self.num_vertices..(j + 1) * self.num_vertices]
+    }
+}
+
+/// A weighted graph resident on the simulated device.
+#[derive(Debug)]
+pub struct WeightedGpuGraph<'a> {
+    /// The weighted graph.
+    pub graph: &'a WeightedCsr,
+    /// Structural device addresses (adjacency, offsets).
+    pub gpu: GpuGraph<'a>,
+    /// Device base address of the weights array (u32 per edge).
+    pub weights_base: u64,
+}
+
+impl<'a> WeightedGpuGraph<'a> {
+    /// Uploads the weighted graph (structure + weights) to the device.
+    /// `reverse` must be `graph.csr().reverse()` (owned by the caller).
+    pub fn new(
+        graph: &'a WeightedCsr,
+        reverse: &'a ibfs_graph::Csr,
+        prof: &mut Profiler,
+    ) -> Self {
+        let gpu = GpuGraph::new(graph.csr(), reverse, prof);
+        let weights_base = prof.alloc(graph.csr().num_edges() as u64 * 4);
+        WeightedGpuGraph { graph, gpu, weights_base }
+    }
+}
+
+/// Whether instances share frontier work (joint) or run back to back with
+/// private state (the sequential baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsspMode {
+    /// Joint frontier queue + shared adjacency loads.
+    Joint,
+    /// One instance at a time, private everything.
+    Sequential,
+}
+
+/// The concurrent SSSP engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentSssp {
+    /// Joint or sequential execution.
+    pub mode: SsspMode,
+}
+
+impl Default for ConcurrentSssp {
+    fn default() -> Self {
+        ConcurrentSssp { mode: SsspMode::Joint }
+    }
+}
+
+impl ConcurrentSssp {
+    /// The sequential baseline.
+    pub fn sequential() -> Self {
+        ConcurrentSssp { mode: SsspMode::Sequential }
+    }
+
+    /// Runs SSSP from every source concurrently (per `mode`).
+    pub fn run_group(
+        &self,
+        g: &WeightedGpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+    ) -> SsspRun {
+        match self.mode {
+            SsspMode::Joint => run_joint(g, sources, prof),
+            SsspMode::Sequential => run_sequential(g, sources, prof),
+        }
+    }
+}
+
+fn run_joint(g: &WeightedGpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> SsspRun {
+    let ni = sources.len();
+    assert!(ni <= MAX_SSSP_GROUP, "SSSP group limited to {MAX_SSSP_GROUP}");
+    let csr = g.graph.csr();
+    let n = csr.num_vertices();
+    let before = prof.snapshot();
+    let model = CostModel::new(prof.config);
+
+    // Joint distance table, vertex-major like the JSA.
+    let mut dist = vec![DIST_UNREACHED; n * ni.max(1)];
+    let dist_base = prof.alloc((n * ni.max(1)) as u64 * 8);
+    let jfq_base = prof.alloc(n as u64 * 4);
+    let mut timer = SimTimer::start(model, prof);
+
+    let mut frontier_masks: Vec<u128> = vec![0; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for (j, &s) in sources.iter().enumerate() {
+        dist[s as usize * ni + j] = 0;
+        prof.store_block(dist_base + (s as usize * ni + j) as u64 * 8, 8);
+        if frontier_masks[s as usize] == 0 {
+            frontier.push(s);
+        }
+        frontier_masks[s as usize] |= 1 << j;
+    }
+    timer.phase(prof, PhaseKind::Other);
+
+    let mut rounds = 0u32;
+    let mut relaxations = 0u64;
+    let mut next_masks: Vec<u128> = vec![0; n];
+
+    while !frontier.is_empty() && rounds < n as u32 + 1 {
+        rounds += 1;
+        timer.kernel_launch();
+        prof.load_contiguous(jfq_base, 0, frontier.len() as u64, 4);
+
+        let mut next_frontier: Vec<VertexId> = Vec::new();
+        for &v in &frontier {
+            let mask = frontier_masks[v as usize];
+            debug_assert!(mask != 0);
+            let deg = csr.out_degree(v) as u64;
+            // Adjacency + weights loaded once for all sharing instances.
+            prof.load_contiguous(g.gpu.adj_base, csr.adj_start(v), deg, 4);
+            prof.load_contiguous(g.weights_base, csr.adj_start(v), deg, 4);
+            prof.shared_store(deg);
+            // Source distances of the sharing instances (one block).
+            prof.load_block(dist_base + (v as usize * ni) as u64 * 8, (ni * 8) as u32);
+            for (w, wt) in g.graph.neighbors(v) {
+                // All sharing instances inspect w's distance block together.
+                prof.load_block(dist_base + (w as usize * ni) as u64 * 8, (ni * 8) as u32);
+                let mut m = mask;
+                let mut wrote = false;
+                while m != 0 {
+                    let j = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let dv = dist[v as usize * ni + j];
+                    if dv == DIST_UNREACHED {
+                        continue;
+                    }
+                    relaxations += 1;
+                    prof.lanes(1);
+                    let nd = dv + wt as Dist;
+                    if nd < dist[w as usize * ni + j] {
+                        dist[w as usize * ni + j] = nd;
+                        if next_masks[w as usize] == 0 {
+                            next_frontier.push(w);
+                        }
+                        next_masks[w as usize] |= 1 << j;
+                        wrote = true;
+                    }
+                }
+                if wrote {
+                    prof.store_block(dist_base + (w as usize * ni) as u64 * 8, (ni * 8) as u32);
+                }
+            }
+        }
+        timer.phase(prof, PhaseKind::Inspection);
+
+        // Swap frontier state; queue stores for the next round.
+        for &v in &frontier {
+            frontier_masks[v as usize] = 0;
+        }
+        for &v in &next_frontier {
+            frontier_masks[v as usize] = next_masks[v as usize];
+            next_masks[v as usize] = 0;
+        }
+        prof.store_contiguous(jfq_base, 0, next_frontier.len() as u64, 4);
+        frontier = next_frontier;
+        timer.phase(prof, PhaseKind::FrontierGeneration);
+    }
+
+    // Transpose to instance-major output.
+    let mut out = vec![DIST_UNREACHED; ni * n];
+    for v in 0..n {
+        for j in 0..ni {
+            out[j * n + v] = dist[v * ni + j];
+        }
+    }
+    SsspRun {
+        num_instances: ni,
+        num_vertices: n,
+        dists: out,
+        rounds,
+        counters: prof.snapshot().delta(&before),
+        sim_seconds: timer.seconds(),
+        relaxations,
+    }
+}
+
+fn run_sequential(
+    g: &WeightedGpuGraph<'_>,
+    sources: &[VertexId],
+    prof: &mut Profiler,
+) -> SsspRun {
+    let csr = g.graph.csr();
+    let n = csr.num_vertices();
+    let before = prof.snapshot();
+    let model = CostModel::new(prof.config);
+    let mut timer = SimTimer::start(model, prof);
+    let mut out = vec![DIST_UNREACHED; sources.len() * n];
+    let mut rounds = 0u32;
+    let mut relaxations = 0u64;
+
+    for (j, &s) in sources.iter().enumerate() {
+        let dist_base = prof.alloc(n as u64 * 8);
+        let fq_base = prof.alloc(n as u64 * 4);
+        let dist = &mut out[j * n..(j + 1) * n];
+        dist[s as usize] = 0;
+        let mut frontier = vec![s];
+        let mut queued = vec![false; n];
+        let mut r = 0u32;
+        while !frontier.is_empty() && r < n as u32 + 1 {
+            r += 1;
+            timer.kernel_launch();
+            prof.load_contiguous(fq_base, 0, frontier.len() as u64, 4);
+            let mut next: Vec<VertexId> = Vec::new();
+            for &v in &frontier {
+                let deg = csr.out_degree(v) as u64;
+                prof.load_contiguous(g.gpu.adj_base, csr.adj_start(v), deg, 4);
+                prof.load_contiguous(g.weights_base, csr.adj_start(v), deg, 4);
+                prof.load_block(dist_base + v as u64 * 8, 8);
+                for (w, wt) in g.graph.neighbors(v) {
+                    relaxations += 1;
+                    prof.lanes(1);
+                    prof.load_block(dist_base + w as u64 * 8, 8);
+                    let nd = dist[v as usize] + wt as Dist;
+                    if nd < dist[w as usize] {
+                        dist[w as usize] = nd;
+                        prof.store_block(dist_base + w as u64 * 8, 8);
+                        if !queued[w as usize] {
+                            queued[w as usize] = true;
+                            next.push(w);
+                        }
+                    }
+                }
+            }
+            for &w in &next {
+                queued[w as usize] = false;
+            }
+            prof.store_contiguous(fq_base, 0, next.len() as u64, 4);
+            frontier = next;
+            timer.phase(prof, PhaseKind::Inspection);
+        }
+        rounds = rounds.max(r);
+    }
+    SsspRun {
+        num_instances: sources.len(),
+        num_vertices: n,
+        dists: out,
+        rounds,
+        counters: prof.snapshot().delta(&before),
+        sim_seconds: timer.seconds(),
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::figure1;
+    use ibfs_graph::weighted::dijkstra;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    fn weighted_fig1(max_w: u32) -> WeightedCsr {
+        WeightedCsr::random_weights(figure1(), max_w, 11)
+    }
+
+    fn check_against_dijkstra(g: &WeightedCsr, sources: &[VertexId], mode: SsspMode) {
+        let rev = g.csr().reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let wg = WeightedGpuGraph::new(g, &rev, &mut prof);
+        let run = ConcurrentSssp { mode }.run_group(&wg, sources, &mut prof);
+        for (j, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                run.instance_dists(j),
+                &dijkstra(g, s)[..],
+                "{mode:?} from source {s}"
+            );
+        }
+        assert!(run.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn joint_matches_dijkstra_on_figure1() {
+        let g = weighted_fig1(9);
+        check_against_dijkstra(&g, &[0, 3, 6, 8], SsspMode::Joint);
+    }
+
+    #[test]
+    fn sequential_matches_dijkstra_on_figure1() {
+        let g = weighted_fig1(9);
+        check_against_dijkstra(&g, &[0, 3, 6, 8], SsspMode::Sequential);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs_depths() {
+        let g = WeightedCsr::random_weights(figure1(), 1, 0);
+        let rev = g.csr().reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let wg = WeightedGpuGraph::new(&g, &rev, &mut prof);
+        let run = ConcurrentSssp::default().run_group(&wg, &[0], &mut prof);
+        let bfs = ibfs_graph::validate::reference_bfs(g.csr(), 0);
+        for (v, &depth) in bfs.iter().enumerate() {
+            assert_eq!(run.instance_dists(0)[v], depth as Dist);
+        }
+    }
+
+    #[test]
+    fn joint_shares_adjacency_loads() {
+        use ibfs_graph::generators::{rmat, RmatParams};
+        let g = WeightedCsr::random_weights(rmat(9, 8, RmatParams::graph500(), 5), 16, 7);
+        let rev = g.csr().reverse();
+        let sources: Vec<VertexId> = (0..32).collect();
+
+        let mut p1 = Profiler::new(DeviceConfig::k40());
+        let w1 = WeightedGpuGraph::new(&g, &rev, &mut p1);
+        let joint = ConcurrentSssp::default().run_group(&w1, &sources, &mut p1);
+
+        let mut p2 = Profiler::new(DeviceConfig::k40());
+        let w2 = WeightedGpuGraph::new(&g, &rev, &mut p2);
+        let seq = ConcurrentSssp::sequential().run_group(&w2, &sources, &mut p2);
+
+        assert_eq!(joint.dists, seq.dists);
+        assert!(
+            joint.sim_seconds < seq.sim_seconds,
+            "joint {} should beat sequential {}",
+            joint.sim_seconds,
+            seq.sim_seconds
+        );
+        for (j, &s) in sources.iter().enumerate() {
+            assert_eq!(joint.instance_dists(j), &dijkstra(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn handles_unreachable_vertices() {
+        let mut b = ibfs_graph::CsrBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = WeightedCsr::new(b.build(), vec![3, 4]);
+        let rev = g.csr().reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let wg = WeightedGpuGraph::new(&g, &rev, &mut prof);
+        let run = ConcurrentSssp::default().run_group(&wg, &[0], &mut prof);
+        assert_eq!(run.instance_dists(0), &[0, 3, DIST_UNREACHED, DIST_UNREACHED]);
+    }
+
+    #[test]
+    #[should_panic(expected = "SSSP group limited")]
+    fn rejects_oversized_group() {
+        let g = weighted_fig1(4);
+        let rev = g.csr().reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let wg = WeightedGpuGraph::new(&g, &rev, &mut prof);
+        let sources: Vec<VertexId> = (0..129).map(|i| i % 9).collect();
+        ConcurrentSssp::default().run_group(&wg, &sources, &mut prof);
+    }
+}

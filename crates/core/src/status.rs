@@ -1,0 +1,271 @@
+//! Status arrays: private (SA), joint (JSA) and bitwise (BSA).
+//!
+//! The paper's three data layouts for "has instance j visited vertex v, and
+//! at what depth":
+//!
+//! * **SA** — one byte per vertex for a single instance (the baseline
+//!   engines' private arrays).
+//! * **JSA** (§4) — for each vertex, the statuses of all N instances stored
+//!   *contiguously* (`[vertex][instance]` layout) so that N contiguous
+//!   threads inspecting one vertex coalesce their accesses into
+//!   `N / 128`-segment transactions.
+//! * **BSA** (§6) — one *bit* per (vertex, instance) packed into a
+//!   [`StatusWord`], with the crucial property that bits are never reset:
+//!   a set bit means "visited at some level", which enables XOR frontier
+//!   identification and bottom-up early termination.
+
+use crate::word::StatusWord;
+use ibfs_graph::{Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_gpu_sim::Profiler;
+
+/// Private per-instance status array (one byte per vertex).
+#[derive(Clone, Debug)]
+pub struct StatusArray {
+    depths: Vec<Depth>,
+    /// Simulated device base address.
+    pub base: u64,
+}
+
+impl StatusArray {
+    /// Allocates an SA for `n` vertices on the simulated device.
+    pub fn new(n: usize, prof: &mut Profiler) -> Self {
+        StatusArray {
+            depths: vec![DEPTH_UNVISITED; n],
+            base: prof.alloc(n as u64),
+        }
+    }
+
+    /// Depth of `v` (`DEPTH_UNVISITED` if not reached).
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> Depth {
+        self.depths[v as usize]
+    }
+
+    /// Marks `v` visited at `d`.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, d: Depth) {
+        self.depths[v as usize] = d;
+    }
+
+    /// Whether `v` has been visited.
+    #[inline]
+    pub fn visited(&self, v: VertexId) -> bool {
+        self.depths[v as usize] != DEPTH_UNVISITED
+    }
+
+    /// Device byte address of `v`'s status.
+    #[inline]
+    pub fn addr(&self, v: VertexId) -> u64 {
+        self.base + v as u64
+    }
+
+    /// The underlying depth vector.
+    pub fn into_depths(self) -> Vec<Depth> {
+        self.depths
+    }
+
+    /// The underlying depth slice.
+    pub fn depths(&self) -> &[Depth] {
+        &self.depths
+    }
+}
+
+/// Joint status array: `[vertex][instance]` bytes for N instances.
+#[derive(Clone, Debug)]
+pub struct JointStatusArray {
+    depths: Vec<Depth>,
+    n_instances: usize,
+    /// Simulated device base address.
+    pub base: u64,
+}
+
+impl JointStatusArray {
+    /// Allocates a JSA for `n_vertices` × `n_instances` on the device.
+    pub fn new(n_vertices: usize, n_instances: usize, prof: &mut Profiler) -> Self {
+        assert!(n_instances > 0);
+        JointStatusArray {
+            depths: vec![DEPTH_UNVISITED; n_vertices * n_instances],
+            n_instances,
+            base: prof.alloc((n_vertices * n_instances) as u64),
+        }
+    }
+
+    /// Number of instances per vertex.
+    #[inline]
+    pub fn instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Depth of vertex `v` in instance `j`.
+    #[inline]
+    pub fn depth(&self, v: VertexId, j: usize) -> Depth {
+        self.depths[v as usize * self.n_instances + j]
+    }
+
+    /// Sets the depth of `v` in instance `j`.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, j: usize, d: Depth) {
+        self.depths[v as usize * self.n_instances + j] = d;
+    }
+
+    /// Whether instance `j` has visited `v`.
+    #[inline]
+    pub fn visited(&self, v: VertexId, j: usize) -> bool {
+        self.depth(v, j) != DEPTH_UNVISITED
+    }
+
+    /// The contiguous status block of vertex `v` (all instances).
+    #[inline]
+    pub fn statuses(&self, v: VertexId) -> &[Depth] {
+        let lo = v as usize * self.n_instances;
+        &self.depths[lo..lo + self.n_instances]
+    }
+
+    /// Device byte address of `(v, j)` — statuses of one vertex are
+    /// sequential, which is what makes contiguous-thread access coalesce.
+    #[inline]
+    pub fn addr(&self, v: VertexId, j: usize) -> u64 {
+        self.base + (v as usize * self.n_instances + j) as u64
+    }
+
+    /// Extracts instance `j`'s full depth array (for validation).
+    pub fn instance_depths(&self, j: usize) -> Vec<Depth> {
+        (0..self.depths.len() / self.n_instances)
+            .map(|v| self.depths[v * self.n_instances + j])
+            .collect()
+    }
+}
+
+/// Bitwise status array: one [`StatusWord`] per vertex, bit `j` = "instance
+/// `j` has visited this vertex (at any level)".
+#[derive(Clone, Debug)]
+pub struct BitwiseStatusArray<W: StatusWord> {
+    words: Vec<W>,
+    /// Simulated device base address.
+    pub base: u64,
+}
+
+impl<W: StatusWord> BitwiseStatusArray<W> {
+    /// Allocates a BSA for `n` vertices.
+    pub fn new(n: usize, prof: &mut Profiler) -> Self {
+        BitwiseStatusArray {
+            words: vec![W::zero(); n],
+            base: prof.alloc(n as u64 * W::bytes() as u64),
+        }
+    }
+
+    /// The status word of `v`.
+    #[inline]
+    pub fn word(&self, v: VertexId) -> W {
+        self.words[v as usize]
+    }
+
+    /// Replaces the status word of `v`.
+    #[inline]
+    pub fn set_word(&mut self, v: VertexId, w: W) {
+        self.words[v as usize] = w;
+    }
+
+    /// ORs `w` into `v`'s word (the `atomicOr` of Algorithm 1), returning
+    /// the previous value.
+    #[inline]
+    pub fn or_word(&mut self, v: VertexId, w: W) -> W {
+        let old = self.words[v as usize];
+        self.words[v as usize] = old.or(w);
+        old
+    }
+
+    /// Device byte address of `v`'s word.
+    #[inline]
+    pub fn addr(&self, v: VertexId) -> u64 {
+        self.base + v as u64 * W::bytes() as u64
+    }
+
+    /// All words (for scanning).
+    pub fn words(&self) -> &[W] {
+        &self.words
+    }
+
+    /// Copies the word values from `other` (the per-level
+    /// `BSA_{k+1} <- BSA_k` of Algorithm 1, without reallocating).
+    pub fn copy_from(&mut self, other: &BitwiseStatusArray<W>) {
+        self.words.copy_from_slice(&other.words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_gpu_sim::DeviceConfig;
+
+    fn prof() -> Profiler {
+        Profiler::new(DeviceConfig::k40())
+    }
+
+    #[test]
+    fn sa_set_and_get() {
+        let mut p = prof();
+        let mut sa = StatusArray::new(4, &mut p);
+        assert!(!sa.visited(2));
+        sa.set(2, 5);
+        assert_eq!(sa.depth(2), 5);
+        assert!(sa.visited(2));
+        assert_eq!(sa.addr(3), sa.base + 3);
+    }
+
+    #[test]
+    fn jsa_layout_is_vertex_major() {
+        let mut p = prof();
+        let mut jsa = JointStatusArray::new(3, 4, &mut p);
+        jsa.set(1, 2, 7);
+        assert_eq!(jsa.depth(1, 2), 7);
+        assert_eq!(jsa.statuses(1), &[DEPTH_UNVISITED, DEPTH_UNVISITED, 7, DEPTH_UNVISITED]);
+        // Adjacent instances of one vertex are adjacent in memory.
+        assert_eq!(jsa.addr(1, 3) - jsa.addr(1, 2), 1);
+        // Different vertices are N bytes apart.
+        assert_eq!(jsa.addr(2, 0) - jsa.addr(1, 0), 4);
+    }
+
+    #[test]
+    fn jsa_instance_extraction() {
+        let mut p = prof();
+        let mut jsa = JointStatusArray::new(3, 2, &mut p);
+        jsa.set(0, 0, 0);
+        jsa.set(1, 0, 1);
+        jsa.set(2, 1, 9);
+        assert_eq!(jsa.instance_depths(0), vec![0, 1, DEPTH_UNVISITED]);
+        assert_eq!(jsa.instance_depths(1), vec![DEPTH_UNVISITED, DEPTH_UNVISITED, 9]);
+    }
+
+    #[test]
+    fn bsa_or_accumulates_and_reports_old() {
+        let mut p = prof();
+        let mut bsa: BitwiseStatusArray<u32> = BitwiseStatusArray::new(2, &mut p);
+        let old = bsa.or_word(0, u32::bit(3));
+        assert!(old.is_zero());
+        let old = bsa.or_word(0, u32::bit(5));
+        assert_eq!(old, u32::bit(3));
+        assert_eq!(bsa.word(0), u32::bit(3).or(u32::bit(5)));
+        // Bits never clear: OR with zero is identity.
+        bsa.or_word(0, u32::zero());
+        assert_eq!(bsa.word(0).count_ones(), 2);
+    }
+
+    #[test]
+    fn bsa_addresses_stride_by_word_bytes() {
+        let mut p = prof();
+        let bsa: BitwiseStatusArray<u128> = BitwiseStatusArray::new(4, &mut p);
+        assert_eq!(bsa.addr(1) - bsa.addr(0), 16);
+    }
+
+    #[test]
+    fn bsa_copy_from_mirrors_words() {
+        let mut p = prof();
+        let mut a: BitwiseStatusArray<u64> = BitwiseStatusArray::new(3, &mut p);
+        let mut b: BitwiseStatusArray<u64> = BitwiseStatusArray::new(3, &mut p);
+        a.or_word(1, u64::bit(9));
+        b.copy_from(&a);
+        assert_eq!(b.word(1), u64::bit(9));
+        assert_ne!(a.base, b.base);
+    }
+}

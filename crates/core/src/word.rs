@@ -1,0 +1,286 @@
+//! Status words: the bit-per-instance packing of the bitwise status array.
+//!
+//! §6 of the paper packs the status of one vertex for all concurrent BFS
+//! instances into a single variable, and notes that CUDA vector types
+//! (`int4`, `long4`, ...) widen it further: "the number of bits in each
+//! variable affects the number of concurrent BFS, e.g., if BSA is
+//! implemented with `int` type, one variable can represent the statuses for
+//! 32 BFS instances". [`StatusWord`] abstracts that choice: `u32` ≈ `int`,
+//! `u64` ≈ `long`, `u128` ≈ `int4`, [`W256`] ≈ `long4`.
+
+/// A fixed-width bit vector holding one status bit per BFS instance.
+pub trait StatusWord: Copy + Eq + std::fmt::Debug + Send + Sync + 'static {
+    /// Number of instances the word can hold.
+    const BITS: u32;
+
+    /// The all-zeros word (no instance has visited the vertex).
+    fn zero() -> Self;
+
+    /// The word with exactly bit `i` set.
+    fn bit(i: u32) -> Self;
+
+    /// The word with the low `n` bits set — "all visited" for a group of
+    /// `n` instances. `n == 0` gives zero.
+    fn low_mask(n: u32) -> Self;
+
+    /// Bitwise OR.
+    fn or(self, other: Self) -> Self;
+
+    /// Bitwise AND.
+    fn and(self, other: Self) -> Self;
+
+    /// Bitwise XOR — the paper's top-down frontier identification
+    /// (`BSA_{k+1}[v] XOR BSA_k[v]`).
+    fn xor(self, other: Self) -> Self;
+
+    /// Bitwise NOT.
+    fn not(self) -> Self;
+
+    /// Whether bit `i` is set.
+    fn has_bit(self, i: u32) -> bool {
+        self.and(Self::bit(i)) != Self::zero()
+    }
+
+    /// Whether the word is all zeros.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+
+    /// Number of set bits.
+    fn count_ones(self) -> u32;
+
+    /// Indices of the set bits, ascending.
+    fn iter_ones(self) -> OnesIter<Self> {
+        OnesIter { word: self, next: 0 }
+    }
+
+    /// Bytes occupied in the (simulated) device memory.
+    fn bytes() -> u32 {
+        Self::BITS / 8
+    }
+}
+
+/// Iterator over set-bit indices of a [`StatusWord`].
+pub struct OnesIter<W: StatusWord> {
+    word: W,
+    next: u32,
+}
+
+impl<W: StatusWord> Iterator for OnesIter<W> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.next < W::BITS {
+            let i = self.next;
+            self.next += 1;
+            if self.word.has_bit(i) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+macro_rules! impl_word_for_uint {
+    ($t:ty, $bits:expr) => {
+        impl StatusWord for $t {
+            const BITS: u32 = $bits;
+
+            #[inline]
+            fn zero() -> Self {
+                0
+            }
+
+            #[inline]
+            fn bit(i: u32) -> Self {
+                debug_assert!(i < Self::BITS);
+                1 << i
+            }
+
+            #[inline]
+            fn low_mask(n: u32) -> Self {
+                debug_assert!(n <= Self::BITS);
+                if n == 0 {
+                    0
+                } else if n == Self::BITS {
+                    <$t>::MAX
+                } else {
+                    (1 << n) - 1
+                }
+            }
+
+            #[inline]
+            fn or(self, other: Self) -> Self {
+                self | other
+            }
+
+            #[inline]
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+
+            #[inline]
+            fn xor(self, other: Self) -> Self {
+                self ^ other
+            }
+
+            #[inline]
+            fn not(self) -> Self {
+                !self
+            }
+
+            #[inline]
+            fn count_ones(self) -> u32 {
+                <$t>::count_ones(self)
+            }
+        }
+    };
+}
+
+impl_word_for_uint!(u32, 32);
+impl_word_for_uint!(u64, 64);
+impl_word_for_uint!(u128, 128);
+
+/// A 256-bit status word — the `long4` vector type of the paper, packing
+/// four 64-bit lanes fetched in one vectorized access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct W256(pub [u64; 4]);
+
+impl StatusWord for W256 {
+    const BITS: u32 = 256;
+
+    #[inline]
+    fn zero() -> Self {
+        W256([0; 4])
+    }
+
+    #[inline]
+    fn bit(i: u32) -> Self {
+        debug_assert!(i < 256);
+        let mut w = [0u64; 4];
+        w[(i / 64) as usize] = 1u64 << (i % 64);
+        W256(w)
+    }
+
+    #[inline]
+    fn low_mask(n: u32) -> Self {
+        debug_assert!(n <= 256);
+        let mut w = [0u64; 4];
+        for (lane, slot) in w.iter_mut().enumerate() {
+            let lo = lane as u32 * 64;
+            if n > lo {
+                let bits = (n - lo).min(64);
+                *slot = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            }
+        }
+        W256(w)
+    }
+
+    #[inline]
+    fn or(self, o: Self) -> Self {
+        W256([
+            self.0[0] | o.0[0],
+            self.0[1] | o.0[1],
+            self.0[2] | o.0[2],
+            self.0[3] | o.0[3],
+        ])
+    }
+
+    #[inline]
+    fn and(self, o: Self) -> Self {
+        W256([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+
+    #[inline]
+    fn xor(self, o: Self) -> Self {
+        W256([
+            self.0[0] ^ o.0[0],
+            self.0[1] ^ o.0[1],
+            self.0[2] ^ o.0[2],
+            self.0[3] ^ o.0[3],
+        ])
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        W256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+
+    #[inline]
+    fn count_ones(self) -> u32 {
+        self.0.iter().map(|x| x.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<W: StatusWord>() {
+        assert!(W::zero().is_zero());
+        assert_eq!(W::low_mask(0), W::zero());
+        let full = W::low_mask(W::BITS);
+        assert_eq!(full.count_ones(), W::BITS);
+        for i in [0, 1, W::BITS / 2, W::BITS - 1] {
+            let b = W::bit(i);
+            assert_eq!(b.count_ones(), 1);
+            assert!(b.has_bit(i));
+            assert!(!b.has_bit((i + 1) % W::BITS) || W::BITS == 1);
+            assert_eq!(b.or(b), b);
+            assert_eq!(b.and(b), b);
+            assert_eq!(b.xor(b), W::zero());
+            assert!(full.has_bit(i));
+            assert_eq!(b.not().and(b), W::zero());
+            assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![i]);
+        }
+        // low_mask(n) has exactly bits 0..n.
+        let n = W::BITS / 2 + 1;
+        let m = W::low_mask(n);
+        assert_eq!(m.count_ones(), n);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        assert_eq!(W::bytes(), W::BITS / 8);
+    }
+
+    #[test]
+    fn u32_word() {
+        exercise::<u32>();
+    }
+
+    #[test]
+    fn u64_word() {
+        exercise::<u64>();
+    }
+
+    #[test]
+    fn u128_word() {
+        exercise::<u128>();
+    }
+
+    #[test]
+    fn w256_word() {
+        exercise::<W256>();
+    }
+
+    #[test]
+    fn w256_crosses_lane_boundaries() {
+        let b = W256::bit(64);
+        assert_eq!(b.0, [0, 1, 0, 0]);
+        let m = W256::low_mask(130);
+        assert_eq!(m.0, [u64::MAX, u64::MAX, 0b11, 0]);
+        assert_eq!(m.count_ones(), 130);
+    }
+
+    #[test]
+    fn xor_identifies_new_bits() {
+        // The top-down frontier identification: bits in BSA_{k+1} but not
+        // BSA_k.
+        let before = u32::bit(3).or(u32::bit(7));
+        let after = before.or(u32::bit(12));
+        assert_eq!(after.xor(before), u32::bit(12));
+    }
+}

@@ -1,0 +1,170 @@
+//! Device parameterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a simulated GPU.
+///
+/// The defaults model the NVIDIA Tesla K40 the paper evaluates on (2880
+/// cores, 12 GB, 288 GB/s) and the K20 of the Stampede cluster experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Resident warps per SM (occupancy limit).
+    pub warps_per_sm: u32,
+    /// Threads per warp. 32 on every NVIDIA architecture.
+    pub warp_size: u32,
+    /// Cache-line segment size for coalesced streaming accesses (128 bytes
+    /// on Kepler).
+    pub segment_bytes: u32,
+    /// L2 sector size for scattered/uncached accesses (32 bytes on Kepler:
+    /// global loads bypass L1 and are served in 32-byte sectors).
+    pub sector_bytes: u32,
+    /// Global memory capacity in bytes — the `M` of the paper's group-size
+    /// bound `N <= (M - S - |JFQ|) / |SA|`.
+    pub global_mem_bytes: u64,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// Global-memory bandwidth in bytes per cycle (288 GB/s at 745 MHz is
+    /// ~386 B/cycle on the K40).
+    pub mem_bytes_per_cycle: f64,
+    /// Amortized extra cycles per atomic RMW over a plain store. Atomics
+    /// are pipelined through the L2 atomic units, so this is a *throughput*
+    /// cost (fractions of a cycle), not the raw latency.
+    pub atomic_penalty_cycles: f64,
+    /// Hardware work queues for concurrent kernels (Hyper-Q: 32 on Kepler).
+    pub hyperq_streams: u32,
+    /// Shared memory per thread block in bytes (48 KB on Kepler) — bounds the
+    /// joint-traversal adjacency cache.
+    pub shared_mem_per_cta: u32,
+    /// Threads per cooperative thread array (block). The paper uses 256.
+    pub cta_size: u32,
+}
+
+impl DeviceConfig {
+    /// NVIDIA Tesla K40: the paper's single-GPU evaluation device.
+    pub fn k40() -> Self {
+        DeviceConfig {
+            sm_count: 15,
+            warps_per_sm: 64,
+            warp_size: 32,
+            segment_bytes: 128,
+            sector_bytes: 32,
+            global_mem_bytes: 12 * (1 << 30),
+            clock_mhz: 745,
+            mem_bytes_per_cycle: 386.0,
+            atomic_penalty_cycles: 0.25,
+            hyperq_streams: 32,
+            shared_mem_per_cta: 48 * 1024,
+            cta_size: 256,
+        }
+    }
+
+    /// NVIDIA Tesla K20: one per node on the Stampede cluster (Figure 17).
+    pub fn k20() -> Self {
+        DeviceConfig {
+            sm_count: 13,
+            warps_per_sm: 64,
+            warp_size: 32,
+            segment_bytes: 128,
+            sector_bytes: 32,
+            global_mem_bytes: 5 * (1 << 30),
+            clock_mhz: 706,
+            mem_bytes_per_cycle: 295.0,
+            atomic_penalty_cycles: 0.25,
+            hyperq_streams: 32,
+            shared_mem_per_cta: 48 * 1024,
+            cta_size: 256,
+        }
+    }
+
+    /// Total lanes that can execute concurrently (cores).
+    pub fn concurrent_lanes(&self) -> u64 {
+        // Kepler SMX: 192 cores/SM; modeled as 6 warps issuing per cycle.
+        self.sm_count as u64 * 192
+    }
+
+    /// Maximum resident threads across the device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.sm_count as u64 * self.warps_per_sm as u64 * self.warp_size as u64
+    }
+
+    /// Global-memory segment transactions the device can retire per cycle.
+    pub fn segments_per_cycle(&self) -> f64 {
+        self.mem_bytes_per_cycle / self.segment_bytes as f64
+    }
+
+    /// Clock period in seconds.
+    pub fn seconds_per_cycle(&self) -> f64 {
+        1.0 / (self.clock_mhz as f64 * 1.0e6)
+    }
+
+    /// The paper's bound on the concurrent group size:
+    /// `N <= (M - S - |JFQ|) / |SA|`, where `S` is graph storage, `|JFQ|`
+    /// the joint queue bytes and `|SA|` the per-instance status bytes.
+    /// Returns the largest power of two `N` that fits, capped at `cap`.
+    pub fn max_group_size(&self, graph_bytes: u64, jfq_bytes: u64, sa_bytes: u64, cap: u32) -> u32 {
+        let free = self
+            .global_mem_bytes
+            .saturating_sub(graph_bytes)
+            .saturating_sub(jfq_bytes);
+        if sa_bytes == 0 {
+            return cap;
+        }
+        let n = (free / sa_bytes).min(cap as u64) as u32;
+        if n == 0 {
+            0
+        } else {
+            1 << (31 - n.leading_zeros())
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::k40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_shape() {
+        let c = DeviceConfig::k40();
+        assert_eq!(c.concurrent_lanes(), 2880);
+        assert_eq!(c.max_resident_threads(), 15 * 64 * 32);
+        assert!((c.segments_per_cycle() - 386.0 / 128.0).abs() < 1e-12);
+        assert!(c.seconds_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn k20_is_smaller_than_k40() {
+        let k40 = DeviceConfig::k40();
+        let k20 = DeviceConfig::k20();
+        assert!(k20.concurrent_lanes() < k40.concurrent_lanes());
+        assert!(k20.global_mem_bytes < k40.global_mem_bytes);
+    }
+
+    #[test]
+    fn group_size_bound_shrinks_with_memory_pressure() {
+        let c = DeviceConfig::k40();
+        // Tiny graph: full cap.
+        assert_eq!(c.max_group_size(1 << 20, 1 << 20, 1 << 20, 128), 128);
+        // Status arrays that eat all memory: smaller power of two.
+        let n = c.max_group_size(8 << 30, 1 << 20, 1 << 28, 128);
+        assert!(n < 128 && n.is_power_of_two());
+        // Graph bigger than device memory: zero.
+        assert_eq!(c.max_group_size(16 << 30, 0, 1 << 20, 128), 0);
+    }
+
+    #[test]
+    fn group_size_is_power_of_two() {
+        let c = DeviceConfig::k40();
+        for sa in [1u64 << 24, 1 << 26, 1 << 27, 1 << 28] {
+            let n = c.max_group_size(1 << 30, 1 << 20, sa, 128);
+            assert!(n == 0 || n.is_power_of_two());
+        }
+    }
+}

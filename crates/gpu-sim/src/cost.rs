@@ -1,0 +1,235 @@
+//! Cost model: counters → simulated cycles → simulated seconds.
+//!
+//! BFS on GPUs is memory-bound (the paper: "BFS is a memory-intensive
+//! workload"), so the model is a per-phase roofline: each kernel phase costs
+//! `max(compute, memory)` cycles, where *memory* is the time to move the
+//! phase's DRAM bytes at device bandwidth and *compute* is the phase's
+//! lane-instructions spread over the device's cores. Each BFS level is one
+//! kernel launch and carries a fixed launch overhead
+//! ([`SimTimer::kernel_launch`]) — the host-side serialization of those
+//! launches is part of why running thousands of tiny per-instance kernels
+//! (the naive baseline) cannot beat one joint kernel.
+
+use crate::config::DeviceConfig;
+use crate::profiler::{Counters, Profiler};
+use serde::{Deserialize, Serialize};
+
+/// What a kernel phase is doing — used for per-phase breakdowns in the
+/// harness output. The cost formula is identical for every kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Expansion: fetching the neighbor lists of the frontiers.
+    Expansion,
+    /// Inspection: checking/updating neighbor statuses.
+    Inspection,
+    /// Frontier-queue generation (scan of the status array).
+    FrontierGeneration,
+    /// Anything else (initialization, bookkeeping).
+    Other,
+}
+
+/// Converts counter deltas into cycles for one device.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Device parameters.
+    pub config: DeviceConfig,
+    /// Fixed cost per kernel launch (one per BFS level), in cycles —
+    /// ~1 µs of driver/launch latency.
+    pub launch_overhead_cycles: f64,
+    /// Cycles per shared-memory (CTA cache) operation per bank-conflict-free
+    /// warp; shared memory is ~10× faster than global.
+    pub shared_op_cycles: f64,
+}
+
+impl CostModel {
+    /// Cost model for the given device.
+    pub fn new(config: DeviceConfig) -> Self {
+        CostModel {
+            config,
+            launch_overhead_cycles: 750.0,
+            shared_op_cycles: 1.0 / 32.0,
+        }
+    }
+
+    /// Memory-side cycles of a counter delta: DRAM bytes moved at device
+    /// bandwidth plus atomic serialization (each atomic moves one sector
+    /// and pays the RMW penalty).
+    pub fn memory_cycles(&self, d: &Counters) -> f64 {
+        let bytes = (d.global_load_bytes + d.global_store_bytes) as f64;
+        let stream_cycles = bytes / self.config.mem_bytes_per_cycle;
+        let atomic_cycles = d.atomic_transactions as f64
+            * (self.config.sector_bytes as f64 / self.config.mem_bytes_per_cycle
+                + self.config.atomic_penalty_cycles);
+        stream_cycles + atomic_cycles
+    }
+
+    /// Compute-side cycles: lane instructions over the device's concurrent
+    /// lanes, plus shared-memory operations.
+    pub fn compute_cycles(&self, d: &Counters) -> f64 {
+        let lanes = self.config.concurrent_lanes() as f64;
+        d.lane_instructions as f64 / lanes
+            + (d.shared_load_ops + d.shared_store_ops) as f64 * self.shared_op_cycles / lanes
+                * 32.0
+    }
+
+    /// Roofline cost of one kernel phase (no launch overhead — overhead
+    /// is charged once per level via [`SimTimer::kernel_launch`]).
+    pub fn phase_cycles(&self, d: &Counters) -> f64 {
+        self.memory_cycles(d).max(self.compute_cycles(d))
+    }
+
+    /// Converts cycles to seconds at the device clock.
+    pub fn seconds(&self, cycles: f64) -> f64 {
+        cycles * self.config.seconds_per_cycle()
+    }
+}
+
+/// Accumulates simulated time across kernel phases by snapshotting a
+/// [`Profiler`]'s counters.
+#[derive(Clone, Debug)]
+pub struct SimTimer {
+    model: CostModel,
+    last: Counters,
+    total_cycles: f64,
+    phases: u64,
+}
+
+impl SimTimer {
+    /// A timer starting from the profiler's current counters.
+    pub fn start(model: CostModel, prof: &Profiler) -> Self {
+        SimTimer {
+            model,
+            last: prof.snapshot(),
+            total_cycles: 0.0,
+            phases: 0,
+        }
+    }
+
+    /// Ends a kernel phase: costs everything recorded since the previous
+    /// checkpoint. Returns the phase's cycles.
+    pub fn phase(&mut self, prof: &Profiler, _kind: PhaseKind) -> f64 {
+        let now = prof.snapshot();
+        let delta = now.delta(&self.last);
+        self.last = now;
+        let cycles = self.model.phase_cycles(&delta);
+        self.total_cycles += cycles;
+        self.phases += 1;
+        cycles
+    }
+
+    /// Charges one kernel-launch overhead (call once per BFS level).
+    pub fn kernel_launch(&mut self) {
+        self.total_cycles += self.model.launch_overhead_cycles;
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.total_cycles
+    }
+
+    /// Total simulated seconds so far.
+    pub fn seconds(&self) -> f64 {
+        self.model.seconds(self.total_cycles)
+    }
+
+    /// Number of kernel phases costed.
+    pub fn phase_count(&self) -> u64 {
+        self.phases
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceConfig::k40())
+    }
+
+    #[test]
+    fn memory_bound_phase_costs_bandwidth_time() {
+        let m = model();
+        let d = Counters {
+            global_load_transactions: 3_000,
+            global_load_bytes: 3_000 * 128,
+            ..Default::default()
+        };
+        let cycles = m.memory_cycles(&d);
+        assert!((cycles - 3_000.0 * 128.0 / m.config.mem_bytes_per_cycle).abs() < 1e-9);
+        // Few instructions: roofline picks memory.
+        assert!(m.phase_cycles(&d) >= cycles);
+    }
+
+    #[test]
+    fn compute_bound_phase_costs_lane_time() {
+        let m = model();
+        let d = Counters {
+            lane_instructions: 28_800_000,
+            ..Default::default()
+        };
+        // 28.8M lanes / 2880 cores = 10_000 cycles.
+        assert!((m.compute_cycles(&d) - 10_000.0).abs() < 1e-9);
+        assert!(m.phase_cycles(&d) >= 10_000.0);
+    }
+
+    #[test]
+    fn atomics_cost_more_than_stores() {
+        let m = model();
+        let stores = Counters {
+            global_store_transactions: 1_000,
+            global_store_bytes: 1_000 * 32,
+            ..Default::default()
+        };
+        let atomics = Counters {
+            atomic_transactions: 1_000,
+            ..Default::default()
+        };
+        assert!(m.memory_cycles(&atomics) > m.memory_cycles(&stores));
+    }
+
+    #[test]
+    fn timer_accumulates_phases_with_overhead() {
+        let m = model();
+        let mut prof = Profiler::new(m.config);
+        let base = prof.alloc(1 << 20);
+        let mut t = SimTimer::start(m, &prof);
+
+        t.kernel_launch();
+        prof.load_contiguous(base, 0, 1_000, 4);
+        let c1 = t.phase(&prof, PhaseKind::Expansion);
+        assert!(c1 > 0.0);
+
+        // An empty phase is free; the launch overhead is charged per level.
+        let c2 = t.phase(&prof, PhaseKind::Inspection);
+        assert_eq!(c2, 0.0);
+
+        assert_eq!(t.phase_count(), 2);
+        assert!((t.cycles() - (c1 + c2 + m.launch_overhead_cycles)).abs() < 1e-9);
+        assert!(t.seconds() > 0.0);
+    }
+
+    #[test]
+    fn fewer_transactions_means_less_time() {
+        // The central claim the simulator must honor: halving traffic
+        // (more sharing, better coalescing) halves memory time.
+        let m = model();
+        let a = Counters {
+            global_load_transactions: 10_000,
+            global_load_bytes: 10_000 * 128,
+            ..Default::default()
+        };
+        let b = Counters {
+            global_load_transactions: 5_000,
+            global_load_bytes: 5_000 * 128,
+            ..Default::default()
+        };
+        assert!(m.memory_cycles(&b) < m.memory_cycles(&a));
+        assert!((m.memory_cycles(&a) / m.memory_cycles(&b) - 2.0).abs() < 1e-9);
+    }
+}

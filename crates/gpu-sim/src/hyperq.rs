@@ -1,0 +1,124 @@
+//! Hyper-Q concurrent-kernel execution model.
+//!
+//! Kepler's Hyper-Q provides 32 hardware work queues so independent kernels
+//! can execute concurrently. The paper's *naive* concurrent baseline runs one
+//! BFS kernel per instance through Hyper-Q and observes that it "takes
+//! approximately the same amount of time as running these BFS instances
+//! sequentially": every kernel competes for the same global-memory
+//! bandwidth, so for a memory-bound workload concurrency overlaps compute
+//! but cannot overlap traffic.
+//!
+//! The model here makes that precise: kernels' *memory* demands serialize on
+//! the shared bandwidth, while their *compute* demands overlap up to the
+//! stream limit.
+
+/// Compute/memory cycle demands of one kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelDemand {
+    /// Compute-side cycles (lane work over device cores).
+    pub compute_cycles: f64,
+    /// Memory-side cycles (transactions at device bandwidth).
+    pub memory_cycles: f64,
+}
+
+impl KernelDemand {
+    /// Roofline time of the kernel when run alone.
+    pub fn solo_cycles(&self) -> f64 {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+}
+
+/// Simulated cycles to run `kernels` concurrently through `streams` Hyper-Q
+/// queues on one device.
+///
+/// Memory is a shared resource: the total memory cycles add up. Compute
+/// overlaps: kernels are spread across waves of at most `streams`, and within
+/// a wave only the largest compute demand matters. The result is
+/// `max(Σ memory, wave-compute)` — never better than the bandwidth bound and
+/// never worse than running everything back-to-back.
+pub fn concurrent_cycles(kernels: &[KernelDemand], streams: u32) -> f64 {
+    assert!(streams > 0, "need at least one stream");
+    if kernels.is_empty() {
+        return 0.0;
+    }
+    let total_memory: f64 = kernels.iter().map(|k| k.memory_cycles).sum();
+    // Sort compute demands descending and sum per-wave maxima.
+    let mut compute: Vec<f64> = kernels.iter().map(|k| k.compute_cycles).collect();
+    compute.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    let wave_compute: f64 = compute.chunks(streams as usize).map(|w| w[0]).sum();
+    total_memory.max(wave_compute)
+}
+
+/// Simulated cycles to run the same kernels one after another.
+pub fn sequential_cycles(kernels: &[KernelDemand]) -> f64 {
+    kernels.iter().map(|k| k.solo_cycles()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernels_gain_nothing_from_concurrency() {
+        // The paper's observation: naive concurrent ≈ sequential for BFS.
+        let kernels: Vec<KernelDemand> = (0..16)
+            .map(|_| KernelDemand {
+                compute_cycles: 100.0,
+                memory_cycles: 1_000.0,
+            })
+            .collect();
+        let seq = sequential_cycles(&kernels);
+        let conc = concurrent_cycles(&kernels, 32);
+        assert!((conc - seq).abs() < 1e-9, "conc {conc} vs seq {seq}");
+    }
+
+    #[test]
+    fn compute_bound_kernels_overlap() {
+        let kernels: Vec<KernelDemand> = (0..16)
+            .map(|_| KernelDemand {
+                compute_cycles: 1_000.0,
+                memory_cycles: 10.0,
+            })
+            .collect();
+        let seq = sequential_cycles(&kernels);
+        let conc = concurrent_cycles(&kernels, 32);
+        // All 16 fit in one wave: concurrent = one kernel's compute.
+        assert!((conc - 1_000.0).abs() < 1e-9);
+        assert!(seq >= 15_000.0);
+    }
+
+    #[test]
+    fn stream_limit_forces_waves() {
+        let kernels: Vec<KernelDemand> = (0..8)
+            .map(|_| KernelDemand {
+                compute_cycles: 500.0,
+                memory_cycles: 0.0,
+            })
+            .collect();
+        // 8 kernels over 4 streams = 2 waves.
+        assert!((concurrent_cycles(&kernels, 4) - 1_000.0).abs() < 1e-9);
+        assert!((concurrent_cycles(&kernels, 8) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_never_beats_bandwidth_or_loses_to_sequential() {
+        let kernels = [
+            KernelDemand { compute_cycles: 300.0, memory_cycles: 700.0 },
+            KernelDemand { compute_cycles: 900.0, memory_cycles: 100.0 },
+            KernelDemand { compute_cycles: 50.0, memory_cycles: 50.0 },
+        ];
+        let conc = concurrent_cycles(&kernels, 2);
+        let seq = sequential_cycles(&kernels);
+        let mem_sum: f64 = kernels.iter().map(|k| k.memory_cycles).sum();
+        assert!(conc >= mem_sum - 1e-9);
+        assert!(conc <= seq + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_edge_cases() {
+        assert_eq!(concurrent_cycles(&[], 32), 0.0);
+        assert_eq!(sequential_cycles(&[]), 0.0);
+        let one = [KernelDemand { compute_cycles: 5.0, memory_cycles: 9.0 }];
+        assert_eq!(concurrent_cycles(&one, 1), 9.0);
+    }
+}

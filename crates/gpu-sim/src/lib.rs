@@ -1,0 +1,36 @@
+//! Deterministic SIMT GPU execution model.
+//!
+//! The iBFS paper is evaluated on NVIDIA Kepler GPUs and its three techniques
+//! win by changing *memory traffic*: joint traversal loads each frontier's
+//! adjacency once, coalesces status accesses from contiguous threads, and
+//! deduplicates frontier-queue stores; the bitwise status array shrinks
+//! status loads 8×. This crate reproduces the machinery those claims are
+//! measured with:
+//!
+//! * [`config::DeviceConfig`] — K40/K20-class device parameters (SMs, warps,
+//!   clock, bandwidth, 128-byte memory segments).
+//! * [`memory`] — the coalescer: a warp's 32 lane accesses collapse into one
+//!   global transaction per 128-byte segment touched, exactly how `nvprof`
+//!   counts `gld_transactions`/`gst_transactions`.
+//! * [`profiler::Profiler`] — transaction/request/atomic counters plus a bump
+//!   address-space allocator so logical arrays get realistic addresses.
+//! * [`warp`] — warp vote primitives (`__any`, `__ballot`) and lane math.
+//! * [`cost`] — converts counters into simulated cycles/seconds with a
+//!   `max(compute, memory)` roofline per kernel phase.
+//! * [`hyperq`] — the Kepler Hyper-Q concurrent-kernel model used by the
+//!   paper's "naive" concurrent baseline.
+//!
+//! Everything is deterministic: the same algorithm on the same graph yields
+//! byte-identical counter values, which the figure harness relies on.
+
+pub mod config;
+pub mod cost;
+pub mod hyperq;
+pub mod memory;
+pub mod profiler;
+pub mod warp;
+
+pub use config::DeviceConfig;
+pub use cost::{CostModel, PhaseKind, SimTimer};
+pub use memory::{transactions_for_contiguous, transactions_for_warp};
+pub use profiler::{Counters, Profiler};

@@ -1,0 +1,139 @@
+//! Warp-level primitives.
+//!
+//! iBFS leans on two CUDA warp votes: `__any()` to decide whether *any*
+//! instance considers a vertex a frontier (one thread then enqueues it), and
+//! `__ballot()` to build the bitmask of *which* instances share it. These are
+//! pure functions over the 32 lane predicates, reproduced here bit-exactly.
+
+/// Threads per warp on every NVIDIA architecture.
+pub const WARP_SIZE: usize = 32;
+
+/// CUDA `__ballot(pred)`: bit `i` of the result is lane `i`'s predicate.
+/// Missing lanes (iterator shorter than 32) contribute 0, like inactive
+/// threads.
+pub fn ballot(preds: impl IntoIterator<Item = bool>) -> u32 {
+    let mut mask = 0u32;
+    for (i, p) in preds.into_iter().enumerate() {
+        assert!(i < WARP_SIZE, "more than {WARP_SIZE} lanes in a warp vote");
+        if p {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// CUDA `__any(pred)`: true if any active lane's predicate holds.
+pub fn any(preds: impl IntoIterator<Item = bool>) -> bool {
+    preds.into_iter().any(|p| p)
+}
+
+/// CUDA `__all(pred)`: true if every lane's predicate holds (true for the
+/// empty warp, matching an all-inactive warp).
+pub fn all(preds: impl IntoIterator<Item = bool>) -> bool {
+    preds.into_iter().all(|p| p)
+}
+
+/// `__popc(ballot(...))`: number of lanes voting true.
+pub fn popc(mask: u32) -> u32 {
+    mask.count_ones()
+}
+
+/// The lane id (0-based) of the first set bit, like
+/// `__ffs(ballot(...)) - 1`; `None` when no lane voted. iBFS uses this to
+/// pick the single thread that enqueues a shared frontier.
+pub fn first_lane(mask: u32) -> Option<u32> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros())
+    }
+}
+
+/// Splits `count` work items into warps of 32, yielding `(warp_id, lanes)`
+/// where `lanes` is the range of item indices handled by that warp — the
+/// standard grid-stride assignment the engines use to map vertices to warps.
+pub fn warps_for(count: usize) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> {
+    (0..count.div_ceil(WARP_SIZE)).map(move |w| {
+        let lo = w * WARP_SIZE;
+        (w, lo..(lo + WARP_SIZE).min(count))
+    })
+}
+
+/// A multi-step tree reduction within a warp or CTA, as iBFS performs for
+/// bottom-up status merging "within threads in a warp or CTA, again avoiding
+/// atomic operations". Returns the OR of all words and the number of merge
+/// steps performed (log2 of the rounded-up lane count).
+pub fn tree_or_reduce(words: &[u64]) -> (u64, u32) {
+    if words.is_empty() {
+        return (0, 0);
+    }
+    let mut vals = words.to_vec();
+    let mut steps = 0u32;
+    while vals.len() > 1 {
+        let half = vals.len().div_ceil(2);
+        for i in 0..vals.len() / 2 {
+            vals[i] |= vals[half + i];
+        }
+        vals.truncate(half);
+        steps += 1;
+    }
+    (vals[0], steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_sets_lane_bits() {
+        let mask = ballot([true, false, true, false]);
+        assert_eq!(mask, 0b0101);
+        assert_eq!(ballot(std::iter::empty()), 0);
+        assert_eq!(ballot(std::iter::repeat_n(true, 32)), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn ballot_rejects_oversized_warp() {
+        ballot(std::iter::repeat_n(true, 33));
+    }
+
+    #[test]
+    fn any_and_all() {
+        assert!(any([false, true]));
+        assert!(!any([false, false]));
+        assert!(!any(std::iter::empty()));
+        assert!(all([true, true]));
+        assert!(!all([true, false]));
+        assert!(all(std::iter::empty()));
+    }
+
+    #[test]
+    fn popc_and_first_lane() {
+        let mask = ballot([false, true, true]);
+        assert_eq!(popc(mask), 2);
+        assert_eq!(first_lane(mask), Some(1));
+        assert_eq!(first_lane(0), None);
+    }
+
+    #[test]
+    fn warps_for_covers_all_items() {
+        let warps: Vec<_> = warps_for(70).collect();
+        assert_eq!(warps.len(), 3);
+        assert_eq!(warps[0].1, 0..32);
+        assert_eq!(warps[1].1, 32..64);
+        assert_eq!(warps[2].1, 64..70);
+        assert_eq!(warps_for(0).count(), 0);
+        assert_eq!(warps_for(32).count(), 1);
+    }
+
+    #[test]
+    fn tree_reduce_ors_everything() {
+        let words = [0b0001u64, 0b0010, 0b0100, 0b1000, 0b10000];
+        let (or, steps) = tree_or_reduce(&words);
+        assert_eq!(or, 0b11111);
+        assert_eq!(steps, 3); // ceil(log2(5))
+        assert_eq!(tree_or_reduce(&[]), (0, 0));
+        assert_eq!(tree_or_reduce(&[7]), (7, 0));
+    }
+}

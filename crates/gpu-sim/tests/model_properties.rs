@@ -1,0 +1,111 @@
+//! Property tests on the GPU-model invariants: coalescer bounds, address
+//! space disjointness, cost-model monotonicity, and Hyper-Q bracketing.
+
+use ibfs_gpu_sim::hyperq::{concurrent_cycles, sequential_cycles, KernelDemand};
+use ibfs_gpu_sim::{transactions_for_contiguous, transactions_for_warp};
+use ibfs_gpu_sim::{CostModel, Counters, DeviceConfig, Profiler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn contiguous_transactions_match_span(
+        base in (0u64..1000).prop_map(|x| x * 128),
+        start in 0u64..1000,
+        count in 1u64..10_000,
+        elem in prop_oneof![Just(1u32), Just(4), Just(8), Just(16)],
+    ) {
+        let txns = transactions_for_contiguous(base, start, count, elem, 128);
+        let bytes = count * elem as u64;
+        // At least ceil(bytes/128), at most that plus one boundary segment.
+        let lower = bytes.div_ceil(128);
+        prop_assert!(txns >= lower);
+        prop_assert!(txns <= lower + 1);
+    }
+
+    #[test]
+    fn warp_transactions_subadditive_under_concat(
+        a in proptest::collection::vec(0u64..100_000, 1..16),
+        b in proptest::collection::vec(0u64..100_000, 1..16),
+    ) {
+        let ta = transactions_for_warp(a.iter().copied(), 4, 32);
+        let tb = transactions_for_warp(b.iter().copied(), 4, 32);
+        let tab = transactions_for_warp(a.iter().chain(b.iter()).copied(), 4, 32);
+        prop_assert!(tab <= ta + tb);
+        prop_assert!(tab >= ta.max(tb));
+    }
+
+    #[test]
+    fn memory_cycles_monotone_in_bytes(
+        l1 in 0u64..1_000_000,
+        l2 in 0u64..1_000_000,
+        stores in 0u64..1_000_000,
+        atomics in 0u64..100_000,
+    ) {
+        let m = CostModel::new(DeviceConfig::k40());
+        let mk = |loads| Counters {
+            global_load_bytes: loads,
+            global_store_bytes: stores,
+            atomic_transactions: atomics,
+            ..Default::default()
+        };
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(m.memory_cycles(&mk(lo)) <= m.memory_cycles(&mk(hi)));
+    }
+
+    #[test]
+    fn hyperq_is_bracketed_by_bandwidth_and_sequential(
+        demands in proptest::collection::vec((0.0f64..10_000.0, 0.0f64..10_000.0), 1..32),
+        streams in 1u32..64,
+    ) {
+        let kernels: Vec<KernelDemand> = demands
+            .iter()
+            .map(|&(c, m)| KernelDemand { compute_cycles: c, memory_cycles: m })
+            .collect();
+        let conc = concurrent_cycles(&kernels, streams);
+        let seq = sequential_cycles(&kernels);
+        let mem_sum: f64 = kernels.iter().map(|k| k.memory_cycles).sum();
+        prop_assert!(conc + 1e-9 >= mem_sum);
+        prop_assert!(conc <= seq + 1e-9);
+        // More streams never hurt.
+        let conc2 = concurrent_cycles(&kernels, streams + 1);
+        prop_assert!(conc2 <= conc + 1e-9);
+    }
+
+    #[test]
+    fn allocations_never_overlap(sizes in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let base = prof.alloc(s);
+            prop_assert_eq!(base % 128, 0);
+            for &(b, len) in &ranges {
+                prop_assert!(base >= b + len || base + s <= b, "overlap");
+            }
+            ranges.push((base, s));
+        }
+    }
+
+    #[test]
+    fn counters_delta_add_roundtrip(
+        ops in proptest::collection::vec(0usize..5, 1..40),
+    ) {
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let base = prof.alloc(1 << 20);
+        let snap0 = prof.snapshot();
+        for (i, &op) in ops.iter().enumerate() {
+            let addr = base + (i as u64 * 97) % 4096;
+            match op {
+                0 => prof.lane_load(addr, 4),
+                1 => prof.lane_store(addr, 4),
+                2 => prof.atomic_rmw(addr, 8),
+                3 => prof.load_contiguous(base, i as u64, 50, 4),
+                _ => prof.lanes(17),
+            }
+        }
+        let end = prof.snapshot();
+        let delta = end.delta(&snap0);
+        prop_assert_eq!(snap0.add(&delta), end);
+    }
+}

@@ -1,0 +1,158 @@
+//! Incremental CSR construction with sorting and deduplication.
+
+use crate::{Csr, VertexId};
+
+/// Builds a [`Csr`] from individually added edges.
+///
+/// Duplicate edges are removed by default (the paper counts "different
+/// edges", e.g. TW's 196M deduplicated follower edges); self-loops are kept
+/// unless [`CsrBuilder::drop_self_loops`] is set, matching Graph500 semantics
+/// where self-loops are legal and counted by TEPS.
+pub struct CsrBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl CsrBuilder {
+    /// A builder for a graph with `num_vertices` vertices and no edges yet.
+    pub fn new(num_vertices: usize) -> Self {
+        CsrBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            dedup: true,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Pre-allocates space for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Keep duplicate edges instead of removing them.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Remove self-loops during `build`.
+    pub fn drop_self_loops(mut self) -> Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Adds both `(u, v)` and `(v, u)` — the suite's treatment of undirected
+    /// inputs ("each edge is considered as two directed edges").
+    pub fn add_undirected_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR graph.
+    pub fn build(mut self) -> Csr {
+        if self.drop_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        self.edges.sort_unstable();
+        if self.dedup {
+            self.edges.dedup();
+        }
+        let mut offsets = vec![0u64; self.num_vertices + 1];
+        for &(u, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..=self.num_vertices {
+            offsets[i] += offsets[i - 1];
+        }
+        let adj = self.edges.iter().map(|&(_, v)| v).collect();
+        Csr::from_parts(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 2);
+        b.add_edge(0, 1);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn dedups_by_default() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.edge_count(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn keep_duplicates_preserves_multiplicity() {
+        let mut b = CsrBuilder::new(2).keep_duplicates();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn self_loops_kept_unless_dropped() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        assert_eq!(b.build().num_edges(), 2);
+
+        let mut b = CsrBuilder::new(2).drop_self_loops();
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = CsrBuilder::new(3);
+        b.add_undirected_edge(0, 2);
+        let g = b.build();
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Connected components and component-aware utilities.
+//!
+//! The paper traverses from every vertex (APSP); on graphs with small
+//! disconnected fringes most of those traversals die immediately, so
+//! benchmark harnesses often restrict sources to the largest component.
+//! These helpers compute (weakly) connected components and extract the
+//! giant component as its own graph.
+
+use crate::{Csr, CsrBuilder, VertexId};
+
+/// Weakly-connected component labels (0-based, dense) for every vertex,
+/// treating every edge as undirected.
+pub fn weakly_connected_components(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let rev = if g.is_symmetric() { None } else { Some(g.reverse()) };
+    let mut label = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in 0..n as VertexId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next_label;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            let visit = |w: VertexId, label: &mut Vec<u32>, stack: &mut Vec<VertexId>| {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next_label;
+                    stack.push(w);
+                }
+            };
+            for &w in g.neighbors(v) {
+                visit(w, &mut label, &mut stack);
+            }
+            if let Some(r) = &rev {
+                for &w in r.neighbors(v) {
+                    visit(w, &mut label, &mut stack);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    label
+}
+
+/// Sizes of each component, indexed by label.
+pub fn component_sizes(labels: &[u32]) -> Vec<usize> {
+    let count = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut sizes = vec![0usize; count];
+    for &l in labels {
+        sizes[l as usize] += 1;
+    }
+    sizes
+}
+
+/// Extracts the largest weakly-connected component as a new graph.
+/// Returns the subgraph and the mapping from new vertex ids to original
+/// ids.
+pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
+    let labels = weakly_connected_components(g);
+    let sizes = component_sizes(&labels);
+    let Some((biggest, _)) = sizes.iter().enumerate().max_by_key(|&(_, s)| s) else {
+        return (CsrBuilder::new(0).build(), Vec::new());
+    };
+    let biggest = biggest as u32;
+    // Old-id → new-id map.
+    let mut old_to_new = vec![u32::MAX; g.num_vertices()];
+    let mut new_to_old = Vec::new();
+    for v in g.vertices() {
+        if labels[v as usize] == biggest {
+            old_to_new[v as usize] = new_to_old.len() as u32;
+            new_to_old.push(v);
+        }
+    }
+    let mut b = CsrBuilder::new(new_to_old.len());
+    for &v in &new_to_old {
+        for &w in g.neighbors(v) {
+            if labels[w as usize] == biggest {
+                b.add_edge(old_to_new[v as usize], old_to_new[w as usize]);
+            }
+        }
+    }
+    (b.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::figure1;
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = figure1();
+        let labels = weakly_connected_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(component_sizes(&labels), vec![9]);
+    }
+
+    #[test]
+    fn disconnected_pieces_get_distinct_labels() {
+        let mut b = CsrBuilder::new(7);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(3, 4);
+        // 5 and 6 isolated.
+        let g = b.build();
+        let labels = weakly_connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[6]);
+        let mut sizes = component_sizes(&labels);
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn directed_edges_connect_weakly() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1); // 2 reaches 1 but nothing reaches 2
+        let g = b.build();
+        let labels = weakly_connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = CsrBuilder::new(8);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(2, 3);
+        b.add_undirected_edge(5, 6);
+        let g = b.build();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 6);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert!(sub.is_symmetric());
+    }
+
+    #[test]
+    fn empty_graph_edge_case() {
+        let g = CsrBuilder::new(0).build();
+        assert!(weakly_connected_components(&g).is_empty());
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+}

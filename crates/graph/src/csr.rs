@@ -1,0 +1,269 @@
+//! Compressed Sparse Row graph storage.
+//!
+//! The paper stores every benchmark graph in CSR and keeps reversed edges for
+//! directed graphs so bottom-up traversal can look up in-neighbors. [`Csr`]
+//! mirrors that: `offsets`/`adj` hold out-edges; [`Csr::reverse`] produces the
+//! transposed graph.
+
+use crate::VertexId;
+
+/// A directed graph in Compressed Sparse Row form.
+///
+/// `offsets` has `num_vertices() + 1` entries; the neighbors of vertex `v`
+/// are `adj[offsets[v]..offsets[v + 1]]`, sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    adj: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR graph from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty, non-monotonic, its last entry differs
+    /// from `adj.len()`, or any adjacency entry is out of range.
+    pub fn from_parts(offsets: Vec<u64>, adj: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            adj.len() as u64,
+            "last offset must equal edge count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = (offsets.len() - 1) as u64;
+        assert!(
+            adj.iter().all(|&v| (v as u64) < n),
+            "adjacency entry out of range"
+        );
+        Csr { offsets, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbors of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Byte offset of the adjacency list of `v` inside the adjacency array.
+    /// Used by the GPU memory model to compute coalesced transaction counts.
+    #[inline]
+    pub fn adj_start(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// The raw offsets array (length `num_vertices() + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all directed edges `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&w| (v, w)))
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// The transposed graph (every edge reversed). For undirected inputs the
+    /// suite stores both directions so `reverse` equals the original.
+    pub fn reverse(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut in_deg = vec![0u64; n + 1];
+        for &w in &self.adj {
+            in_deg[w as usize + 1] += 1;
+        }
+        let mut offsets = in_deg;
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0 as VertexId; self.num_edges()];
+        for v in 0..n as VertexId {
+            for &w in self.neighbors(v) {
+                let slot = cursor[w as usize];
+                adj[slot as usize] = v;
+                cursor[w as usize] += 1;
+            }
+        }
+        // Each destination bucket was filled in ascending source order, so
+        // the adjacency lists are already sorted.
+        Csr { offsets, adj }
+    }
+
+    /// Whether the graph is symmetric (u→v implies v→u).
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+
+    /// Total bytes of the CSR arrays — the `S` term in the paper's group-size
+    /// bound `N <= (M - S - |JFQ|) / |SA|`.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.adj.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    /// The 9-vertex example graph of Figure 1, stored undirected (both
+    /// directions), used across the whole workspace's tests.
+    pub(crate) fn figure1_graph() -> Csr {
+        let und = [
+            (0u32, 1u32),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 5),
+            (3, 5),
+            (3, 6),
+            (4, 5),
+            (5, 7),
+            (5, 8),
+            (6, 7),
+            (7, 8),
+        ];
+        let mut b = CsrBuilder::new(9);
+        for &(u, v) in &und {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_basic_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 28);
+        assert!(g.is_symmetric());
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        assert_eq!(g.neighbors(5), &[2, 3, 4, 7, 8]);
+        assert_eq!(g.out_degree(7), 3);
+    }
+
+    #[test]
+    fn reverse_of_symmetric_graph_is_identity() {
+        let g = figure1_graph();
+        assert_eq!(g.reverse(), g);
+    }
+
+    #[test]
+    fn reverse_transposes_directed_graph() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        let g = b.build();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[0]);
+        assert_eq!(r.neighbors(3), &[2]);
+        assert_eq!(r.neighbors(0), &[3]);
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn has_edge_and_degree() {
+        let g = figure1_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 8));
+        assert_eq!(g.avg_degree(), 28.0 / 9.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_parts(vec![0], vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_symmetric());
+        assert_eq!(g.reverse().num_vertices(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = CsrBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency entry out of range")]
+    fn from_parts_rejects_out_of_range() {
+        Csr::from_parts(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset must equal edge count")]
+    fn from_parts_rejects_bad_last_offset() {
+        Csr::from_parts(vec![0, 2], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_parts_rejects_decreasing_offsets() {
+        Csr::from_parts(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn storage_bytes_counts_both_arrays() {
+        let g = figure1_graph();
+        assert_eq!(g.storage_bytes(), (10 * 8 + 28 * 4) as u64);
+    }
+}

@@ -1,0 +1,150 @@
+//! Out-degree statistics and hub discovery.
+//!
+//! The GroupBy rules of §5.2 are driven entirely by out-degrees: Rule 1
+//! thresholds source out-degree at `p`, Rule 2 asks for a shared neighbor
+//! with out-degree above `q`. This module provides the degree summaries and
+//! hub lists those rules and the Figure 14 table need.
+
+use crate::{Csr, VertexId};
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub avg: f64,
+    /// Population standard deviation of out-degree.
+    pub stddev: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `g`.
+    pub fn of(g: &Csr) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                avg: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0u64;
+        let mut sum_sq = 0u128;
+        for v in g.vertices() {
+            let d = g.out_degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d as u64;
+            sum_sq += (d as u128) * (d as u128);
+        }
+        let avg = sum as f64 / n as f64;
+        let var = (sum_sq as f64 / n as f64) - avg * avg;
+        DegreeStats {
+            min,
+            max,
+            avg,
+            stddev: var.max(0.0).sqrt(),
+        }
+    }
+}
+
+/// Histogram of out-degrees bucketed by powers of two: bucket `i` counts
+/// vertices with out-degree in `[2^i, 2^(i+1))`; bucket 0 also holds degree-0
+/// and degree-1 vertices.
+pub fn log2_degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// All vertices with out-degree strictly greater than `q`, sorted by
+/// descending degree — the "high-outdegree vertices" of GroupBy Rule 2.
+pub fn hubs(g: &Csr, q: usize) -> Vec<VertexId> {
+    let mut hs: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > q).collect();
+    hs.sort_unstable_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    hs
+}
+
+/// The `k` highest-out-degree vertices.
+pub fn top_k_by_degree(g: &Csr, k: usize) -> Vec<VertexId> {
+    let mut all: Vec<VertexId> = g.vertices().collect();
+    all.sort_unstable_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn star(n: usize) -> Csr {
+        // Vertex 0 is a hub connected to all others.
+        let mut b = CsrBuilder::new(n);
+        for v in 1..n as VertexId {
+            b.add_undirected_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let g = star(9);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert!((s.avg - 16.0 / 9.0).abs() < 1e-12);
+        assert!(s.stddev > 2.0);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let g = CsrBuilder::new(0).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, avg: 0.0, stddev: 0.0 });
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let g = star(9);
+        let h = log2_degree_histogram(&g);
+        // Eight leaves with degree 1 (bucket 0), one hub with degree 8
+        // (bucket 3).
+        assert_eq!(h[0], 8);
+        assert_eq!(h[3], 1);
+        assert_eq!(h.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn hubs_finds_high_degree_vertices() {
+        let g = star(9);
+        assert_eq!(hubs(&g, 4), vec![0]);
+        assert!(hubs(&g, 8).is_empty());
+        assert_eq!(hubs(&g, 0).len(), 9);
+    }
+
+    #[test]
+    fn top_k_sorted_by_degree() {
+        let g = star(9);
+        let top = top_k_by_degree(&g, 2);
+        assert_eq!(top[0], 0);
+        assert_eq!(top.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic graph generators.
+//!
+//! The paper draws five of its thirteen benchmarks from generators — KG0,
+//! KG1, KG2 from the Graph 500 Kronecker generator with
+//! `(A, B, C) = (0.57, 0.19, 0.19)`, RM from the same R-MAT theory with
+//! `(0.45, 0.15, 0.15)`, and RD from a uniform-outdegree random generator —
+//! and the remaining eight are real-world crawls we stand in for with
+//! power-law Chung–Lu graphs matching each crawl's size and density (see
+//! DESIGN.md §2 for the substitution argument).
+
+mod chunglu;
+mod rmat;
+mod uniform;
+
+pub use chunglu::{chung_lu, powerlaw_weights};
+pub use rmat::{rmat, RmatParams};
+pub use uniform::uniform_random;

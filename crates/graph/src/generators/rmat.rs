@@ -1,0 +1,160 @@
+//! R-MAT / Graph 500 Kronecker generator (Chakrabarti et al., SDM'04).
+
+use crate::{Csr, CsrBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. `d` is implied as `1 - a - b - c`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (both halves low).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Per-level multiplicative noise applied to `a` to avoid exact
+    /// self-similarity, as the Graph 500 reference generator does.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The Graph 500 default `(0.57, 0.19, 0.19)` used for KG0/KG1/KG2.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.05,
+        }
+    }
+
+    /// The DIMACS RM parameterization `(0.45, 0.15, 0.15)` from the paper.
+    pub fn dimacs_rm() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.15,
+            c: 0.15,
+            noise: 0.05,
+        }
+    }
+
+    fn validate(&self) {
+        let d = 1.0 - self.a - self.b - self.c;
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9,
+            "R-MAT probabilities must be non-negative and sum to <= 1"
+        );
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` undirected edges (stored as both directions),
+/// deduplicated, deterministic in `seed`.
+///
+/// Vertex ids are randomly permuted after generation, as Graph 500 requires,
+/// so vertex id carries no degree information.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    assert!(scale < 31, "scale too large for u32 vertex ids");
+    let n: usize = 1 << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Random vertex relabeling.
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    let mut b = CsrBuilder::new(n).with_edge_capacity(2 * m);
+    for _ in 0..m {
+        let (u, v) = sample_edge(scale, &params, &mut rng);
+        let (u, v) = (perm[u as usize], perm[v as usize]);
+        b.add_undirected_edge(u, v);
+    }
+    b.build()
+}
+
+fn sample_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let mut u: VertexId = 0;
+    let mut v: VertexId = 0;
+    for _ in 0..scale {
+        // Per-level noise keeps the degree distribution heavy-tailed without
+        // the artificial "staircase" of noiseless R-MAT.
+        let jitter = 1.0 + p.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        let a = (p.a * jitter).clamp(0.0, 1.0);
+        let rest = 1.0 - p.a;
+        let scale_rest = if rest > 0.0 { (1.0 - a) / rest } else { 0.0 };
+        let b = p.b * scale_rest;
+        let c = p.c * scale_rest;
+        let r: f64 = rng.gen();
+        u <<= 1;
+        v <<= 1;
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g1 = rmat(8, 8, RmatParams::graph500(), 42);
+        let g2 = rmat(8, 8, RmatParams::graph500(), 42);
+        assert_eq!(g1, g2);
+        let g3 = rmat(8, 8, RmatParams::graph500(), 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn has_requested_shape() {
+        let g = rmat(10, 16, RmatParams::graph500(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup removes some of the 2 * 16 * 1024 directed edges but the
+        // bulk should remain.
+        assert!(g.num_edges() > 16 * 1024);
+        assert!(g.num_edges() <= 2 * 16 * 1024);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn graph500_params_are_skewed() {
+        // Power-law check: max degree far above average.
+        let g = rmat(11, 16, RmatParams::graph500(), 7);
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(
+            max_deg as f64 > 8.0 * g.avg_degree(),
+            "expected a hub: max {max_deg} avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_bad_probabilities() {
+        rmat(
+            4,
+            4,
+            RmatParams {
+                a: 0.9,
+                b: 0.2,
+                c: 0.2,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+}

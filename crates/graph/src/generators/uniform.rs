@@ -1,0 +1,68 @@
+//! Uniform-outdegree random graph — the paper's RD benchmark
+//! ("RD graph has uniform outdegree distribution, i.e., each vertex has
+//! roughly the same outdegree").
+
+use crate::{Csr, CsrBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random graph with `n` vertices where each vertex gets
+/// `degree` undirected edges to uniformly random distinct endpoints
+/// (both directions stored). Deterministic in `seed`.
+pub fn uniform_random(n: usize, degree: usize, seed: u64) -> Csr {
+    assert!(n >= 2 || degree == 0, "need at least 2 vertices for edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n).with_edge_capacity(2 * n * degree);
+    for u in 0..n as VertexId {
+        for _ in 0..degree {
+            let mut v = rng.gen_range(0..n as VertexId);
+            while v == u {
+                v = rng.gen_range(0..n as VertexId);
+            }
+            b.add_undirected_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform_random(256, 8, 5), uniform_random(256, 8, 5));
+        assert_ne!(uniform_random(256, 8, 5), uniform_random(256, 8, 6));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = uniform_random(1024, 16, 3);
+        let stats = DegreeStats::of(&g);
+        // Each vertex initiates 16 undirected edges and receives ~16 more;
+        // with dedup the mean lands a little under 32.
+        assert!(stats.avg > 24.0 && stats.avg < 32.5, "avg {}", stats.avg);
+        // Uniform graphs have no hubs: max degree within a small factor of
+        // the mean (binomial tail), unlike the R-MAT hubs.
+        assert!(
+            (stats.max as f64) < 2.5 * stats.avg,
+            "max {} avg {}",
+            stats.max,
+            stats.avg
+        );
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = uniform_random(64, 4, 9);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn zero_degree_gives_empty_edge_set() {
+        let g = uniform_random(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

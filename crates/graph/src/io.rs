@@ -1,0 +1,196 @@
+//! Compact binary serialization for CSR graphs.
+//!
+//! Format (little-endian): magic `IBFS`, u32 version, u64 vertex count,
+//! u64 edge count, offsets (`|V|+1` × u64), adjacency (`|E|` × u32).
+//! The suite caches generated graphs in this format so repeated benchmark
+//! runs skip generation.
+
+use crate::{Csr, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"IBFS";
+const VERSION: u32 = 1;
+
+/// Errors decoding a binary graph.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended early or lengths are inconsistent.
+    Truncated,
+    /// Offsets/adjacency failed CSR validation.
+    Invalid(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic (not an IBFS graph file)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::Invalid(m) => write!(f, "invalid CSR: {m}"),
+            DecodeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+/// Encodes `g` to the binary format.
+pub fn encode(g: &Csr) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + g.offsets().len() * 8 + g.adjacency().len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for &o in g.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &v in g.adjacency() {
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from the binary format.
+pub fn decode(mut data: &[u8]) -> Result<Csr, DecodeError> {
+    if data.remaining() < 8 || &data[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    data.advance(4);
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    if data.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let need = (n + 1)
+        .checked_mul(8)
+        .and_then(|x| x.checked_add(m * 4))
+        .ok_or(DecodeError::Truncated)?;
+    if data.remaining() < need {
+        return Err(DecodeError::Truncated);
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    let mut adj: Vec<VertexId> = Vec::with_capacity(m);
+    for _ in 0..m {
+        adj.push(data.get_u32_le());
+    }
+    validate_parts(&offsets, &adj)?;
+    Ok(Csr::from_parts(offsets, adj))
+}
+
+fn validate_parts(offsets: &[u64], adj: &[VertexId]) -> Result<(), DecodeError> {
+    if offsets.is_empty() {
+        return Err(DecodeError::Invalid("empty offsets".into()));
+    }
+    if *offsets.last().unwrap() != adj.len() as u64 {
+        return Err(DecodeError::Invalid("last offset != edge count".into()));
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(DecodeError::Invalid("offsets not monotone".into()));
+    }
+    let n = (offsets.len() - 1) as u64;
+    if !adj.iter().all(|&v| (v as u64) < n) {
+        return Err(DecodeError::Invalid("adjacency out of range".into()));
+    }
+    Ok(())
+}
+
+/// Writes `g` to `path` in the binary format.
+pub fn save(g: &Csr, path: &Path) -> io::Result<()> {
+    fs::write(path, encode(g))
+}
+
+/// Reads a graph from `path`.
+pub fn load(path: &Path) -> Result<Csr, DecodeError> {
+    let data = fs::read(path)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, RmatParams};
+    use crate::CsrBuilder;
+
+    #[test]
+    fn round_trip() {
+        let g = rmat(8, 8, RmatParams::graph500(), 17);
+        let bytes = encode(&g);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let g = CsrBuilder::new(0).build();
+        assert_eq!(decode(&encode(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(decode(b"NOPE1234"), Err(DecodeError::BadMagic)));
+        assert!(matches!(decode(b""), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let g = rmat(6, 4, RmatParams::graph500(), 1);
+        let bytes = encode(&g);
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(matches!(decode(cut), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let g = CsrBuilder::new(1).build();
+        let mut data = encode(&g).to_vec();
+        data[4] = 99;
+        assert!(matches!(decode(&data), Err(DecodeError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_corrupt_adjacency() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut data = encode(&g).to_vec();
+        // Overwrite the single adjacency u32 (last 4 bytes) with an
+        // out-of-range id.
+        let len = data.len();
+        data[len - 4..].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(decode(&data), Err(DecodeError::Invalid(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = rmat(7, 4, RmatParams::dimacs_rm(), 2);
+        let dir = std::env::temp_dir().join("ibfs_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.ibfs");
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, g);
+        std::fs::remove_file(&path).ok();
+    }
+}

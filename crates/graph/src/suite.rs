@@ -1,0 +1,262 @@
+//! The paper's 13-graph benchmark suite at laptop scale, plus the Figure 1
+//! example graph used throughout the paper (and throughout our tests).
+//!
+//! The paper evaluates FB, FR, HW, KG0, KG1, KG2, LJ, OR, PK, RD, RM, TW and
+//! WK (Figure 14), with up to 16.7M vertices and 1B edges. We keep the same
+//! names, the same *kinds* of graphs (Graph 500 Kronecker for KG*, DIMACS
+//! R-MAT for RM, uniform random for RD, power-law social networks for the
+//! crawls) and the same relative densities, scaled down ~1000× so the whole
+//! suite runs on one machine. Every graph is deterministic in its name.
+
+use crate::generators::{chung_lu, powerlaw_weights, rmat, uniform_random, RmatParams};
+use crate::{Csr, CsrBuilder, VertexId};
+
+/// How a suite graph is generated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphKind {
+    /// Graph 500 Kronecker, `(A,B,C) = (0.57, 0.19, 0.19)`.
+    Kronecker {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Undirected edges per vertex.
+        edge_factor: usize,
+    },
+    /// DIMACS R-MAT, `(A,B,C) = (0.45, 0.15, 0.15)`.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Undirected edges per vertex.
+        edge_factor: usize,
+    },
+    /// Uniform-outdegree random graph (the RD benchmark).
+    Uniform {
+        /// Vertex count.
+        n: usize,
+        /// Undirected edges initiated per vertex.
+        degree: usize,
+    },
+    /// Chung–Lu power-law graph standing in for a real-world crawl.
+    PowerLaw {
+        /// Vertex count.
+        n: usize,
+        /// Target average undirected degree.
+        avg_degree: f64,
+        /// Power-law exponent (2.0–2.5 for social networks).
+        gamma: f64,
+    },
+}
+
+/// A named suite graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphSpec {
+    /// The paper's two-letter benchmark name.
+    pub name: &'static str,
+    /// Generator and parameters.
+    pub kind: GraphKind,
+    /// Generation seed (fixed per graph for reproducibility).
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// Generates the graph. Deterministic.
+    pub fn generate(&self) -> Csr {
+        match self.kind {
+            GraphKind::Kronecker { scale, edge_factor } => {
+                rmat(scale, edge_factor, RmatParams::graph500(), self.seed)
+            }
+            GraphKind::Rmat { scale, edge_factor } => {
+                rmat(scale, edge_factor, RmatParams::dimacs_rm(), self.seed)
+            }
+            GraphKind::Uniform { n, degree } => uniform_random(n, degree, self.seed),
+            GraphKind::PowerLaw { n, avg_degree, gamma } => {
+                let w = powerlaw_weights(n, avg_degree, gamma);
+                chung_lu(&w, self.seed)
+            }
+        }
+    }
+
+    /// Generates a smaller version (vertex count divided by `2^shrink`),
+    /// used by fast tests.
+    pub fn generate_scaled(&self, shrink: u32) -> Csr {
+        let spec = GraphSpec {
+            kind: match self.kind {
+                GraphKind::Kronecker { scale, edge_factor } => GraphKind::Kronecker {
+                    scale: scale.saturating_sub(shrink).max(6),
+                    edge_factor,
+                },
+                GraphKind::Rmat { scale, edge_factor } => GraphKind::Rmat {
+                    scale: scale.saturating_sub(shrink).max(6),
+                    edge_factor,
+                },
+                GraphKind::Uniform { n, degree } => GraphKind::Uniform {
+                    n: (n >> shrink).max(64),
+                    degree,
+                },
+                GraphKind::PowerLaw { n, avg_degree, gamma } => GraphKind::PowerLaw {
+                    n: (n >> shrink).max(64),
+                    avg_degree,
+                    gamma,
+                },
+            },
+            ..*self
+        };
+        spec.generate()
+    }
+}
+
+/// The full 13-graph suite in the paper's alphabetical order.
+pub fn suite() -> Vec<GraphSpec> {
+    vec![
+        // Facebook: 16.7M vertices, 421M edges → avg degree ~25.
+        spec("FB", GraphKind::PowerLaw { n: 1 << 14, avg_degree: 25.0, gamma: 2.2 }),
+        // Friendster: 16.7M vertices, 439M edges.
+        spec("FR", GraphKind::PowerLaw { n: 1 << 14, avg_degree: 26.0, gamma: 2.4 }),
+        // Hollywood collaboration: dense, very skewed.
+        spec("HW", GraphKind::PowerLaw { n: 1 << 13, avg_degree: 50.0, gamma: 2.1 }),
+        // KG0: the high-average-outdegree Kronecker graph (paper: deg 1024).
+        spec("KG0", GraphKind::Kronecker { scale: 12, edge_factor: 64 }),
+        // KG1: 8.4M vertices, 604M edges (paper: deg 72).
+        spec("KG1", GraphKind::Kronecker { scale: 13, edge_factor: 36 }),
+        // KG2: the biggest graph (paper: 16.7M vertices, 1.07B edges).
+        spec("KG2", GraphKind::Kronecker { scale: 14, edge_factor: 32 }),
+        // LiveJournal: 4.8M vertices, 138M edges.
+        spec("LJ", GraphKind::PowerLaw { n: 1 << 13, avg_degree: 28.0, gamma: 2.3 }),
+        // Orkut: 3.1M vertices, avg outdegree 75.27.
+        spec("OR", GraphKind::PowerLaw { n: 1 << 13, avg_degree: 75.0, gamma: 2.2 }),
+        // Pokec: the smallest graph, 1.6M vertices, 30.6M edges.
+        spec("PK", GraphKind::PowerLaw { n: 1 << 12, avg_degree: 19.0, gamma: 2.3 }),
+        // RD: uniform-outdegree random, 11.8M vertices, 189M edges (deg 16).
+        spec("RD", GraphKind::Uniform { n: 1 << 14, degree: 8 }),
+        // RM: DIMACS R-MAT, 2.1M vertices, 268M edges (deg 128).
+        spec("RM", GraphKind::Rmat { scale: 13, edge_factor: 64 }),
+        // Twitter: 16.7M vertices, 196M deduplicated follower edges.
+        spec("TW", GraphKind::PowerLaw { n: 1 << 14, avg_degree: 12.0, gamma: 2.0 }),
+        // Wikipedia links: 3.6M vertices, 45M edges.
+        spec("WK", GraphKind::PowerLaw { n: 1 << 13, avg_degree: 13.0, gamma: 2.2 }),
+    ]
+}
+
+/// The suite graphs used in the paper's CPU/GPU comparison (Figure 22).
+pub fn comparison_suite() -> Vec<GraphSpec> {
+    suite()
+        .into_iter()
+        .filter(|s| matches!(s.name, "FB" | "HW" | "KG0" | "LJ" | "OR" | "TW"))
+        .collect()
+}
+
+/// The suite graphs used in the paper's scalability test (Figure 17).
+pub fn scalability_suite() -> Vec<GraphSpec> {
+    suite()
+        .into_iter()
+        .filter(|s| matches!(s.name, "RD" | "FB" | "OR" | "TW" | "RM"))
+        .collect()
+}
+
+/// Looks up a suite graph by its paper name (case-insensitive).
+pub fn by_name(name: &str) -> Option<GraphSpec> {
+    suite()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+fn spec(name: &'static str, kind: GraphKind) -> GraphSpec {
+    // Seed derived from the name so each benchmark is independent but fixed.
+    let seed = name.bytes().fold(0xB5_u64, |h, b| {
+        h.wrapping_mul(0x100000001b3).wrapping_add(b as u64)
+    });
+    GraphSpec { name, kind, seed }
+}
+
+/// The 9-vertex example graph of Figure 1 (undirected, stored as both
+/// directions). Source vertices 0, 3, 6 and 8 reproduce the paper's BFS-0
+/// through BFS-3.
+pub fn figure1() -> Csr {
+    let und = [
+        (0u32, 1u32),
+        (0, 4),
+        (1, 2),
+        (1, 3),
+        (1, 4),
+        (2, 3),
+        (2, 5),
+        (3, 5),
+        (3, 6),
+        (4, 5),
+        (5, 7),
+        (5, 8),
+        (6, 7),
+        (7, 8),
+    ];
+    let mut b = CsrBuilder::new(9);
+    for &(u, v) in &und {
+        b.add_undirected_edge(u, v);
+    }
+    b.build()
+}
+
+/// The four source vertices of the paper's Figure 1 example.
+pub const FIGURE1_SOURCES: [VertexId; 4] = [0, 3, 6, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn suite_has_thirteen_named_graphs() {
+        let s = suite();
+        assert_eq!(s.len(), 13);
+        let names: Vec<&str> = s.iter().map(|g| g.name).collect();
+        assert_eq!(
+            names,
+            ["FB", "FR", "HW", "KG0", "KG1", "KG2", "LJ", "OR", "PK", "RD", "RM", "TW", "WK"]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = by_name("PK").unwrap();
+        assert_eq!(s.generate(), s.generate());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(by_name("kg0").unwrap().name, "KG0");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn comparison_and_scalability_subsets() {
+        assert_eq!(comparison_suite().len(), 6);
+        assert_eq!(scalability_suite().len(), 5);
+    }
+
+    #[test]
+    fn kg2_is_biggest_kronecker() {
+        // Mirror of the paper: KG2 has both the biggest vertex and edge
+        // count of the Kronecker graphs.
+        let kg0 = by_name("KG0").unwrap().generate_scaled(2);
+        let kg2 = by_name("KG2").unwrap().generate_scaled(2);
+        assert!(kg2.num_vertices() > kg0.num_vertices());
+    }
+
+    #[test]
+    fn rd_is_uniform_others_skewed() {
+        let rd = by_name("RD").unwrap().generate_scaled(3);
+        let tw = by_name("TW").unwrap().generate_scaled(3);
+        let rd_stats = DegreeStats::of(&rd);
+        let tw_stats = DegreeStats::of(&tw);
+        assert!(rd_stats.stddev / rd_stats.avg < 0.5);
+        assert!(tw_stats.stddev / tw_stats.avg > 1.0);
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let g = figure1();
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 28);
+        assert!(g.is_symmetric());
+        // Vertex 5 is the high-degree vertex in the example.
+        assert_eq!(g.out_degree(5), 5);
+    }
+}

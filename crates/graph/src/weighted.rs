@@ -1,0 +1,224 @@
+//! Weighted graphs: CSR with per-edge weights.
+//!
+//! The paper situates iBFS among shortest-path algorithms (§9: Dijkstra,
+//! Bellman-Ford, Floyd-Warshall) and notes its implementation "can be
+//! easily configured to ... traverse weighted graphs". [`WeightedCsr`]
+//! carries a weight per directed edge, parallel to the adjacency array, so
+//! the concurrent-SSSP engine can stream `(neighbor, weight)` pairs with
+//! the same coalescing behaviour as unweighted adjacency.
+
+use crate::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge weight. Non-negative; `u32` matches the common SSSP benchmarks.
+pub type Weight = u32;
+
+/// Distance accumulator (large enough for |V| × max weight).
+pub type Dist = u64;
+
+/// Sentinel for unreachable vertices.
+pub const DIST_UNREACHED: Dist = Dist::MAX;
+
+/// A weighted directed graph: a [`Csr`] plus one weight per edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedCsr {
+    csr: Csr,
+    weights: Vec<Weight>,
+}
+
+impl WeightedCsr {
+    /// Pairs a CSR with per-edge weights (parallel to its adjacency array).
+    ///
+    /// # Panics
+    /// Panics if the weight count differs from the edge count.
+    pub fn new(csr: Csr, weights: Vec<Weight>) -> Self {
+        assert_eq!(
+            csr.num_edges(),
+            weights.len(),
+            "one weight per directed edge"
+        );
+        WeightedCsr { csr, weights }
+    }
+
+    /// Assigns uniform random weights in `1..=max_weight` to an existing
+    /// graph, *symmetrically*: the weight of `(u, v)` equals the weight of
+    /// `(v, u)` when both directions exist (undirected semantics).
+    /// Deterministic in `seed`.
+    pub fn random_weights(csr: Csr, max_weight: Weight, seed: u64) -> Self {
+        assert!(max_weight >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = vec![0 as Weight; csr.num_edges()];
+        let offsets = csr.offsets().to_vec();
+        for u in csr.vertices() {
+            let lo = offsets[u as usize] as usize;
+            for (i, &v) in csr.neighbors(u).iter().enumerate() {
+                if weights[lo + i] != 0 {
+                    continue;
+                }
+                let w = rng.gen_range(1..=max_weight);
+                weights[lo + i] = w;
+                // Mirror onto the reverse edge when present.
+                if let Ok(pos) = csr.neighbors(v).binary_search(&u) {
+                    let vlo = offsets[v as usize] as usize;
+                    if weights[vlo + pos] == 0 {
+                        weights[vlo + pos] = w;
+                    }
+                }
+            }
+        }
+        WeightedCsr { csr, weights }
+    }
+
+    /// The underlying unweighted structure.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Neighbors of `v` with their edge weights.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.csr.adj_start(v) as usize;
+        self.csr
+            .neighbors(v)
+            .iter()
+            .zip(&self.weights[lo..])
+            .map(|(&w, &wt)| (w, wt))
+    }
+
+    /// All weights, parallel to [`Csr::adjacency`].
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// The transposed weighted graph (weights follow their edges).
+    pub fn reverse(&self) -> WeightedCsr {
+        let mut b = Vec::with_capacity(self.csr.num_edges());
+        for u in self.csr.vertices() {
+            for (v, w) in self.neighbors(u) {
+                b.push((v, u, w));
+            }
+        }
+        b.sort_unstable();
+        let mut offsets = vec![0u64; self.csr.num_vertices() + 1];
+        for &(v, _, _) in &b {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let adj: Vec<VertexId> = b.iter().map(|&(_, u, _)| u).collect();
+        let weights: Vec<Weight> = b.iter().map(|&(_, _, w)| w).collect();
+        WeightedCsr {
+            csr: Csr::from_parts(offsets, adj),
+            weights,
+        }
+    }
+}
+
+/// Reference Dijkstra from `source` (binary heap), for validating the
+/// concurrent engine.
+pub fn dijkstra(g: &WeightedCsr, source: VertexId) -> Vec<Dist> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.csr().num_vertices();
+    let mut dist = vec![DIST_UNREACHED; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (w, wt) in g.neighbors(v) {
+            let nd = d + wt as Dist;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::figure1;
+    use crate::CsrBuilder;
+
+    fn small_weighted() -> WeightedCsr {
+        // 0 -1-> 1 -1-> 2, plus a heavy shortcut 0 -5-> 2.
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let csr = b.build();
+        // Adjacency sorted: 0: [1, 2], 1: [2].
+        WeightedCsr::new(csr, vec![1, 5, 1])
+    }
+
+    #[test]
+    fn neighbors_pair_weights() {
+        let g = small_weighted();
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1), (2, 5)]);
+    }
+
+    #[test]
+    fn dijkstra_takes_light_path() {
+        let g = small_weighted();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 1, 2]); // via 1, not the weight-5 shortcut
+    }
+
+    #[test]
+    fn dijkstra_marks_unreachable() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = WeightedCsr::new(b.build(), vec![4]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 4, DIST_UNREACHED]);
+    }
+
+    #[test]
+    fn random_weights_are_symmetric_and_in_range() {
+        let g = WeightedCsr::random_weights(figure1(), 10, 3);
+        for u in g.csr().vertices() {
+            for (v, w) in g.neighbors(u) {
+                assert!((1..=10).contains(&w));
+                let back = g.neighbors(v).find(|&(x, _)| x == u).unwrap();
+                assert_eq!(back.1, w, "weight of ({u},{v}) must mirror");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        let g = WeightedCsr::random_weights(figure1(), 1, 0);
+        let d = dijkstra(&g, 0);
+        let bfs = crate::validate::reference_bfs(g.csr(), 0);
+        for v in 0..9 {
+            assert_eq!(d[v], bfs[v] as Dist);
+        }
+    }
+
+    #[test]
+    fn reverse_keeps_weights_with_edges() {
+        let g = small_weighted();
+        let r = g.reverse();
+        let into2: Vec<_> = r.neighbors(2).collect();
+        assert_eq!(into2, vec![(0, 5), (1, 1)]);
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per directed edge")]
+    fn rejects_mismatched_weights() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 1);
+        WeightedCsr::new(b.build(), vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Scale concurrent BFS across simulated GPUs — the paper's 112-GPU
+//! Stampede experiment (Figure 17) in miniature.
+//!
+//! ```sh
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use ibfs::groupby::GroupingStrategy;
+use ibfs_cluster::{run_cluster, ClusterConfig};
+use ibfs_graph::generators::uniform_random;
+use ibfs_graph::VertexId;
+
+fn main() {
+    // RD-style uniform graph: the paper's best-scaling workload.
+    let graph = uniform_random(8192, 8, 21);
+    let reverse = graph.reverse();
+    let sources: Vec<VertexId> = (0..1024).collect();
+    println!(
+        "uniform graph: {} vertices, {} edges; {} sources in groups of 32",
+        graph.num_vertices(),
+        graph.num_edges(),
+        sources.len()
+    );
+
+    let base = ClusterConfig {
+        gpus: 1,
+        grouping: GroupingStrategy::Random { seed: 2, group_size: 32 },
+        ..Default::default()
+    };
+    let t1 = run_cluster(&graph, &reverse, &sources, &base).makespan_seconds;
+    println!("\n gpus   makespan (sim ms)   speedup   busy devices");
+    for gpus in [1usize, 2, 4, 8, 16, 32, 64, 112] {
+        let run = run_cluster(&graph, &reverse, &sources, &ClusterConfig {
+            gpus,
+            ..base.clone()
+        });
+        let busy = run.devices.iter().filter(|d| d.groups > 0).count();
+        println!(
+            " {gpus:4}   {:17.4}   {:7.2}   {busy:4}",
+            run.makespan_seconds * 1e3,
+            run.speedup_vs(t1)
+        );
+    }
+    println!("\nspeedup saturates once devices outnumber the {} groups", sources.len() / 32);
+}

@@ -1,0 +1,60 @@
+//! Build a 3-hop reachability index with iBFS and answer queries — the
+//! paper's Table 1 application ("whether there exists a path from vertex s
+//! to t with the number of edges in-between less than k").
+//!
+//! ```sh
+//! cargo run --release --example reachability_index
+//! ```
+
+use ibfs_apps::reachability::{IndexBuilder, ReachabilityIndex};
+use ibfs_graph::generators::{rmat, RmatParams};
+use ibfs_graph::validate::reference_bfs;
+
+fn main() {
+    let graph = rmat(12, 16, RmatParams::graph500(), 7);
+    let reverse = graph.reverse();
+    let sources: Vec<u32> = (0..512).collect();
+    println!(
+        "graph: {} vertices, {} edges; indexing {} sources at k = 3",
+        graph.num_vertices(),
+        graph.num_edges(),
+        sources.len()
+    );
+
+    // Build with each implementation and compare build times.
+    for builder in [
+        IndexBuilder::CpuMsBfs,
+        IndexBuilder::CpuIbfs,
+        IndexBuilder::GpuB40c,
+        IndexBuilder::GpuIbfs,
+    ] {
+        let out = ReachabilityIndex::build(&graph, &reverse, &sources, 3, builder, 128);
+        println!(
+            "  {:10} build: {:>9.3} ms ({} bytes of index)",
+            format!("{builder:?}"),
+            out.seconds * 1e3,
+            out.index.size_bytes()
+        );
+    }
+
+    // Use the GPU-iBFS-built index to answer queries.
+    let out = ReachabilityIndex::build(&graph, &reverse, &sources, 3, IndexBuilder::GpuIbfs, 128);
+    let index = out.index;
+    let mut within = 0;
+    let mut beyond = 0;
+    for &s in sources.iter().take(8) {
+        let depths = reference_bfs(&graph, s);
+        for t in [0u32, 100, 1000, 4000] {
+            let fast = index.query(s, t).unwrap();
+            let exact = depths[t as usize] != ibfs_graph::DEPTH_UNVISITED
+                && depths[t as usize] <= 3;
+            assert_eq!(fast, exact, "index answer must match exact BFS");
+            if fast {
+                within += 1;
+            } else {
+                beyond += 1;
+            }
+        }
+    }
+    println!("spot-checked 32 queries against exact BFS: {within} within 3 hops, {beyond} beyond");
+}

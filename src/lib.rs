@@ -1,0 +1,11 @@
+//! Umbrella crate for the iBFS reproduction workspace.
+//!
+//! Re-exports the member crates so the top-level examples and integration
+//! tests can reach everything through one dependency. Library users should
+//! depend on the member crates directly.
+
+pub use ibfs;
+pub use ibfs_apps as apps;
+pub use ibfs_cluster as cluster;
+pub use ibfs_gpu_sim as gpu_sim;
+pub use ibfs_graph as graph;

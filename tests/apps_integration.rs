@@ -1,0 +1,84 @@
+//! Cross-crate application tests: the k-hop index, centralities and
+//! diameter estimation agree with brute-force references on suite graphs.
+
+use ibfs_repro::apps::reachability::{IndexBuilder, ReachabilityIndex};
+use ibfs_repro::apps::{
+    betweenness_centrality, closeness_centrality, double_sweep_lower_bound, exact_diameter,
+    top_k_closeness,
+};
+use ibfs_repro::graph::validate::{reference_bfs, reference_bfs_capped};
+use ibfs_repro::graph::{suite, VertexId, DEPTH_UNVISITED};
+use ibfs_repro::ibfs::engine::EngineKind;
+
+fn test_graph() -> ibfs_repro::graph::Csr {
+    suite::by_name("WK").unwrap().generate_scaled(4)
+}
+
+#[test]
+fn khop_index_consistent_across_all_builders() {
+    let g = test_graph();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..32).collect();
+    let outs: Vec<_> = [
+        IndexBuilder::CpuMsBfs,
+        IndexBuilder::CpuIbfs,
+        IndexBuilder::GpuB40c,
+        IndexBuilder::GpuIbfs,
+    ]
+    .into_iter()
+    .map(|b| ReachabilityIndex::build(&g, &r, &sources, 3, b, 16))
+    .collect();
+    for (i, &s) in sources.iter().enumerate() {
+        let depths = reference_bfs_capped(&g, s, 3);
+        for v in g.vertices() {
+            let want = depths[v as usize] != DEPTH_UNVISITED;
+            for out in &outs {
+                assert_eq!(out.index.reachable(i, v), want, "source {s} vertex {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn closeness_and_betweenness_sane_on_suite_graph() {
+    let g = test_graph();
+    let r = g.reverse();
+    let sample: Vec<VertexId> = (0..48).collect();
+    let closeness = closeness_centrality(&g, &r, &sample, EngineKind::Bitwise, 16);
+    assert_eq!(closeness.len(), sample.len());
+    assert!(closeness.iter().all(|&c| (0.0..=1.0).contains(&c)));
+
+    let bc = betweenness_centrality(&g, &r, &sample, EngineKind::Bitwise, 16);
+    assert_eq!(bc.len(), g.num_vertices());
+    assert!(bc.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    // The highest-degree vertex should accumulate some betweenness.
+    let hub = ibfs_repro::graph::degree::top_k_by_degree(&g, 1)[0];
+    assert!(bc[hub as usize] > 0.0);
+
+    let top = top_k_closeness(&g, &r, &sample, 5, EngineKind::Bitwise, 16);
+    assert_eq!(top.len(), 5);
+    assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+}
+
+#[test]
+fn diameter_bounds_are_consistent() {
+    let g = test_graph();
+    let r = g.reverse();
+    let exact = exact_diameter(&g, &r, 32);
+    let lower = double_sweep_lower_bound(&g, &r, 0);
+    assert!(lower <= exact, "double sweep {lower} must lower-bound exact {exact}");
+    // Brute-force cross-check on the sampled eccentricities.
+    let brute = g
+        .vertices()
+        .map(|v| {
+            reference_bfs(&g, v)
+                .iter()
+                .copied()
+                .filter(|&d| d != DEPTH_UNVISITED)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap();
+    assert_eq!(exact, brute);
+}

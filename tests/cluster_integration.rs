@@ -1,0 +1,81 @@
+//! Cross-crate cluster tests: device partitioning interacts correctly with
+//! GroupBy, and makespan accounting is consistent.
+
+use ibfs_repro::cluster::{run_cluster, ClusterConfig};
+use ibfs_repro::graph::{suite, VertexId};
+use ibfs_repro::ibfs::groupby::{GroupByConfig, GroupingStrategy};
+
+fn graph() -> ibfs_repro::graph::Csr {
+    suite::by_name("FB").unwrap().generate_scaled(4)
+}
+
+#[test]
+fn makespan_is_max_of_device_times_and_work_is_conserved() {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..96).collect();
+    let run = run_cluster(&g, &r, &sources, &ClusterConfig {
+        gpus: 3,
+        grouping: GroupingStrategy::Random { seed: 9, group_size: 16 },
+        ..Default::default()
+    });
+    let max = run
+        .devices
+        .iter()
+        .map(|d| d.sim_seconds)
+        .fold(0.0f64, f64::max);
+    assert!((run.makespan_seconds - max).abs() < 1e-15);
+    assert_eq!(
+        run.devices.iter().map(|d| d.instances).sum::<usize>(),
+        sources.len()
+    );
+    assert_eq!(run.devices.iter().map(|d| d.groups).sum::<usize>(), 6);
+    assert!(run.teps() > 0.0);
+}
+
+#[test]
+fn groupby_grouping_works_across_devices() {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    let grouping = GroupingStrategy::OutDegreeRules(
+        GroupByConfig::default().with_group_size(32).with_q(32),
+    );
+    let one = run_cluster(&g, &r, &sources, &ClusterConfig {
+        gpus: 1,
+        grouping: grouping.clone(),
+        ..Default::default()
+    });
+    let four = run_cluster(&g, &r, &sources, &ClusterConfig {
+        gpus: 4,
+        grouping,
+        ..Default::default()
+    });
+    assert_eq!(one.traversed_edges, four.traversed_edges);
+    let speedup = four.speedup_vs(one.makespan_seconds);
+    assert!(speedup > 2.0, "4-GPU speedup {speedup} too low");
+    assert!(speedup <= 4.0 + 1e-9);
+}
+
+#[test]
+fn lpt_beats_or_matches_round_robin_makespan() {
+    let g = graph();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..80).collect();
+    let grouping = GroupingStrategy::Random { seed: 3, group_size: 8 };
+    let lpt = run_cluster(&g, &r, &sources, &ClusterConfig {
+        gpus: 3,
+        lpt: true,
+        grouping: grouping.clone(),
+        ..Default::default()
+    });
+    let rr = run_cluster(&g, &r, &sources, &ClusterConfig {
+        gpus: 3,
+        lpt: false,
+        grouping,
+        ..Default::default()
+    });
+    // LPT schedules by estimated weight; it should not be dramatically
+    // worse than round robin, and usually is better.
+    assert!(lpt.makespan_seconds <= rr.makespan_seconds * 1.25);
+}

@@ -1,0 +1,125 @@
+//! Integration tests pinning the paper's headline *qualitative* claims at
+//! test scale: the engine ordering of Figure 15, Lemma 1's sharing-degree /
+//! speedup relationship, and the scaling behaviour of Figure 17.
+
+use ibfs_repro::cluster::{run_cluster, ClusterConfig};
+use ibfs_repro::graph::suite;
+use ibfs_repro::graph::VertexId;
+use ibfs_repro::ibfs::engine::EngineKind;
+use ibfs_repro::ibfs::groupby::{GroupByConfig, GroupingStrategy};
+use ibfs_repro::ibfs::runner::{run_ibfs, RunConfig};
+
+fn powerlaw() -> ibfs_repro::graph::Csr {
+    suite::by_name("FB").unwrap().generate_scaled(3)
+}
+
+#[test]
+fn figure15_engine_ordering() {
+    let g = powerlaw();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..192.min(g.num_vertices()) as VertexId).collect();
+    let grouping = GroupingStrategy::Random { seed: 3, group_size: 64 };
+    let secs = |engine: EngineKind| {
+        run_ibfs(&g, &r, &sources, &RunConfig {
+            engine,
+            grouping: grouping.clone(),
+            ..Default::default()
+        })
+        .sim_seconds
+    };
+    let seq = secs(EngineKind::Sequential);
+    let naive = secs(EngineKind::Naive);
+    let joint = secs(EngineKind::Joint);
+    let bitwise = secs(EngineKind::Bitwise);
+
+    // Naive ≈ sequential (within 30% either way).
+    assert!((0.7..1.3).contains(&(naive / seq)), "naive/seq = {}", naive / seq);
+    // Joint beats both private-queue engines.
+    assert!(joint < seq && joint < naive);
+    // Bitwise beats joint.
+    assert!(bitwise < joint, "bitwise {bitwise} vs joint {joint}");
+}
+
+#[test]
+fn lemma1_sharing_degree_tracks_speedup() {
+    // Lemma 1: SD equals the expected speedup of joint over sequential
+    // execution of the group. Check the *correlation*: a group with higher
+    // SD shows a higher sequential/joint time ratio.
+    let g = powerlaw();
+    let r = g.reverse();
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    let grouped = GroupingStrategy::OutDegreeRules(
+        GroupByConfig::default().with_group_size(32).with_q(64),
+    );
+    let random = GroupingStrategy::Random { seed: 9, group_size: 32 };
+
+    let measure = |grouping: &GroupingStrategy| {
+        let joint = run_ibfs(&g, &r, &all[..256], &RunConfig {
+            engine: EngineKind::Joint,
+            grouping: grouping.clone(),
+            ..Default::default()
+        });
+        let seq = run_ibfs(&g, &r, &all[..256], &RunConfig {
+            engine: EngineKind::Sequential,
+            grouping: grouping.clone(),
+            ..Default::default()
+        });
+        (joint.sharing_degree(), seq.sim_seconds / joint.sim_seconds)
+    };
+    let (sd_grouped, speedup_grouped) = measure(&grouped);
+    let (sd_random, speedup_random) = measure(&random);
+    assert!(
+        sd_grouped > sd_random,
+        "GroupBy SD {sd_grouped} should exceed random SD {sd_random}"
+    );
+    assert!(
+        speedup_grouped > speedup_random,
+        "higher SD must mean higher speedup: {speedup_grouped} vs {speedup_random}"
+    );
+}
+
+#[test]
+fn figure17_scaling_monotone_until_saturation() {
+    let g = suite::by_name("RD").unwrap().generate_scaled(3);
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..256.min(g.num_vertices()) as VertexId).collect();
+    let grouping = GroupingStrategy::Random { seed: 5, group_size: 16 };
+    let base = ClusterConfig { gpus: 1, grouping, ..Default::default() };
+    let t1 = run_cluster(&g, &r, &sources, &base).makespan_seconds;
+    let mut last = 0.0;
+    for gpus in [1usize, 2, 4, 8, 16] {
+        let run = run_cluster(&g, &r, &sources, &ClusterConfig { gpus, ..base.clone() });
+        let speedup = run.speedup_vs(t1);
+        assert!(
+            speedup + 1e-9 >= last,
+            "speedup must not decrease with more GPUs: {speedup} after {last}"
+        );
+        last = speedup;
+    }
+    assert!(last > 4.0, "16 GPUs should speed up over 4x, got {last}");
+}
+
+#[test]
+fn groupby_improves_end_to_end_runtime() {
+    let g = powerlaw();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    let random = run_ibfs(&g, &r, &sources, &RunConfig {
+        engine: EngineKind::Bitwise,
+        grouping: GroupingStrategy::Random { seed: 8, group_size: 64 },
+        ..Default::default()
+    });
+    let grouped = run_ibfs(&g, &r, &sources, &RunConfig {
+        engine: EngineKind::Bitwise,
+        grouping: GroupingStrategy::OutDegreeRules(
+            GroupByConfig::default().with_group_size(64).with_q(64),
+        ),
+        ..Default::default()
+    });
+    assert!(
+        grouped.sim_seconds < random.sim_seconds,
+        "GroupBy {} should beat random {}",
+        grouped.sim_seconds,
+        random.sim_seconds
+    );
+}

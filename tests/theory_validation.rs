@@ -1,0 +1,100 @@
+//! Validation of the paper's §5.1 theory against the implementation.
+//!
+//! Lemma 1 defines the sharing degree over the per-level frontier queues;
+//! under pure top-down traversal the frontier sets are exactly the
+//! equal-depth sets, so the SD measured from an actual top-down run must
+//! *equal* the SD computed analytically from the depth arrays. Theorem 1 /
+//! Lemma 2 are statistical; their checks live in the fig6 harness.
+
+use ibfs_repro::graph::{suite, CsrBuilder, VertexId};
+use ibfs_repro::gpu_sim::{DeviceConfig, Profiler};
+use ibfs_repro::ibfs::direction::DirectionPolicy;
+use ibfs_repro::ibfs::engine::{Engine, GpuGraph};
+use ibfs_repro::ibfs::joint::JointEngine;
+use ibfs_repro::ibfs::sharing::analytic_sharing_degree;
+use proptest::prelude::*;
+
+fn run_top_down_sd(g: &ibfs_repro::graph::Csr, sources: &[VertexId]) -> (f64, f64) {
+    let r = g.reverse();
+    let engine = JointEngine {
+        policy: DirectionPolicy::top_down_only(),
+        ..Default::default()
+    };
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let gg = GpuGraph::new(g, &r, &mut prof);
+    let run = engine.run_group(&gg, sources, &mut prof);
+    let analytic = analytic_sharing_degree(
+        &(0..sources.len())
+            .map(|j| run.instance_depths(j).to_vec())
+            .collect::<Vec<_>>(),
+    );
+    (run.sharing_degree(), analytic)
+}
+
+#[test]
+fn lemma1_sd_matches_analytic_formula_on_suite_graph() {
+    let g = suite::by_name("LJ").unwrap().generate_scaled(4);
+    let sources: Vec<VertexId> = (0..24).collect();
+    let (measured, analytic) = run_top_down_sd(&g, &sources);
+    assert!(
+        (measured - analytic).abs() < 1e-9,
+        "measured SD {measured} != analytic SD {analytic}"
+    );
+    assert!(measured >= 1.0 && measured <= sources.len() as f64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lemma1_sd_matches_analytic_on_arbitrary_graphs(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..90),
+        nsrc in 2usize..6,
+    ) {
+        let mut b = CsrBuilder::new(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                b.add_undirected_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
+        let (measured, analytic) = run_top_down_sd(&g, &sources);
+        prop_assert!((measured - analytic).abs() < 1e-9,
+            "measured {} vs analytic {}", measured, analytic);
+    }
+}
+
+#[test]
+fn engines_accept_empty_source_lists() {
+    let g = suite::figure1();
+    let r = g.reverse();
+    for kind in ibfs_repro::ibfs::engine::EngineKind::all() {
+        let engine = kind.build();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = engine.run_group(&gg, &[], &mut prof);
+        assert_eq!(run.num_instances, 0, "{kind:?}");
+        assert_eq!(run.traversed_edges, 0);
+    }
+}
+
+#[test]
+fn engines_handle_single_edge_graph() {
+    let mut b = CsrBuilder::new(2);
+    b.add_undirected_edge(0, 1);
+    let g = b.build();
+    let r = g.reverse();
+    for kind in ibfs_repro::ibfs::engine::EngineKind::all() {
+        let engine = kind.build();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let run = engine.run_group(&gg, &[0, 1], &mut prof);
+        assert_eq!(run.depth_of(0, 0), 0);
+        assert_eq!(run.depth_of(0, 1), 1);
+        assert_eq!(run.depth_of(1, 1), 0);
+        assert_eq!(run.depth_of(1, 0), 1);
+    }
+}

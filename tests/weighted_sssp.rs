@@ -1,0 +1,107 @@
+//! Integration and property tests for the weighted-graph configuration:
+//! the concurrent SSSP engine must match Dijkstra everywhere.
+
+use ibfs_repro::graph::weighted::{dijkstra, WeightedCsr, DIST_UNREACHED};
+use ibfs_repro::graph::{CsrBuilder, VertexId};
+use ibfs_repro::gpu_sim::{DeviceConfig, Profiler};
+use ibfs_repro::ibfs::sssp::{ConcurrentSssp, SsspMode, WeightedGpuGraph};
+use proptest::prelude::*;
+
+fn run_mode(g: &WeightedCsr, sources: &[VertexId], mode: SsspMode) -> Vec<u64> {
+    let rev = g.csr().reverse();
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let wg = WeightedGpuGraph::new(g, &rev, &mut prof);
+    ConcurrentSssp { mode }.run_group(&wg, sources, &mut prof).dists
+}
+
+#[test]
+fn suite_graph_sssp_matches_dijkstra() {
+    let base = ibfs_repro::graph::suite::by_name("PK").unwrap().generate_scaled(3);
+    let g = WeightedCsr::random_weights(base, 50, 13);
+    let sources: Vec<VertexId> = (0..24).collect();
+    let dists = run_mode(&g, &sources, SsspMode::Joint);
+    let n = g.csr().num_vertices();
+    for (j, &s) in sources.iter().enumerate() {
+        assert_eq!(&dists[j * n..(j + 1) * n], &dijkstra(&g, s)[..], "source {s}");
+    }
+}
+
+#[test]
+fn dimacs_round_trip_preserves_shortest_paths() {
+    let base = ibfs_repro::graph::suite::figure1();
+    let g = WeightedCsr::random_weights(base, 9, 2);
+    let text = ibfs_repro::graph::dimacs::to_string(&g);
+    let back = ibfs_repro::graph::dimacs::parse(&text).unwrap();
+    for s in g.csr().vertices() {
+        assert_eq!(dijkstra(&g, s), dijkstra(&back, s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn concurrent_sssp_matches_dijkstra_on_arbitrary_graphs(
+        n in 2usize..24,
+        edges in proptest::collection::vec((0u32..24, 0u32..24, 1u32..20), 1..80),
+        nsrc in 1usize..5,
+    ) {
+        let mut b = CsrBuilder::new(n);
+        let mut weight_of = std::collections::BTreeMap::new();
+        for (u, v, w) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v && !weight_of.contains_key(&(u, v)) {
+                b.add_edge(u, v);
+                weight_of.insert((u, v), w);
+            }
+        }
+        let csr = b.build();
+        // Weights in adjacency order.
+        let mut weights = Vec::with_capacity(csr.num_edges());
+        for u in csr.vertices() {
+            for &v in csr.neighbors(u) {
+                weights.push(weight_of[&(u, v)]);
+            }
+        }
+        let g = WeightedCsr::new(csr, weights);
+        let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
+
+        let joint = run_mode(&g, &sources, SsspMode::Joint);
+        let seq = run_mode(&g, &sources, SsspMode::Sequential);
+        prop_assert_eq!(&joint, &seq);
+        let nn = g.csr().num_vertices();
+        for (j, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(&joint[j * nn..(j + 1) * nn], &dijkstra(&g, s)[..]);
+        }
+    }
+
+    #[test]
+    fn sssp_distances_satisfy_triangle_inequality(
+        n in 2usize..20,
+        edges in proptest::collection::vec((0u32..20, 0u32..20, 1u32..9), 1..60),
+    ) {
+        let mut b = CsrBuilder::new(n);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut list = Vec::new();
+        for (u, v, w) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v && seen.insert((u, v)) {
+                b.add_edge(u, v);
+                list.push((u, v, w));
+            }
+        }
+        let csr = b.build();
+        list.sort_unstable();
+        let weights: Vec<u32> = list.iter().map(|&(_, _, w)| w).collect();
+        let g = WeightedCsr::new(csr, weights);
+
+        let dists = run_mode(&g, &[0], SsspMode::Joint);
+        for &(u, v, w) in &list {
+            let du = dists[u as usize];
+            let dv = dists[v as usize];
+            if du != DIST_UNREACHED {
+                prop_assert!(dv <= du + w as u64, "edge ({u},{v},{w}): {dv} > {du}+{w}");
+            }
+        }
+    }
+}
