@@ -1,0 +1,12 @@
+#!/bin/sh
+# Offline CI gate for the iBFS reproduction workspace.
+#
+# The workspace is hermetic: every dependency is an in-tree path crate
+# (see DESIGN.md "Hermetic build policy"), so all of this must pass with
+# no network and no registry cache.
+set -eux
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo bench --no-run --workspace --offline
+cargo build --examples --offline

@@ -2,7 +2,7 @@
 //! status-word width (int/long/int4/long4), bottom-up early termination,
 //! the CTA shared-memory adjacency cache, and the direction-switch policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs::bitwise::{BitwiseEngine, BitwiseStyle};
 use ibfs::direction::DirectionPolicy;
 use ibfs::engine::{Engine, GpuGraph};

@@ -2,7 +2,7 @@
 //! simulating one concurrent group (the simulation itself is the system
 //! under test here; simulated TEPS come from the `reproduce` harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs::engine::{EngineKind, GpuGraph};
 use ibfs_graph::suite;
 use ibfs_gpu_sim::{DeviceConfig, Profiler};

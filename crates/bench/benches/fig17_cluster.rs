@@ -1,7 +1,7 @@
 //! Criterion bench mirroring Figure 17: cost of the multi-GPU cluster
 //! simulation at different device counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs::groupby::GroupingStrategy;
 use ibfs_cluster::{run_cluster, ClusterConfig};
 use ibfs_graph::suite;

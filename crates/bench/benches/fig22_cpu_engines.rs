@@ -1,7 +1,7 @@
 //! Criterion bench mirroring the CPU side of Figure 22: real wall-clock
 //! throughput of CPU-iBFS vs CPU MS-BFS on a power-law graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ibfs::cpu::{CpuIbfs, CpuMsBfs};
 use ibfs_graph::suite;
 

@@ -3,7 +3,7 @@
 //! themselves come from the `reproduce` binary; this tracks the harness's
 //! own cost so regressions in the engines or the simulator show up in CI.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs_bench::figures::{run_by_id, ALL_IDS};
 use ibfs_bench::HarnessConfig;
 

@@ -1,7 +1,7 @@
 //! Micro-benches of the substrate primitives: the coalescer, warp votes,
 //! status-word operations, and graph generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs::word::{StatusWord, W256};
 use ibfs_gpu_sim::warp::{ballot, tree_or_reduce};
 use ibfs_gpu_sim::{transactions_for_contiguous, transactions_for_warp};

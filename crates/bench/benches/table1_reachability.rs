@@ -1,7 +1,7 @@
 //! Criterion bench mirroring Table 1: 3-hop reachability index
 //! construction with each builder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibfs_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfs_apps::reachability::{IndexBuilder, ReachabilityIndex};
 use ibfs_graph::suite;
 

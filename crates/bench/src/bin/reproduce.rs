@@ -100,19 +100,13 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&results) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("[reproduce] wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("failed to serialize results: {e}");
-                return ExitCode::FAILURE;
-            }
+        use ibfs_util::ToJson;
+        let json = results.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("[reproduce] wrote {path}");
     }
     ExitCode::SUCCESS
 }

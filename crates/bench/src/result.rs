@@ -1,10 +1,10 @@
 //! Uniform result type for reproduced figures and tables.
 
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// One reproduced figure or table: a header, rows of cells, and free-form
 /// notes comparing against the paper's reported shape.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigureResult {
     /// Identifier ("fig2", "table1", ...).
     pub id: String,
@@ -17,6 +17,8 @@ pub struct FigureResult {
     /// Observations (e.g. measured speedup factors) for EXPERIMENTS.md.
     pub notes: Vec<String>,
 }
+
+json_struct!(FigureResult { id, title, header, rows, notes });
 
 impl FigureResult {
     /// Creates an empty result with the given identity.
@@ -118,8 +120,9 @@ mod tests {
         let mut r = FigureResult::new("fig15", "Traversal rate", &["graph", "gteps"]);
         r.push_row(vec!["FB".into(), "309.62".into()]);
         r.note("shape check: HOLDS");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: FigureResult = serde_json::from_str(&json).unwrap();
+        use ibfs_util::{FromJson, Json, ToJson};
+        let json = r.to_json().to_string();
+        let back = FigureResult::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.id, r.id);
         assert_eq!(back.rows, r.rows);
         assert_eq!(back.notes, r.notes);

@@ -5,7 +5,7 @@ use ibfs::groupby::GroupingStrategy;
 use ibfs_graph::partition::{bin_loads, lpt_assign};
 use ibfs_graph::{Csr, VertexId};
 use ibfs_gpu_sim::{DeviceConfig, Profiler};
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// Configuration of a cluster run.
 #[derive(Clone, Debug)]
@@ -37,7 +37,7 @@ impl Default for ClusterConfig {
 }
 
 /// Per-device outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceRun {
     /// Device index.
     pub device: usize,
@@ -51,8 +51,10 @@ pub struct DeviceRun {
     pub traversed_edges: u64,
 }
 
+json_struct!(DeviceRun { device, groups, instances, sim_seconds, traversed_edges });
+
 /// Result of a cluster run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterRun {
     /// Number of devices.
     pub gpus: usize,
@@ -63,6 +65,8 @@ pub struct ClusterRun {
     /// Total traversed edges across the cluster.
     pub traversed_edges: u64,
 }
+
+json_struct!(ClusterRun { gpus, devices, makespan_seconds, traversed_edges });
 
 impl ClusterRun {
     /// Aggregate cluster traversal rate: all traversed edges over the

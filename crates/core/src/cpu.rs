@@ -171,24 +171,23 @@ fn run_cpu(
         let depth = level as Depth;
 
         // next <- cur (parallelized sweep).
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for r in ranges(n, threads) {
                 let (cur_ref, next_ref) = (cur_ref, next_ref);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for v in r {
                         next_ref[v].store(cur_ref[v].load(Ordering::Relaxed), Ordering::Relaxed);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         if per_level_reset {
             // MS-BFS maintains an extra visit map each level: model the
             // cost with one more sweep over the words.
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for r in ranges(n, threads) {
                     let next_ref = next_ref;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for v in r {
                             // A load+store of the visit word.
                             let w = next_ref[v].load(Ordering::Relaxed);
@@ -196,18 +195,17 @@ fn run_cpu(
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
 
         // Traversal.
         match direction {
             Direction::TopDown => {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     for r in ranges(queue.len(), threads) {
                         let q = &queue[r];
                         let (cur_ref, next_ref) = (cur_ref, next_ref);
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             for &f in q {
                                 let mask = cur_ref[f as usize].load(Ordering::Relaxed);
                                 for &w in csr.neighbors(f) {
@@ -219,15 +217,14 @@ fn run_cpu(
                             }
                         });
                     }
-                })
-                .unwrap();
+                });
             }
             Direction::BottomUp => {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     for r in ranges(queue.len(), threads) {
                         let q = &queue[r];
                         let (cur_ref, next_ref) = (cur_ref, next_ref);
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             for &f in q {
                                 // Only this thread writes f's word.
                                 let mut acc = next_ref[f as usize].load(Ordering::Relaxed);
@@ -241,8 +238,7 @@ fn run_cpu(
                             }
                         });
                     }
-                })
-                .unwrap();
+                });
             }
         }
 
@@ -255,7 +251,7 @@ fn run_cpu(
         }
         let rs = ranges(n, threads);
         let mut parts: Vec<Part> = Vec::with_capacity(rs.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             let mut rest: &mut [Depth] = &mut depths_vm;
             let mut offset = 0usize;
@@ -266,7 +262,7 @@ fn run_cpu(
                 rest = tail;
                 offset += take;
                 let (cur_ref, next_ref) = (cur_ref, next_ref);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut part = Part {
                         new_marked: 0,
                         new_edges: 0,
@@ -299,8 +295,7 @@ fn run_cpu(
             for h in handles {
                 parts.push(h.join().unwrap());
             }
-        })
-        .unwrap();
+        });
 
         let new_marked: u64 = parts.iter().map(|p| p.new_marked).sum();
         let new_edges: u64 = parts.iter().map(|p| p.new_edges).sum();

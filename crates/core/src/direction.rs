@@ -8,10 +8,10 @@
 //! this policy so their traversal orders — and therefore their per-level
 //! frontier sets — are comparable.
 
-use serde::{Deserialize, Serialize};
+use ibfs_util::{json_enum, json_struct};
 
 /// Traversal direction at one BFS level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Expand from the frontier to unvisited neighbors.
     TopDown,
@@ -19,8 +19,10 @@ pub enum Direction {
     BottomUp,
 }
 
+json_enum!(Direction { TopDown, BottomUp });
+
 /// The α/β heuristic of direction-optimizing BFS.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DirectionPolicy {
     /// Switch top-down → bottom-up when
     /// `frontier_edges > unexplored_edges / alpha`.
@@ -29,6 +31,10 @@ pub struct DirectionPolicy {
     /// `frontier_vertices < total_vertices / beta`.
     pub beta: f64,
 }
+
+// `top_down_only()` carries `alpha = +inf`; the util codec maps non-finite
+// floats to strings so this round-trips.
+json_struct!(DirectionPolicy { alpha, beta });
 
 impl DirectionPolicy {
     /// Beamer's published defaults.

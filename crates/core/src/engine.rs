@@ -21,7 +21,7 @@
 use crate::direction::Direction;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_gpu_sim::{Counters, Profiler};
-use serde::{Deserialize, Serialize};
+use ibfs_util::{json_enum, json_struct};
 
 /// A graph resident on the simulated device: the CSR arrays plus their
 /// device base addresses.
@@ -67,7 +67,7 @@ impl<'a> GpuGraph<'a> {
 }
 
 /// Per-level traversal statistics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LevelStats {
     /// Level number (depth assigned at this level).
     pub level: u32,
@@ -83,6 +83,15 @@ pub struct LevelStats {
     /// Bottom-up inspections cut short by early termination.
     pub early_terminations: u64,
 }
+
+json_struct!(LevelStats {
+    level,
+    direction,
+    unique_frontiers,
+    instance_frontiers,
+    edges_inspected,
+    early_terminations,
+});
 
 /// Result of running one group of concurrent BFS instances.
 #[derive(Clone, Debug)]
@@ -174,7 +183,7 @@ pub trait Engine {
 }
 
 /// Engine selector used by the runner and the figure harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Per-instance direction-optimizing BFS, run back-to-back
     /// (the paper's "sequential" and its B40C comparison point).
@@ -191,6 +200,8 @@ pub enum EngineKind {
     /// Top-down-only concurrent BFS (the SpMM-BC comparison point).
     Spmm,
 }
+
+json_enum!(EngineKind { Sequential, Naive, Joint, Bitwise, BitwiseMsBfsStyle, Spmm });
 
 impl EngineKind {
     /// Instantiates the engine with default settings.

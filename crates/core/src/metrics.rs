@@ -3,7 +3,7 @@
 use crate::direction::Direction;
 use crate::engine::GroupRun;
 use ibfs_graph::{Csr, Depth, DEPTH_UNVISITED};
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// Traversed-edges-per-second from raw quantities.
 pub fn teps(traversed_edges: u64, seconds: f64) -> f64 {
@@ -28,13 +28,15 @@ pub fn format_teps(teps: f64) -> String {
 }
 
 /// Population mean and standard deviation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MeanStd {
     /// Mean.
     pub mean: f64,
     /// Population standard deviation.
     pub stddev: f64,
 }
+
+json_struct!(MeanStd { mean, stddev });
 
 /// Computes mean and stddev of a sample.
 pub fn mean_std(values: &[f64]) -> MeanStd {

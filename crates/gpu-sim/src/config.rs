@@ -1,12 +1,12 @@
 //! Device parameterization.
 
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// Parameters of a simulated GPU.
 ///
 /// The defaults model the NVIDIA Tesla K40 the paper evaluates on (2880
 /// cores, 12 GB, 288 GB/s) and the K20 of the Stampede cluster experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DeviceConfig {
     /// Streaming multiprocessors.
     pub sm_count: u32,
@@ -40,6 +40,21 @@ pub struct DeviceConfig {
     /// Threads per cooperative thread array (block). The paper uses 256.
     pub cta_size: u32,
 }
+
+json_struct!(DeviceConfig {
+    sm_count,
+    warps_per_sm,
+    warp_size,
+    segment_bytes,
+    sector_bytes,
+    global_mem_bytes,
+    clock_mhz,
+    mem_bytes_per_cycle,
+    atomic_penalty_cycles,
+    hyperq_streams,
+    shared_mem_per_cta,
+    cta_size,
+});
 
 impl DeviceConfig {
     /// NVIDIA Tesla K40: the paper's single-GPU evaluation device.

@@ -12,11 +12,11 @@
 
 use crate::config::DeviceConfig;
 use crate::profiler::{Counters, Profiler};
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_enum;
 
 /// What a kernel phase is doing — used for per-phase breakdowns in the
 /// harness output. The cost formula is identical for every kind.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PhaseKind {
     /// Expansion: fetching the neighbor lists of the frontiers.
     Expansion,
@@ -27,6 +27,8 @@ pub enum PhaseKind {
     /// Anything else (initialization, bookkeeping).
     Other,
 }
+
+json_enum!(PhaseKind { Expansion, Inspection, FrontierGeneration, Other });
 
 /// Converts counter deltas into cycles for one device.
 #[derive(Clone, Copy, Debug)]

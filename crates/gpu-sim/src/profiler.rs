@@ -8,7 +8,7 @@
 
 use crate::config::DeviceConfig;
 use crate::memory::{transactions_for_contiguous, transactions_for_warp, AddressSpace};
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// `nvprof`-style event counters.
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// L1 and are served per L2 sector). The `*_bytes` fields record the actual
 /// DRAM traffic each transaction moved, which is what the bandwidth-side
 /// cost model integrates.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Global-memory load transactions (lines or sectors read).
     pub global_load_transactions: u64,
@@ -42,6 +42,19 @@ pub struct Counters {
     /// side of the roofline).
     pub lane_instructions: u64,
 }
+
+json_struct!(Counters {
+    global_load_transactions,
+    global_store_transactions,
+    global_load_bytes,
+    global_store_bytes,
+    global_load_requests,
+    global_store_requests,
+    atomic_transactions,
+    shared_load_ops,
+    shared_store_ops,
+    lane_instructions,
+});
 
 impl Counters {
     /// Component-wise difference `self - earlier`; counters are monotone so

@@ -4,45 +4,44 @@
 use ibfs_gpu_sim::hyperq::{concurrent_cycles, sequential_cycles, KernelDemand};
 use ibfs_gpu_sim::{transactions_for_contiguous, transactions_for_warp};
 use ibfs_gpu_sim::{CostModel, Counters, DeviceConfig, Profiler};
-use proptest::prelude::*;
+use ibfs_util::prop::{vec_of, Prop};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn contiguous_transactions_match_span(
-        base in (0u64..1000).prop_map(|x| x * 128),
-        start in 0u64..1000,
-        count in 1u64..10_000,
-        elem in prop_oneof![Just(1u32), Just(4), Just(8), Just(16)],
-    ) {
+#[test]
+fn contiguous_transactions_match_span() {
+    Prop::new("contiguous_transactions_match_span").cases(128).run(|rng| {
+        let base = rng.gen_range(0u64..1000) * 128;
+        let start = rng.gen_range(0u64..1000);
+        let count = rng.gen_range(1u64..10_000);
+        let elem = [1u32, 4, 8, 16][rng.gen_range(0usize..4)];
         let txns = transactions_for_contiguous(base, start, count, elem, 128);
         let bytes = count * elem as u64;
         // At least ceil(bytes/128), at most that plus one boundary segment.
         let lower = bytes.div_ceil(128);
-        prop_assert!(txns >= lower);
-        prop_assert!(txns <= lower + 1);
-    }
+        assert!(txns >= lower);
+        assert!(txns <= lower + 1);
+    });
+}
 
-    #[test]
-    fn warp_transactions_subadditive_under_concat(
-        a in proptest::collection::vec(0u64..100_000, 1..16),
-        b in proptest::collection::vec(0u64..100_000, 1..16),
-    ) {
+#[test]
+fn warp_transactions_subadditive_under_concat() {
+    Prop::new("warp_transactions_subadditive_under_concat").cases(128).run(|rng| {
+        let a = vec_of(rng, 1..16, |r| r.gen_range(0u64..100_000));
+        let b = vec_of(rng, 1..16, |r| r.gen_range(0u64..100_000));
         let ta = transactions_for_warp(a.iter().copied(), 4, 32);
         let tb = transactions_for_warp(b.iter().copied(), 4, 32);
         let tab = transactions_for_warp(a.iter().chain(b.iter()).copied(), 4, 32);
-        prop_assert!(tab <= ta + tb);
-        prop_assert!(tab >= ta.max(tb));
-    }
+        assert!(tab <= ta + tb);
+        assert!(tab >= ta.max(tb));
+    });
+}
 
-    #[test]
-    fn memory_cycles_monotone_in_bytes(
-        l1 in 0u64..1_000_000,
-        l2 in 0u64..1_000_000,
-        stores in 0u64..1_000_000,
-        atomics in 0u64..100_000,
-    ) {
+#[test]
+fn memory_cycles_monotone_in_bytes() {
+    Prop::new("memory_cycles_monotone_in_bytes").cases(128).run(|rng| {
+        let l1 = rng.gen_range(0u64..1_000_000);
+        let l2 = rng.gen_range(0u64..1_000_000);
+        let stores = rng.gen_range(0u64..1_000_000);
+        let atomics = rng.gen_range(0u64..100_000);
         let m = CostModel::new(DeviceConfig::k40());
         let mk = |loads| Counters {
             global_load_bytes: loads,
@@ -51,46 +50,50 @@ proptest! {
             ..Default::default()
         };
         let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
-        prop_assert!(m.memory_cycles(&mk(lo)) <= m.memory_cycles(&mk(hi)));
-    }
+        assert!(m.memory_cycles(&mk(lo)) <= m.memory_cycles(&mk(hi)));
+    });
+}
 
-    #[test]
-    fn hyperq_is_bracketed_by_bandwidth_and_sequential(
-        demands in proptest::collection::vec((0.0f64..10_000.0, 0.0f64..10_000.0), 1..32),
-        streams in 1u32..64,
-    ) {
-        let kernels: Vec<KernelDemand> = demands
-            .iter()
-            .map(|&(c, m)| KernelDemand { compute_cycles: c, memory_cycles: m })
-            .collect();
+#[test]
+fn hyperq_is_bracketed_by_bandwidth_and_sequential() {
+    Prop::new("hyperq_is_bracketed_by_bandwidth_and_sequential").cases(128).run(|rng| {
+        let kernels: Vec<KernelDemand> = vec_of(rng, 1..32, |r| KernelDemand {
+            compute_cycles: r.gen_range(0.0f64..10_000.0),
+            memory_cycles: r.gen_range(0.0f64..10_000.0),
+        });
+        let streams = rng.gen_range(1u32..64);
         let conc = concurrent_cycles(&kernels, streams);
         let seq = sequential_cycles(&kernels);
         let mem_sum: f64 = kernels.iter().map(|k| k.memory_cycles).sum();
-        prop_assert!(conc + 1e-9 >= mem_sum);
-        prop_assert!(conc <= seq + 1e-9);
+        assert!(conc + 1e-9 >= mem_sum);
+        assert!(conc <= seq + 1e-9);
         // More streams never hurt.
         let conc2 = concurrent_cycles(&kernels, streams + 1);
-        prop_assert!(conc2 <= conc + 1e-9);
-    }
+        assert!(conc2 <= conc + 1e-9);
+    });
+}
 
-    #[test]
-    fn allocations_never_overlap(sizes in proptest::collection::vec(0u64..10_000, 1..64)) {
+#[test]
+fn allocations_never_overlap() {
+    Prop::new("allocations_never_overlap").cases(128).run(|rng| {
+        let sizes = vec_of(rng, 1..64, |r| r.gen_range(0u64..10_000));
         let mut prof = Profiler::new(DeviceConfig::k40());
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for &s in &sizes {
             let base = prof.alloc(s);
-            prop_assert_eq!(base % 128, 0);
+            assert_eq!(base % 128, 0);
             for &(b, len) in &ranges {
-                prop_assert!(base >= b + len || base + s <= b, "overlap");
+                assert!(base >= b + len || base + s <= b, "overlap");
             }
             ranges.push((base, s));
         }
-    }
+    });
+}
 
-    #[test]
-    fn counters_delta_add_roundtrip(
-        ops in proptest::collection::vec(0usize..5, 1..40),
-    ) {
+#[test]
+fn counters_delta_add_roundtrip() {
+    Prop::new("counters_delta_add_roundtrip").cases(128).run(|rng| {
+        let ops = vec_of(rng, 1..40, |r| r.gen_range(0usize..5));
         let mut prof = Profiler::new(DeviceConfig::k40());
         let base = prof.alloc(1 << 20);
         let snap0 = prof.snapshot();
@@ -106,6 +109,6 @@ proptest! {
         }
         let end = prof.snapshot();
         let delta = end.delta(&snap0);
-        prop_assert_eq!(snap0.add(&delta), end);
-    }
+        assert_eq!(snap0.add(&delta), end);
+    });
 }

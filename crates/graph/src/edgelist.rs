@@ -5,16 +5,18 @@
 //! "while preserving the edge sequence" as the paper describes.
 
 use crate::{Csr, CsrBuilder, VertexId};
-use serde::{Deserialize, Serialize};
+use ibfs_util::json_struct;
 
 /// A list of directed edges plus a vertex count.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdgeList {
     /// Number of vertices (ids in `edges` are `< num_vertices`).
     pub num_vertices: usize,
     /// Directed edges in input order.
     pub edges: Vec<(VertexId, VertexId)>,
 }
+
+json_struct!(EdgeList { num_vertices, edges });
 
 /// Error parsing a text edge list.
 #[derive(Debug, Clone, PartialEq, Eq)]

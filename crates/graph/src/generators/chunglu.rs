@@ -8,8 +8,7 @@
 //! each crawl's |V|, average degree, and skew.
 
 use crate::{Csr, CsrBuilder, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ibfs_util::Rng;
 
 /// Power-law weight sequence `w_i = c * (i + i0)^(-1/(gamma-1))` scaled so the
 /// weights sum to `n * avg_degree`. Typical social-network `gamma` is 2.1–2.5.
@@ -46,13 +45,13 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> Csr {
     assert!(total > 0.0, "total weight must be positive");
     let m = (total / 2.0).round() as usize;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    let sample = |rng: &mut StdRng| -> VertexId {
+    let sample = |rng: &mut Rng| -> VertexId {
         let r = rng.gen::<f64>() * total;
         // partition_point returns the first index with prefix > r; vertex
         // index is that minus one.

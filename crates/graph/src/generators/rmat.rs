@@ -1,8 +1,7 @@
 //! R-MAT / Graph 500 Kronecker generator (Chakrabarti et al., SDM'04).
 
 use crate::{Csr, CsrBuilder, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ibfs_util::Rng;
 
 /// R-MAT quadrant probabilities. `d` is implied as `1 - a - b - c`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,7 +58,7 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Cs
     assert!(scale < 31, "scale too large for u32 vertex ids");
     let n: usize = 1 << scale;
     let m = edge_factor * n;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Random vertex relabeling.
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
@@ -77,7 +76,7 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Cs
     b.build()
 }
 
-fn sample_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+fn sample_edge(scale: u32, p: &RmatParams, rng: &mut Rng) -> (VertexId, VertexId) {
     let mut u: VertexId = 0;
     let mut v: VertexId = 0;
     for _ in 0..scale {

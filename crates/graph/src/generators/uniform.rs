@@ -3,15 +3,14 @@
 //! roughly the same outdegree").
 
 use crate::{Csr, CsrBuilder, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ibfs_util::Rng;
 
 /// Generates a random graph with `n` vertices where each vertex gets
 /// `degree` undirected edges to uniformly random distinct endpoints
 /// (both directions stored). Deterministic in `seed`.
 pub fn uniform_random(n: usize, degree: usize, seed: u64) -> Csr {
     assert!(n >= 2 || degree == 0, "need at least 2 vertices for edges");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = CsrBuilder::new(n).with_edge_capacity(2 * n * degree);
     for u in 0..n as VertexId {
         for _ in 0..degree {

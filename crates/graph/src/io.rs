@@ -6,7 +6,6 @@
 //! runs skip generation.
 
 use crate::{Csr, VertexId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -50,50 +49,66 @@ impl From<io::Error> for DecodeError {
 }
 
 /// Encodes `g` to the binary format.
-pub fn encode(g: &Csr) -> Bytes {
-    let mut buf = BytesMut::with_capacity(24 + g.offsets().len() * 8 + g.adjacency().len() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(g.num_vertices() as u64);
-    buf.put_u64_le(g.num_edges() as u64);
+pub fn encode(g: &Csr) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + g.offsets().len() * 8 + g.adjacency().len() * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
     for &o in g.offsets() {
-        buf.put_u64_le(o);
+        buf.extend_from_slice(&o.to_le_bytes());
     }
     for &v in g.adjacency() {
-        buf.put_u32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let (head, rest) = self.data.split_at_checked(4).ok_or(DecodeError::Truncated)?;
+        self.data = rest;
+        Ok(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        let (head, rest) = self.data.split_at_checked(8).ok_or(DecodeError::Truncated)?;
+        self.data = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
 }
 
 /// Decodes a graph from the binary format.
-pub fn decode(mut data: &[u8]) -> Result<Csr, DecodeError> {
-    if data.remaining() < 8 || &data[..4] != MAGIC {
+pub fn decode(data: &[u8]) -> Result<Csr, DecodeError> {
+    if data.len() < 8 || &data[..4] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    data.advance(4);
-    let version = data.get_u32_le();
+    let mut cur = Cursor { data: &data[4..] };
+    let version = cur.get_u32_le()?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    if data.remaining() < 16 {
-        return Err(DecodeError::Truncated);
-    }
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
+    let n = cur.get_u64_le()? as usize;
+    let m = cur.get_u64_le()? as usize;
     let need = (n + 1)
         .checked_mul(8)
-        .and_then(|x| x.checked_add(m * 4))
+        .and_then(|x| x.checked_add(m.checked_mul(4)?))
         .ok_or(DecodeError::Truncated)?;
-    if data.remaining() < need {
+    if cur.data.len() < need {
         return Err(DecodeError::Truncated);
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        offsets.push(data.get_u64_le());
+        offsets.push(cur.get_u64_le()?);
     }
     let mut adj: Vec<VertexId> = Vec::with_capacity(m);
     for _ in 0..m {
-        adj.push(data.get_u32_le());
+        adj.push(cur.get_u32_le()?);
     }
     validate_parts(&offsets, &adj)?;
     Ok(Csr::from_parts(offsets, adj))

@@ -8,8 +8,7 @@
 //! the same coalescing behaviour as unweighted adjacency.
 
 use crate::{Csr, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ibfs_util::Rng;
 
 /// Edge weight. Non-negative; `u32` matches the common SSSP benchmarks.
 pub type Weight = u32;
@@ -47,7 +46,7 @@ impl WeightedCsr {
     /// Deterministic in `seed`.
     pub fn random_weights(csr: Csr, max_weight: Weight, seed: u64) -> Self {
         assert!(max_weight >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut weights = vec![0 as Weight; csr.num_edges()];
         let offsets = csr.offsets().to_vec();
         for u in csr.vertices() {

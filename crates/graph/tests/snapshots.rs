@@ -1,0 +1,59 @@
+//! Generator determinism snapshots.
+//!
+//! Pins |V|, |E|, and a degree-histogram hash for one R-MAT and one uniform
+//! graph. These values are a contract: they may only change when the PRNG
+//! algorithm (`ibfs_util::rng`) or a generator's sampling sequence changes
+//! deliberately, and such a change must be called out in CHANGES.md because
+//! it invalidates any cached graphs and recorded figures.
+
+use ibfs_graph::generators::{rmat, uniform_random, RmatParams};
+use ibfs_graph::Csr;
+
+/// FNV-1a over the degree histogram (`degree -> count`, ascending), so the
+/// snapshot is sensitive to the degree distribution but not to vertex order.
+fn degree_histogram_hash(g: &Csr) -> u64 {
+    let mut histogram = std::collections::BTreeMap::new();
+    for v in g.vertices() {
+        *histogram.entry(g.out_degree(v)).or_insert(0u64) += 1;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (degree, count) in histogram {
+        mix(degree as u64);
+        mix(count);
+    }
+    h
+}
+
+#[test]
+fn rmat_snapshot_is_stable() {
+    let g = rmat(8, 8, RmatParams::graph500(), 42);
+    assert_eq!(g.num_vertices(), 256);
+    assert_eq!(g.num_edges(), 2611);
+    assert_eq!(degree_histogram_hash(&g), 0xb393_ca17_0669_3d39);
+}
+
+#[test]
+fn uniform_snapshot_is_stable() {
+    let g = uniform_random(256, 8, 5);
+    assert_eq!(g.num_vertices(), 256);
+    assert_eq!(g.num_edges(), 3980);
+    assert_eq!(degree_histogram_hash(&g), 0x9c44_4ead_3ff3_19c4);
+}
+
+#[test]
+fn snapshots_catch_seed_changes() {
+    // Sanity: a different seed really does move the snapshot quantities,
+    // so the pinned values above are discriminating.
+    let a = rmat(8, 8, RmatParams::graph500(), 42);
+    let b = rmat(8, 8, RmatParams::graph500(), 43);
+    assert_ne!(
+        (a.num_edges(), degree_histogram_hash(&a)),
+        (b.num_edges(), degree_histogram_hash(&b))
+    );
+}

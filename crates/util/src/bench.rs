@@ -1,0 +1,368 @@
+//! Timing-loop bench harness exposing the subset of the criterion API the
+//! `crates/bench/benches/` files use, so `cargo bench` runs offline.
+//!
+//! Each benchmark is measured as `sample_size` samples; every sample runs the
+//! closure enough times to last at least ~2 ms (calibrated once), and the
+//! reported figure is the per-iteration time of the fastest sample (least
+//! noise-contaminated). Output goes to stdout, one line per benchmark:
+//!
+//! ```text
+//! bench fig15/joint/web-small      1.234 ms/iter (10 samples x 2 iters)
+//! ```
+//!
+//! Benchmarks are registered with the usual `criterion_group!` /
+//! `criterion_main!` macros (both the bare and the `name =`/`config =`/
+//! `targets =` forms). A positional CLI argument filters benchmarks by
+//! substring; flags that cargo passes (`--bench`, etc.) are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+// The macros are `#[macro_export]` (crate root); re-export them here so
+// `use ibfs_util::bench::{criterion_group, criterion_main}` works like the
+// original `use criterion::{criterion_group, criterion_main}`.
+pub use crate::{criterion_group, criterion_main};
+
+/// Minimum wall-clock time for one measured sample.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+/// Top-level harness state: configuration plus the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (cargo passes `--bench`; `--exact`, `--nocapture` etc.
+        // may arrive from test runners) and take the first positional
+        // argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        self.run_one(&name, sample_size, None, f);
+    }
+
+    fn run_one(
+        &self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<&Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { sample_size, measurement: None };
+        f(&mut bencher);
+        match bencher.measurement {
+            Some(m) => println!("bench {:<40} {}", name, m.render(throughput)),
+            None => println!("bench {:<40} (no iter() call)", name),
+        }
+    }
+}
+
+/// Unit attached to a benchmark so rates can be reported.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A display-only benchmark identifier (parameter of a parameterized bench).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a bench function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, samples, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+struct Measurement {
+    best_ns_per_iter: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Measurement {
+    fn render(&self, throughput: Option<&Throughput>) -> String {
+        let time = format_ns(self.best_ns_per_iter);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(", {} elem/s", format_rate(*n as f64 / (self.best_ns_per_iter * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(", {} B/s", format_rate(*n as f64 / (self.best_ns_per_iter * 1e-9)))
+            }
+            None => String::new(),
+        };
+        format!(
+            "{time}/iter ({} samples x {} iters{rate})",
+            self.samples, self.iters_per_sample
+        )
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it enough times per sample for a stable timing.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup + calibration: time single runs until MIN_SAMPLE_TIME is
+        // spent, deriving how many iterations one sample needs.
+        let mut calib_runs: u32 = 0;
+        let calib_start = Instant::now();
+        let single = loop {
+            let t = Instant::now();
+            black_box(f());
+            let elapsed = t.elapsed();
+            calib_runs += 1;
+            if calib_start.elapsed() >= MIN_SAMPLE_TIME || calib_runs >= 1000 {
+                break elapsed;
+            }
+        };
+        let iters_per_sample = if single >= MIN_SAMPLE_TIME {
+            1
+        } else {
+            (MIN_SAMPLE_TIME.as_nanos() / single.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            best = best.min(t.elapsed());
+        }
+        self.measurement = Some(Measurement {
+            best_ns_per_iter: best.as_nanos() as f64 / iters_per_sample as f64,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+///
+/// Both invocation forms are supported:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group! { name = benches; config = Criterion::default().sample_size(10); targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`), mirroring
+/// criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut criterion = Criterion { sample_size: 3, filter: None };
+        let mut group = criterion.benchmark_group("t");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion { sample_size: 1, filter: Some("match-me".into()) };
+        let mut ran_matching = false;
+        let mut ran_other = false;
+        criterion.bench_function("group/match-me", |b| {
+            b.iter(|| ());
+            ran_matching = true;
+        });
+        criterion.bench_function("group/other", |b| {
+            b.iter(|| ());
+            ran_other = true;
+        });
+        assert!(ran_matching);
+        assert!(!ran_other);
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        assert_eq!(BenchmarkId::from_parameter("web-small").to_string(), "web-small");
+        assert_eq!(BenchmarkId::new("bfs", 64).to_string(), "bfs/64");
+    }
+
+    #[test]
+    fn units_format_sensibly() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(4_500.0), "4.500 us");
+        assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(format_ns(3.2e9), "3.200 s");
+        assert_eq!(format_rate(2.5e6), "2.50M");
+    }
+
+    // Compile-time check: both macro forms expand.
+    fn target_a(_c: &mut Criterion) {}
+    fn target_b(_c: &mut Criterion) {}
+    criterion_group!(plain_group, target_a, target_b);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(5);
+        targets = target_a
+    }
+
+    #[test]
+    fn groups_are_callable() {
+        // Not invoked (they'd parse real CLI args); existence is the test.
+        let _: fn() = plain_group;
+        let _: fn() = configured_group;
+    }
+}

@@ -1,0 +1,736 @@
+//! Minimal JSON: a value tree, a strict parser, compact/pretty writers, and
+//! `ToJson`/`FromJson` traits with impl-generator macros.
+//!
+//! This replaces `serde`/`serde_json` for the workspace's nine serialized
+//! types. Design points:
+//!
+//! * Integers are kept as `i64`/`u64` (not lossy `f64`) so `u64` counters
+//!   round-trip exactly.
+//! * Non-finite floats have no JSON representation, so `f64::to_json` maps
+//!   them to the strings `"inf"`, `"-inf"`, `"nan"` and `f64::from_json`
+//!   accepts those back — `DirectionPolicy::top_down_only()` carries
+//!   `alpha = +inf` and must round-trip.
+//! * Object fields keep insertion order, so output is stable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Negative integer (parsed from a leading `-` without `.`/`e`).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Any number written with a fraction or exponent.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; fields keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Encode/decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input (0 for semantic errors).
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>, at: usize) -> Result<T, JsonError> {
+    Err(JsonError { msg: msg.into(), at })
+}
+
+impl Json {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepting any numeric variant and the
+    /// non-finite strings `"inf"`/`"-inf"`/`"nan"`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(f) => Some(*f),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (must consume the whole input).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err("trailing characters", pos);
+        }
+        Ok(value)
+    }
+
+    /// Compact encoding.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Pretty encoding (two-space indent).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------- writer --
+
+fn write_value(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Json::Float(f) => write_f64(*f, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(items.iter(), indent, depth, out, '[', ']', |item, out| {
+            write_value(item, indent, depth + 1, out)
+        }),
+        Json::Obj(fields) => write_seq(fields.iter(), indent, depth, out, '{', '}', |(k, v), out| {
+            write_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(v, indent, depth + 1, out);
+        }),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(T, &mut String),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(item, out);
+    }
+    if let Some(width) = indent {
+        if !empty {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // Callers should have routed non-finite through `f64::to_json`;
+        // degrade to null like serde_json rather than emit invalid JSON.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a fraction marker so the value re-parses as Float.
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser --
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        err(format!("expected `{lit}`"), *pos)
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err("unexpected end of input", *pos),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return err("expected `,` or `]`", *pos),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return err("expected `:`", *pos);
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return err("expected `,` or `}`", *pos),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return err("expected string", *pos);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string", *pos),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return err("lone surrogate", *pos);
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(bytes, pos)?;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return err("invalid \\u escape", *pos),
+                        }
+                        // parse_hex4 leaves pos at the last hex digit.
+                    }
+                    _ => return err("bad escape", *pos),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                if b < 0x20 {
+                    return err("raw control character in string", *pos);
+                }
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: the input is a &str, so it's valid.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    msg: "invalid utf-8".into(),
+                    at: *pos,
+                })?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits after `\u`, leaving `pos` on the last digit.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let start = *pos + 1;
+    let digits = bytes
+        .get(start..start + 4)
+        .and_then(|d| std::str::from_utf8(d).ok())
+        .ok_or(JsonError { msg: "truncated \\u escape".into(), at: *pos })?;
+    let code =
+        u32::from_str_radix(digits, 16).map_err(|_| JsonError { msg: "bad \\u escape".into(), at: *pos })?;
+    *pos = start + 3;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return err("expected a value", start);
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                return match text.parse::<i64>() {
+                    Ok(i) => Ok(Json::Int(i)),
+                    Err(_) => err("integer out of range", start),
+                };
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(f) => Ok(Json::Float(f)),
+        Err(_) => err("malformed number", start),
+    }
+}
+
+// ---------------------------------------------------------------- traits --
+
+/// Hand-written serialization to a [`Json`] tree.
+pub trait ToJson {
+    /// Encodes `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Hand-written deserialization from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Decodes a value; errors carry the offending field name.
+    fn from_json(j: &Json) -> Result<Self, JsonError>;
+}
+
+/// Fetches and decodes a required object field.
+pub fn field<T: FromJson>(j: &Json, name: &str) -> Result<T, JsonError> {
+    match j.get(name) {
+        Some(v) => T::from_json(v)
+            .map_err(|e| JsonError { msg: format!("field `{name}`: {}", e.msg), at: e.at }),
+        None => err(format!("missing field `{name}`"), 0),
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(j: &Json) -> Result<Self, JsonError> {
+                j.as_u64()
+                    .and_then(|u| <$ty>::try_from(u).ok())
+                    .ok_or_else(|| JsonError {
+                        msg: format!("expected {}", stringify!($ty)),
+                        at: 0,
+                    })
+            }
+        }
+    )+};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_i64().ok_or_else(|| JsonError { msg: "expected i64".into(), at: 0 })
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Float(*self)
+        } else if self.is_nan() {
+            Json::Str("nan".into())
+        } else if *self > 0.0 {
+            Json::Str("inf".into())
+        } else {
+            Json::Str("-inf".into())
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_f64().ok_or_else(|| JsonError { msg: "expected f64".into(), at: 0 })
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_bool().ok_or_else(|| JsonError { msg: "expected bool".into(), at: 0 })
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| JsonError { msg: "expected string".into(), at: 0 })
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_array()
+            .ok_or_else(|| JsonError { msg: "expected array".into(), at: 0 })?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => err("expected 2-element array", 0),
+        }
+    }
+}
+
+/// Generates `ToJson`/`FromJson` for a struct with named fields, encoding
+/// each listed field under its own name.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(j: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self { $($field: $crate::json::field(j, stringify!($field))?,)+ })
+            }
+        }
+    };
+}
+
+/// Generates `ToJson`/`FromJson` for a fieldless enum, encoding variants as
+/// their name strings (matching serde's default external tagging for unit
+/// variants).
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $(<$ty>::$variant => stringify!($variant),)+
+                };
+                $crate::json::Json::Str(name.to_string())
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(j: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match j.as_str() {
+                    $(Some(stringify!($variant)) => Ok(<$ty>::$variant),)+
+                    _ => Err($crate::json::JsonError {
+                        msg: format!("unknown {} variant", stringify!($ty)),
+                        at: 0,
+                    }),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Float(1500.0));
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parses_structures() {
+        let j = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(j.get("c").unwrap().as_str(), Some("x"));
+        let arr = j.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"\\q\"", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn round_trips_via_compact_and_pretty() {
+        let j = Json::Obj(vec![
+            ("n".into(), Json::UInt(3)),
+            ("neg".into(), Json::Int(-9)),
+            ("f".into(), Json::Float(2.5)),
+            ("s".into(), Json::Str("he said \"hi\"\n".into())),
+            ("a".into(), Json::Arr(vec![Json::Bool(false), Json::Null])),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_string_pretty()).unwrap(), j);
+        assert!(j.to_string_pretty().contains('\n'));
+    }
+
+    #[test]
+    fn floats_keep_their_variant() {
+        // Whole floats are written with a fraction so they re-parse as
+        // Float, keeping ToJson/FromJson round-trips type-stable.
+        assert_eq!(Json::parse(&Json::Float(3.0).to_string()).unwrap(), Json::Float(3.0));
+        let tricky = 0.1 + 0.2;
+        assert_eq!(Json::parse(&Json::Float(tricky).to_string()).unwrap(), Json::Float(tricky));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+        let j = Json::Str("snowman ☃".into());
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn nonfinite_floats_round_trip_through_tojson() {
+        assert_eq!(f64::from_json(&f64::INFINITY.to_json()).unwrap(), f64::INFINITY);
+        assert_eq!(
+            f64::from_json(&f64::NEG_INFINITY.to_json()).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert!(f64::from_json(&f64::NAN.to_json()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn field_reports_missing_names() {
+        let j = Json::parse(r#"{"a": 1}"#).unwrap();
+        assert_eq!(field::<u32>(&j, "a").unwrap(), 1);
+        let e = field::<u32>(&j, "b").unwrap_err();
+        assert!(e.msg.contains("missing field `b`"), "{e}");
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        x: u64,
+        name: String,
+        ratio: f64,
+    }
+    json_struct!(Demo { x, name, ratio });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    json_enum!(Color { Red, Green });
+
+    #[test]
+    fn derive_macros_round_trip() {
+        let d = Demo { x: u64::MAX, name: "hi".into(), ratio: 0.25 };
+        let back = Demo::from_json(&Json::parse(&d.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(Color::Red.to_json(), Json::Str("Red".into()));
+        assert_eq!(Color::from_json(&Json::Str("Green".into())).unwrap(), Color::Green);
+        assert!(Color::from_json(&Json::Str("Blue".into())).is_err());
+    }
+}

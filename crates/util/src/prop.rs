@@ -1,0 +1,165 @@
+//! Shrink-free property-test harness replacing `proptest`.
+//!
+//! A property runs a closure against many [`Rng`]s, each seeded
+//! deterministically from the suite seed and the case index. On failure the
+//! harness reports the case index and seed so the exact case can be replayed
+//! with `IBFS_PROP_SEED=<seed> IBFS_PROP_CASES=1`.
+//!
+//! ```
+//! use ibfs_util::prop::Prop;
+//!
+//! Prop::new("sum_is_commutative").cases(64).run(|rng| {
+//!     let a: u32 = rng.gen_range(0..1000);
+//!     let b: u32 = rng.gen_range(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// A named property with a case budget.
+pub struct Prop {
+    name: &'static str,
+    cases: usize,
+    seed: u64,
+}
+
+impl Prop {
+    /// A property with the default case count and a seed derived from the
+    /// property name (stable across runs and platforms).
+    pub fn new(name: &'static str) -> Self {
+        let mut state = 0xB5AD_4ECE_DA1C_E2A9;
+        for b in name.bytes() {
+            state ^= b as u64;
+            splitmix64(&mut state);
+        }
+        Prop { name, cases: DEFAULT_CASES, seed: state }
+    }
+
+    /// Sets the number of cases to run.
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the suite seed explicitly.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the property; panics (failing the enclosing `#[test]`) on the
+    /// first failing case, reporting its index and replay seed.
+    ///
+    /// Environment overrides:
+    /// * `IBFS_PROP_SEED` — replaces the suite seed (replay a failure).
+    /// * `IBFS_PROP_CASES` — replaces the case count.
+    pub fn run(self, mut check: impl FnMut(&mut Rng)) {
+        let seed = env_u64("IBFS_PROP_SEED").unwrap_or(self.seed);
+        let cases = env_u64("IBFS_PROP_CASES").map(|n| n as usize).unwrap_or(self.cases);
+        let mut state = seed;
+        for case in 0..cases {
+            let case_seed = splitmix64(&mut state);
+            let mut rng = Rng::seed_from_u64(case_seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| check(&mut rng)));
+            if let Err(payload) = outcome {
+                let detail = payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.as_str())
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                panic!(
+                    "property `{}` failed at case {}/{} (suite seed {:#x}): {}\n\
+                     replay with: IBFS_PROP_SEED={} IBFS_PROP_CASES={} cargo test {}",
+                    self.name,
+                    case,
+                    cases,
+                    seed,
+                    detail,
+                    seed,
+                    case + 1,
+                    self.name,
+                );
+            }
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| {
+        v.strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or_else(|| v.parse().ok())
+    })
+}
+
+/// Draws a random-length `Vec` whose elements come from `make`.
+///
+/// The proptest suites translate `vec(strategy, lo..hi)` to
+/// `vec_of(rng, lo..hi, |rng| ...)`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut make: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| make(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0usize;
+        Prop::new("counts_cases").cases(17).run(|_| ran += 1);
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn cases_see_distinct_seeds() {
+        let mut values = Vec::new();
+        Prop::new("distinct").cases(32).run(|rng| values.push(rng.next_u64()));
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 32);
+    }
+
+    #[test]
+    fn same_property_is_deterministic() {
+        let collect = || {
+            let mut v = Vec::new();
+            Prop::new("repeatable").cases(8).run(|rng| v.push(rng.next_u64()));
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Prop::new("fails_midway").cases(10).seed(99).run(|rng| {
+                let x: u64 = rng.gen();
+                assert!(x % 3 != 0, "hit a multiple of three");
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("fails_midway"), "{msg}");
+        assert!(msg.contains("IBFS_PROP_SEED=99"), "{msg}");
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        Prop::new("vec_bounds").cases(64).run(|rng| {
+            let v = vec_of(rng, 2..9, |r| r.gen_range(0u32..5));
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        });
+    }
+}

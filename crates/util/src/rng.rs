@@ -1,0 +1,236 @@
+//! Seedable PRNG: xoshiro256** (Blackman & Vigna) seeded via SplitMix64.
+//!
+//! This is the workspace's only randomness source. The graph generators are
+//! contractually deterministic per seed — `crates/graph/tests/snapshots.rs`
+//! pins generator output — so the algorithm here must never change without
+//! updating those snapshots.
+//!
+//! Seeding convention: a `u64` seed is expanded into the 256-bit xoshiro
+//! state with four SplitMix64 steps (the initialization the xoshiro authors
+//! recommend). Range sampling uses the widening-multiply bounded mapping
+//! (Lemire's method without the rejection step; bias is < 2^-64 per draw,
+//! irrelevant for benchmark-graph generation and property tests).
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+/// Also used by the property harness to derive per-case seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a `u64` seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed value of `T` (`f64` in `[0, 1)`, full-range
+    /// integers, fair `bool`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+    {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) => panic!("gen_range: exclusive start unsupported"),
+            Bound::Unbounded => panic!("gen_range: unbounded start unsupported"),
+        };
+        let (hi, inclusive) = match range.end_bound() {
+            Bound::Included(&x) => (x, true),
+            Bound::Excluded(&x) => (x, false),
+            Bound::Unbounded => panic!("gen_range: unbounded end unsupported"),
+        };
+        T::sample_range(self, lo, hi, inclusive)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// 53 uniform mantissa bits in `[0, 1)`.
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_range(rng: &mut Rng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($ty:ty),+) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range(rng: &mut Rng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(inclusive as u64);
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    if span == 0 {
+                        // Full u64 domain: the raw draw is already uniform.
+                        return rng.next_u64() as $ty;
+                    }
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let x = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + x as $ty
+            }
+        }
+    )+};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut Rng, lo: Self, hi: Self, _inclusive: bool) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(Rng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_is_pinned() {
+        // Guards the algorithm itself: changing seeding or the generator
+        // breaks every graph snapshot, so fail loudly here first.
+        let mut r = Rng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 11091344671253066420);
+        assert_eq!(r.next_u64(), 13793997310169335082);
+        assert_eq!(r.next_u64(), 1900383378846508768);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(5usize..=5);
+            assert_eq!(y, 5);
+            let z = r.gen_range(1u64..=3);
+            assert!((1..=3).contains(&z));
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!(!Rng::seed_from_u64(0).gen_bool(0.0));
+        assert!(Rng::seed_from_u64(0).gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rejects_empty_range() {
+        Rng::seed_from_u64(0).gen_range(5u32..5);
+    }
+}

@@ -10,7 +10,7 @@ use ibfs_repro::gpu_sim::{DeviceConfig, Profiler};
 use ibfs_repro::ibfs::cpu::{CpuIbfs, CpuMsBfs};
 use ibfs_repro::ibfs::direction::DirectionPolicy;
 use ibfs_repro::ibfs::engine::{Engine, EngineKind, GpuGraph};
-use proptest::prelude::*;
+use ibfs_repro::util::prop::{vec_of, Prop};
 
 /// A directed ring with chords: strongly connected, asymmetric.
 fn directed_ring_with_chords(n: usize) -> Csr {
@@ -93,37 +93,38 @@ fn forced_bottom_up_uses_in_edges() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engines_match_reference_on_arbitrary_directed_graphs(
-        n in 2usize..30,
-        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..90),
-        nsrc in 1usize..6,
-    ) {
-        let mut b = CsrBuilder::new(n);
-        for (u, v) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
-            if u != v {
-                b.add_edge(u, v);
+#[test]
+fn engines_match_reference_on_arbitrary_directed_graphs() {
+    Prop::new("engines_match_reference_on_arbitrary_directed_graphs")
+        .cases(48)
+        .run(|rng| {
+            let n = rng.gen_range(2usize..30);
+            let edges = vec_of(rng, 1..90, |r| {
+                (r.gen_range(0u32..30), r.gen_range(0u32..30))
+            });
+            let nsrc = rng.gen_range(1usize..6);
+            let mut b = CsrBuilder::new(n);
+            for (u, v) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v);
+                }
             }
-        }
-        let g = b.build();
-        let r = g.reverse();
-        let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
-        for kind in EngineKind::all() {
-            let engine = kind.build();
-            let mut prof = Profiler::new(DeviceConfig::k40());
-            let gg = GpuGraph::new(&g, &r, &mut prof);
-            let run = engine.run_group(&gg, &sources, &mut prof);
-            for (j, &s) in sources.iter().enumerate() {
-                prop_assert_eq!(
-                    run.instance_depths(j),
-                    &reference_bfs(&g, s)[..],
-                    "{:?} from {}", kind, s
-                );
+            let g = b.build();
+            let r = g.reverse();
+            let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
+            for kind in EngineKind::all() {
+                let engine = kind.build();
+                let mut prof = Profiler::new(DeviceConfig::k40());
+                let gg = GpuGraph::new(&g, &r, &mut prof);
+                let run = engine.run_group(&gg, &sources, &mut prof);
+                for (j, &s) in sources.iter().enumerate() {
+                    assert_eq!(
+                        run.instance_depths(j),
+                        &reference_bfs(&g, s)[..],
+                        "{kind:?} from {s}"
+                    );
+                }
             }
-        }
-    }
+        });
 }

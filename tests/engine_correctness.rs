@@ -84,6 +84,53 @@ fn cpu_engines_match_reference_on_every_suite_graph() {
 }
 
 #[test]
+fn all_engines_produce_identical_level_arrays_across_generators() {
+    // Cross-engine differential test: instead of comparing each engine to the
+    // reference, compare every engine (GPU-simulated and CPU) against every
+    // other on one graph from each generator family. Any engine that diverges
+    // from the pack is named in the failure, together with the generator.
+    use ibfs_repro::graph::generators::{
+        chung_lu, powerlaw_weights, rmat, uniform_random, RmatParams,
+    };
+
+    let graphs: Vec<(&str, ibfs_repro::graph::Csr)> = vec![
+        ("rmat", rmat(7, 8, RmatParams::graph500(), 7)),
+        ("uniform", uniform_random(128, 6, 11)),
+        ("chung-lu", chung_lu(&powerlaw_weights(128, 6.0, 2.2), 23)),
+    ];
+    for (gen_name, g) in graphs {
+        let r = g.reverse();
+        let sources = sources_for(&g);
+        let mut runs: Vec<(String, Vec<Vec<_>>)> = Vec::new();
+        for kind in EngineKind::all() {
+            let engine = kind.build();
+            let mut prof = Profiler::new(DeviceConfig::k40());
+            let gg = GpuGraph::new(&g, &r, &mut prof);
+            let run = engine.run_group(&gg, &sources, &mut prof);
+            let levels = (0..sources.len())
+                .map(|j| run.instance_depths(j).to_vec())
+                .collect();
+            runs.push((format!("{kind:?}"), levels));
+        }
+        let cpu = CpuIbfs::default().run_group(&g, &r, &sources);
+        let ms = CpuMsBfs::default().run_group(&g, &r, &sources);
+        for (name, run) in [("CpuIbfs", cpu), ("CpuMsBfs", ms)] {
+            let levels = (0..sources.len())
+                .map(|j| run.instance_depths(j).to_vec())
+                .collect();
+            runs.push((name.to_string(), levels));
+        }
+        let (base_name, base) = &runs[0];
+        for (name, levels) in &runs[1..] {
+            assert_eq!(
+                levels, base,
+                "{gen_name}: engine {name} disagrees with {base_name}"
+            );
+        }
+    }
+}
+
+#[test]
 fn all_engines_agree_pairwise_on_traffic_determinism() {
     // Running the same engine twice yields identical counters (the figure
     // harness depends on this determinism).

@@ -1,0 +1,171 @@
+//! Round-trip contract for every type the workspace serializes as JSON:
+//! `decode(encode(x))` must reproduce `x` exactly. Types without `PartialEq`
+//! are compared through their re-encoded JSON text, which is canonical here
+//! (the writer emits fields in declaration order).
+
+use ibfs_repro::cluster::{ClusterRun, DeviceRun};
+use ibfs_repro::gpu_sim::{Counters, DeviceConfig, PhaseKind};
+use ibfs_repro::graph::EdgeList;
+use ibfs_repro::ibfs::direction::{Direction, DirectionPolicy};
+use ibfs_repro::ibfs::engine::{EngineKind, LevelStats};
+use ibfs_repro::ibfs::metrics::MeanStd;
+use ibfs_repro::util::{FromJson, Json, ToJson};
+
+/// encode → parse → decode → encode, checking both text stability and that
+/// the decoded value re-encodes identically (value-level round trip for
+/// types without `PartialEq`).
+fn round_trip_text<T: ToJson + FromJson>(value: &T) -> T {
+    let text = value.to_json().to_string();
+    let parsed = Json::parse(&text).expect("serialized JSON must parse");
+    let back = T::from_json(&parsed).expect("parsed JSON must decode");
+    assert_eq!(back.to_json().to_string(), text, "re-encode must be stable");
+    // Pretty form must parse back to the same document too.
+    let pretty = value.to_json().to_string_pretty();
+    assert_eq!(Json::parse(&pretty).unwrap(), parsed);
+    back
+}
+
+#[test]
+fn figure_result_round_trips() {
+    use ibfs_bench::FigureResult;
+    let mut r = FigureResult::new("fig9", "GroupBy \"sharing\"", &["graph", "SD"]);
+    r.push_row(vec!["LJ".to_string(), "12.5".to_string()]);
+    r.push_row(vec!["KG-unicode \u{2713}".to_string(), "3.0".to_string()]);
+    r.notes.push("quotes \" and \\ backslashes \n newlines".to_string());
+    let back = round_trip_text(&r);
+    assert_eq!(back.id, r.id);
+    assert_eq!(back.rows, r.rows);
+    assert_eq!(back.notes, r.notes);
+
+    // The artifact is a *list* of results; the Vec impl must round-trip too.
+    let list = vec![r.clone(), back];
+    let text = list.to_json().to_string();
+    let again = Vec::<FigureResult>::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(again.len(), 2);
+    assert_eq!(again[0].rows, r.rows);
+}
+
+#[test]
+fn profiler_counters_round_trip() {
+    let c = Counters {
+        global_load_transactions: u64::MAX,
+        global_store_transactions: 1,
+        global_load_bytes: u64::MAX - 1,
+        global_store_bytes: 0,
+        global_load_requests: 123,
+        global_store_requests: 456,
+        atomic_transactions: 789,
+        shared_load_ops: 10,
+        shared_store_ops: 11,
+        lane_instructions: 1 << 62,
+    };
+    assert_eq!(round_trip_text(&c), c);
+    assert_eq!(round_trip_text(&Counters::default()), Counters::default());
+}
+
+#[test]
+fn device_config_round_trips() {
+    for cfg in [DeviceConfig::k40(), DeviceConfig::k20()] {
+        let back = round_trip_text(&cfg);
+        assert_eq!(back.sm_count, cfg.sm_count);
+        assert_eq!(back.global_mem_bytes, cfg.global_mem_bytes);
+        assert_eq!(back.mem_bytes_per_cycle.to_bits(), cfg.mem_bytes_per_cycle.to_bits());
+        assert_eq!(
+            back.atomic_penalty_cycles.to_bits(),
+            cfg.atomic_penalty_cycles.to_bits()
+        );
+    }
+}
+
+#[test]
+fn scaling_reports_round_trip() {
+    let run = ClusterRun {
+        gpus: 2,
+        devices: vec![
+            DeviceRun { device: 0, groups: 3, instances: 192, sim_seconds: 0.25, traversed_edges: 1_000_000 },
+            DeviceRun { device: 1, groups: 2, instances: 128, sim_seconds: 0.125, traversed_edges: 999_999 },
+        ],
+        makespan_seconds: 0.25,
+        traversed_edges: 1_999_999,
+    };
+    let back = round_trip_text(&run);
+    assert_eq!(back.gpus, run.gpus);
+    assert_eq!(back.devices.len(), 2);
+    assert_eq!(back.devices[1].instances, 128);
+    assert_eq!(back.makespan_seconds.to_bits(), run.makespan_seconds.to_bits());
+    assert_eq!(back.traversed_edges, run.traversed_edges);
+}
+
+#[test]
+fn edge_list_round_trips_as_json() {
+    let el = EdgeList {
+        num_vertices: 5,
+        edges: vec![(0, 1), (1, 2), (4, 0)],
+    };
+    let back = round_trip_text(&el);
+    assert_eq!(back.num_vertices, el.num_vertices);
+    assert_eq!(back.edges, el.edges);
+}
+
+#[test]
+fn level_stats_round_trip() {
+    let s = LevelStats {
+        level: 3,
+        direction: Direction::BottomUp,
+        unique_frontiers: 42,
+        instance_frontiers: 420,
+        edges_inspected: 1 << 40,
+        early_terminations: 7,
+    };
+    assert_eq!(round_trip_text(&s), s);
+}
+
+#[test]
+fn mean_std_round_trips() {
+    let m = MeanStd { mean: 1.5, stddev: 0.25 };
+    assert_eq!(round_trip_text(&m), m);
+    // Whole floats must come back as floats, not integers.
+    let w = MeanStd { mean: 2.0, stddev: 0.0 };
+    assert_eq!(round_trip_text(&w), w);
+}
+
+#[test]
+fn enums_round_trip_every_variant() {
+    for d in [Direction::TopDown, Direction::BottomUp] {
+        assert_eq!(round_trip_text(&d), d);
+    }
+    for k in [
+        EngineKind::Sequential,
+        EngineKind::Naive,
+        EngineKind::Joint,
+        EngineKind::Bitwise,
+        EngineKind::BitwiseMsBfsStyle,
+        EngineKind::Spmm,
+    ] {
+        assert_eq!(round_trip_text(&k), k);
+    }
+    for p in [
+        PhaseKind::Expansion,
+        PhaseKind::Inspection,
+        PhaseKind::FrontierGeneration,
+        PhaseKind::Other,
+    ] {
+        assert_eq!(round_trip_text(&p), p);
+    }
+}
+
+#[test]
+fn direction_policy_round_trips_including_infinity() {
+    let beamer = DirectionPolicy::beamer();
+    let back = round_trip_text(&beamer);
+    assert_eq!(back.alpha.to_bits(), beamer.alpha.to_bits());
+    assert_eq!(back.beta.to_bits(), beamer.beta.to_bits());
+
+    // top_down_only carries alpha = +inf; the codec writes non-finite floats
+    // as strings and must read them back.
+    let td = DirectionPolicy::top_down_only();
+    assert!(td.alpha.is_infinite());
+    let back = round_trip_text(&td);
+    assert!(back.alpha.is_infinite() && back.alpha > 0.0);
+    assert_eq!(back.beta.to_bits(), td.beta.to_bits());
+}

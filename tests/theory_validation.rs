@@ -12,7 +12,7 @@ use ibfs_repro::ibfs::direction::DirectionPolicy;
 use ibfs_repro::ibfs::engine::{Engine, GpuGraph};
 use ibfs_repro::ibfs::joint::JointEngine;
 use ibfs_repro::ibfs::sharing::analytic_sharing_degree;
-use proptest::prelude::*;
+use ibfs_repro::util::prop::{vec_of, Prop};
 
 fn run_top_down_sd(g: &ibfs_repro::graph::Csr, sources: &[VertexId]) -> (f64, f64) {
     let r = g.reverse();
@@ -43,28 +43,31 @@ fn lemma1_sd_matches_analytic_formula_on_suite_graph() {
     assert!(measured >= 1.0 && measured <= sources.len() as f64);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lemma1_sd_matches_analytic_on_arbitrary_graphs(
-        n in 2usize..30,
-        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..90),
-        nsrc in 2usize..6,
-    ) {
-        let mut b = CsrBuilder::new(n);
-        for (u, v) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
-            if u != v {
-                b.add_undirected_edge(u, v);
+#[test]
+fn lemma1_sd_matches_analytic_on_arbitrary_graphs() {
+    Prop::new("lemma1_sd_matches_analytic_on_arbitrary_graphs")
+        .cases(32)
+        .run(|rng| {
+            let n = rng.gen_range(2usize..30);
+            let edges = vec_of(rng, 1..90, |r| {
+                (r.gen_range(0u32..30), r.gen_range(0u32..30))
+            });
+            let nsrc = rng.gen_range(2usize..6);
+            let mut b = CsrBuilder::new(n);
+            for (u, v) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_undirected_edge(u, v);
+                }
             }
-        }
-        let g = b.build();
-        let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
-        let (measured, analytic) = run_top_down_sd(&g, &sources);
-        prop_assert!((measured - analytic).abs() < 1e-9,
-            "measured {} vs analytic {}", measured, analytic);
-    }
+            let g = b.build();
+            let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
+            let (measured, analytic) = run_top_down_sd(&g, &sources);
+            assert!(
+                (measured - analytic).abs() < 1e-9,
+                "measured {measured} vs analytic {analytic}"
+            );
+        });
 }
 
 #[test]

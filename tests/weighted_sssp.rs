@@ -5,7 +5,7 @@ use ibfs_repro::graph::weighted::{dijkstra, WeightedCsr, DIST_UNREACHED};
 use ibfs_repro::graph::{CsrBuilder, VertexId};
 use ibfs_repro::gpu_sim::{DeviceConfig, Profiler};
 use ibfs_repro::ibfs::sssp::{ConcurrentSssp, SsspMode, WeightedGpuGraph};
-use proptest::prelude::*;
+use ibfs_repro::util::prop::{vec_of, Prop};
 
 fn run_mode(g: &WeightedCsr, sources: &[VertexId], mode: SsspMode) -> Vec<u64> {
     let rev = g.csr().reverse();
@@ -37,71 +37,87 @@ fn dimacs_round_trip_preserves_shortest_paths() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn concurrent_sssp_matches_dijkstra_on_arbitrary_graphs() {
+    Prop::new("concurrent_sssp_matches_dijkstra_on_arbitrary_graphs")
+        .cases(48)
+        .run(|rng| {
+            let n = rng.gen_range(2usize..24);
+            let edges = vec_of(rng, 1..80, |r| {
+                (
+                    r.gen_range(0u32..24),
+                    r.gen_range(0u32..24),
+                    r.gen_range(1u32..20),
+                )
+            });
+            let nsrc = rng.gen_range(1usize..5);
 
-    #[test]
-    fn concurrent_sssp_matches_dijkstra_on_arbitrary_graphs(
-        n in 2usize..24,
-        edges in proptest::collection::vec((0u32..24, 0u32..24, 1u32..20), 1..80),
-        nsrc in 1usize..5,
-    ) {
-        let mut b = CsrBuilder::new(n);
-        let mut weight_of = std::collections::BTreeMap::new();
-        for (u, v, w) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
-            if u != v && !weight_of.contains_key(&(u, v)) {
-                b.add_edge(u, v);
-                weight_of.insert((u, v), w);
+            let mut b = CsrBuilder::new(n);
+            let mut weight_of = std::collections::BTreeMap::new();
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v && !weight_of.contains_key(&(u, v)) {
+                    b.add_edge(u, v);
+                    weight_of.insert((u, v), w);
+                }
             }
-        }
-        let csr = b.build();
-        // Weights in adjacency order.
-        let mut weights = Vec::with_capacity(csr.num_edges());
-        for u in csr.vertices() {
-            for &v in csr.neighbors(u) {
-                weights.push(weight_of[&(u, v)]);
+            let csr = b.build();
+            // Weights in adjacency order.
+            let mut weights = Vec::with_capacity(csr.num_edges());
+            for u in csr.vertices() {
+                for &v in csr.neighbors(u) {
+                    weights.push(weight_of[&(u, v)]);
+                }
             }
-        }
-        let g = WeightedCsr::new(csr, weights);
-        let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
+            let g = WeightedCsr::new(csr, weights);
+            let sources: Vec<VertexId> = (0..nsrc.min(n) as VertexId).collect();
 
-        let joint = run_mode(&g, &sources, SsspMode::Joint);
-        let seq = run_mode(&g, &sources, SsspMode::Sequential);
-        prop_assert_eq!(&joint, &seq);
-        let nn = g.csr().num_vertices();
-        for (j, &s) in sources.iter().enumerate() {
-            prop_assert_eq!(&joint[j * nn..(j + 1) * nn], &dijkstra(&g, s)[..]);
-        }
-    }
-
-    #[test]
-    fn sssp_distances_satisfy_triangle_inequality(
-        n in 2usize..20,
-        edges in proptest::collection::vec((0u32..20, 0u32..20, 1u32..9), 1..60),
-    ) {
-        let mut b = CsrBuilder::new(n);
-        let mut seen = std::collections::BTreeSet::new();
-        let mut list = Vec::new();
-        for (u, v, w) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
-            if u != v && seen.insert((u, v)) {
-                b.add_edge(u, v);
-                list.push((u, v, w));
+            let joint = run_mode(&g, &sources, SsspMode::Joint);
+            let seq = run_mode(&g, &sources, SsspMode::Sequential);
+            assert_eq!(&joint, &seq);
+            let nn = g.csr().num_vertices();
+            for (j, &s) in sources.iter().enumerate() {
+                assert_eq!(&joint[j * nn..(j + 1) * nn], &dijkstra(&g, s)[..]);
             }
-        }
-        let csr = b.build();
-        list.sort_unstable();
-        let weights: Vec<u32> = list.iter().map(|&(_, _, w)| w).collect();
-        let g = WeightedCsr::new(csr, weights);
+        });
+}
 
-        let dists = run_mode(&g, &[0], SsspMode::Joint);
-        for &(u, v, w) in &list {
-            let du = dists[u as usize];
-            let dv = dists[v as usize];
-            if du != DIST_UNREACHED {
-                prop_assert!(dv <= du + w as u64, "edge ({u},{v},{w}): {dv} > {du}+{w}");
+#[test]
+fn sssp_distances_satisfy_triangle_inequality() {
+    Prop::new("sssp_distances_satisfy_triangle_inequality")
+        .cases(48)
+        .run(|rng| {
+            let n = rng.gen_range(2usize..20);
+            let edges = vec_of(rng, 1..60, |r| {
+                (
+                    r.gen_range(0u32..20),
+                    r.gen_range(0u32..20),
+                    r.gen_range(1u32..9),
+                )
+            });
+
+            let mut b = CsrBuilder::new(n);
+            let mut seen = std::collections::BTreeSet::new();
+            let mut list = Vec::new();
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v && seen.insert((u, v)) {
+                    b.add_edge(u, v);
+                    list.push((u, v, w));
+                }
             }
-        }
-    }
+            let csr = b.build();
+            list.sort_unstable();
+            let weights: Vec<u32> = list.iter().map(|&(_, _, w)| w).collect();
+            let g = WeightedCsr::new(csr, weights);
+
+            let dists = run_mode(&g, &[0], SsspMode::Joint);
+            for &(u, v, w) in &list {
+                let du = dists[u as usize];
+                let dv = dists[v as usize];
+                if du != DIST_UNREACHED {
+                    assert!(dv <= du + w as u64, "edge ({u},{v},{w}): {dv} > {du}+{w}");
+                }
+            }
+        });
 }
