@@ -7,6 +7,8 @@
 set -eux
 
 cargo build --release --workspace --offline
+cargo build --all-targets --offline
 cargo test -q --workspace --offline
 cargo bench --no-run --workspace --offline
 cargo build --examples --offline
+RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline

@@ -12,9 +12,12 @@
 //! closeness for many vertices is one of the paper's motivating concurrent
 //! BFS workloads (top-k closeness search, Olsen et al.).
 
-use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs::engine::EngineKind;
+use ibfs::groupby::GroupingStrategy;
+use ibfs::runner::RunConfig;
+use ibfs::service::IbfsService;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
-use ibfs_gpu_sim::{DeviceConfig, Profiler};
+use std::collections::HashMap;
 
 /// Closeness of one source given its depth array.
 pub fn closeness_from_depths(depths: &[Depth]) -> f64 {
@@ -46,17 +49,22 @@ pub fn closeness_centrality(
     group_size: usize,
 ) -> Vec<f64> {
     assert!(group_size > 0);
-    let engine = engine.build();
-    let mut prof = Profiler::new(DeviceConfig::k40());
-    let g = GpuGraph::new(graph, reverse, &mut prof);
-    let mut out = Vec::with_capacity(sources.len());
-    for group in sources.chunks(group_size) {
-        let run = engine.run_group(&g, group, &mut prof);
-        for j in 0..group.len() {
-            out.push(closeness_from_depths(run.instance_depths(j)));
+    let mut svc = IbfsService::new(graph, reverse, RunConfig {
+        engine,
+        grouping: GroupingStrategy::Random { seed: 7, group_size },
+        ..Default::default()
+    });
+    let grouping = svc.grouping().group(graph, sources);
+    let run = svc.run(sources);
+    // Closeness depends only on the source vertex, so grouping may permute
+    // freely; map scores back by id.
+    let mut by_vertex: HashMap<VertexId, f64> = HashMap::new();
+    for (gi, group) in grouping.groups.iter().enumerate() {
+        for (j, &s) in group.iter().enumerate() {
+            by_vertex.insert(s, closeness_from_depths(run.groups[gi].instance_depths(j)));
         }
     }
-    out
+    sources.iter().map(|s| by_vertex[s]).collect()
 }
 
 /// The `k` vertices with the highest closeness among `candidates`,

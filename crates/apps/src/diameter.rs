@@ -5,9 +5,12 @@
 //! exact diameter needs eccentricities of many vertices — both are
 //! embarrassingly concurrent and map directly onto iBFS groups.
 
-use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs::engine::EngineKind;
+use ibfs::groupby::GroupingStrategy;
+use ibfs::runner::RunConfig;
+use ibfs::service::IbfsService;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
-use ibfs_gpu_sim::{DeviceConfig, Profiler};
+use std::collections::HashMap;
 
 /// Eccentricity of a source given its BFS depth array: the depth of the
 /// farthest *reachable* vertex (0 for an isolated vertex).
@@ -24,11 +27,11 @@ pub fn eccentricity_from_depths(depths: &[Depth]) -> Depth {
 /// farthest vertex found; returns that second eccentricity (a tight lower
 /// bound on most real-world graphs).
 pub fn double_sweep_lower_bound(graph: &Csr, reverse: &Csr, start: VertexId) -> Depth {
-    let engine = EngineKind::Bitwise.build();
-    let mut prof = Profiler::new(DeviceConfig::k40());
-    let g = GpuGraph::new(graph, reverse, &mut prof);
-    let first = engine.run_group(&g, &[start], &mut prof);
-    let depths = first.instance_depths(0);
+    // Two dependent single-source requests against one resident upload —
+    // the request-after-request shape [`IbfsService`] amortizes.
+    let mut svc = IbfsService::new(graph, reverse, RunConfig::default());
+    let first = svc.run(&[start]);
+    let depths = first.groups[0].instance_depths(0);
     let far = depths
         .iter()
         .enumerate()
@@ -36,8 +39,8 @@ pub fn double_sweep_lower_bound(graph: &Csr, reverse: &Csr, start: VertexId) -> 
         .max_by_key(|&(_, &d)| d)
         .map(|(v, _)| v as VertexId)
         .unwrap_or(start);
-    let second = engine.run_group(&g, &[far], &mut prof);
-    eccentricity_from_depths(second.instance_depths(0))
+    let second = svc.run(&[far]);
+    eccentricity_from_depths(second.groups[0].instance_depths(0))
 }
 
 /// Exact eccentricities of the given vertices, computed `group_size` at a
@@ -51,17 +54,23 @@ pub fn eccentricities(
     group_size: usize,
 ) -> Vec<(VertexId, Depth)> {
     assert!(group_size > 0);
-    let engine = engine.build();
-    let mut prof = Profiler::new(DeviceConfig::k40());
-    let g = GpuGraph::new(graph, reverse, &mut prof);
-    let mut out = Vec::with_capacity(vertices.len());
-    for group in vertices.chunks(group_size) {
-        let run = engine.run_group(&g, group, &mut prof);
+    let mut svc = IbfsService::new(graph, reverse, RunConfig {
+        engine,
+        grouping: GroupingStrategy::Random { seed: 7, group_size },
+        ..Default::default()
+    });
+    let grouping = svc.grouping().group(graph, vertices);
+    let run = svc.run(vertices);
+    // Eccentricity depends only on the source vertex, so grouping may
+    // permute freely; map scores back by id.
+    let mut by_vertex: HashMap<VertexId, Depth> = HashMap::new();
+    for (gi, group) in grouping.groups.iter().enumerate() {
         for (j, &v) in group.iter().enumerate() {
-            out.push((v, eccentricity_from_depths(run.instance_depths(j))));
+            by_vertex
+                .insert(v, eccentricity_from_depths(run.groups[gi].instance_depths(j)));
         }
     }
-    out
+    vertices.iter().map(|&v| (v, by_vertex[&v])).collect()
 }
 
 /// Exact diameter: maximum eccentricity over all vertices (APSP through

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! bfs <GRAPH> [--engine ENGINE] [--sources N | --source-list a,b,c]
-//!             [--group-size N] [--groupby] [--depths]
+//!             [--group-size N] [--groupby] [--depths] [--trace PATH]
 //!
 //! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
 //!          name prefixed with `suite:` (e.g. `suite:FB`)
 //! ENGINE   sequential | naive | joint | bitwise (default) | msbfs | spmm
+//! PATH     JSONL destination for the per-level trace (`-` for stdout)
 //! ```
 
 use ibfs::engine::EngineKind;
 use ibfs::groupby::GroupingStrategy;
-use ibfs::runner::{run_ibfs, RunConfig};
+use ibfs::runner::RunConfig;
+use ibfs::service::IbfsService;
+use ibfs::trace::JsonlSink;
 use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
 use std::process::ExitCode;
 
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
     let mut groupby = false;
     let mut print_depths = false;
     let mut print_levels = false;
+    let mut trace: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -69,6 +73,12 @@ fn main() -> ExitCode {
             "--groupby" => groupby = true,
             "--depths" => print_depths = true,
             "--levels" => print_levels = true,
+            "--trace" => {
+                trace = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("unknown option {other}")),
         }
     }
@@ -109,11 +119,29 @@ fn main() -> ExitCode {
     } else {
         GroupingStrategy::Random { seed: 1, group_size }
     };
-    let run = run_ibfs(&graph, &reverse, &sources, &RunConfig {
+    let mut svc = IbfsService::new(&graph, &reverse, RunConfig {
         engine,
         grouping,
         ..Default::default()
     });
+    let run = match trace.as_deref() {
+        None => svc.run(&sources),
+        Some("-") => {
+            let mut sink = JsonlSink::new(std::io::stdout().lock());
+            svc.run_traced(&sources, &mut sink)
+        }
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error creating trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            svc.run_traced(&sources, &mut sink)
+        }
+    };
 
     println!("groups:                {}", run.groups.len());
     println!("simulated time:        {:.6} s", run.sim_seconds);
@@ -159,7 +187,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm] \
-         [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels]"
+         [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels] \
+         [--trace PATH|-]"
     );
     ExitCode::from(2)
 }

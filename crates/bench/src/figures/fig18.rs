@@ -6,31 +6,34 @@
 //! GroupBy saves another ~2.6× by raising sharing (more frontiers stored
 //! once).
 //!
-//! Store counts are derived from the recorded per-level queue sizes under
-//! the uniform convention of one coalesced 128-byte store transaction per
+//! Store counts are derived from the per-level [`TraversalEvent`] stream
+//! (queue sizes recorded at frontier identification) under the uniform
+//! convention of one coalesced 128-byte store transaction per
 //! 32 enqueued `u32` ids (plus the 16-byte ballot masks for joint queues):
 //! private queues store `Σ_k Σ_j |FQ_j(k)|` ids, joint queues
 //! `Σ_k |JFQ(k)|`.
 
-use crate::figures::util::run_groups;
+use crate::figures::util::run_groups_traced;
 use crate::{FigureResult, HarnessConfig};
-use ibfs::engine::{EngineKind, GroupRun};
+use ibfs::engine::EngineKind;
+use ibfs::frontier::{FQ_ID_BYTES, JFQ_MASK_BYTES};
 use ibfs::groupby::{GroupByConfig, GroupingStrategy};
+use ibfs::trace::TraversalEvent;
 use ibfs_graph::suite;
 
-fn private_store_txns(runs: &[GroupRun]) -> u64 {
+fn private_store_txns(events: &[TraversalEvent]) -> u64 {
     // Each instance stores its own copy of every frontier.
-    runs.iter()
-        .flat_map(|r| r.levels.iter())
-        .map(|l| (l.instance_frontiers * 4).div_ceil(128))
+    events
+        .iter()
+        .map(|e| (e.instance_frontiers * FQ_ID_BYTES).div_ceil(128))
         .sum()
 }
 
-fn joint_store_txns(runs: &[GroupRun]) -> u64 {
-    // Unique frontiers once (4-byte id + 16-byte ballot mask).
-    runs.iter()
-        .flat_map(|r| r.levels.iter())
-        .map(|l| (l.unique_frontiers * (4 + 16)).div_ceil(128))
+fn joint_store_txns(events: &[TraversalEvent]) -> u64 {
+    // Unique frontiers once (id + ballot mask).
+    events
+        .iter()
+        .map(|e| (e.unique_frontiers * (FQ_ID_BYTES + JFQ_MASK_BYTES)).div_ceil(128))
         .sum()
 }
 
@@ -48,14 +51,14 @@ pub fn run(cfg: &HarnessConfig) -> FigureResult {
     for spec in suite::suite() {
         let (g, r) = cfg.load(&spec);
         let sources = cfg.source_set(&g);
-        let random = run_groups(
+        let (_, random) = run_groups_traced(
             &g,
             &r,
             &sources,
             &GroupingStrategy::Random { seed: 19, group_size: cfg.group_size },
             EngineKind::Bitwise,
         );
-        let grouped = run_groups(
+        let (_, grouped) = run_groups_traced(
             &g,
             &r,
             &sources,

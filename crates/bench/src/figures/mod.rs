@@ -48,13 +48,31 @@ pub fn run_by_id(id: &str, cfg: &HarnessConfig) -> Option<FigureResult> {
     })
 }
 
-/// Shared helper: run a bitwise group run for a given grouping and return
-/// the per-group results.
+/// Shared helper: run a group run for a given grouping through the resident
+/// [`ibfs::service::IbfsService`] and return the per-group results.
 pub(crate) mod util {
-    use ibfs::engine::{EngineKind, GpuGraph, GroupRun};
+    use ibfs::engine::{EngineKind, GroupRun};
     use ibfs::groupby::GroupingStrategy;
+    use ibfs::runner::RunConfig;
+    use ibfs::service::IbfsService;
+    use ibfs::trace::{RecorderSink, TraversalEvent};
     use ibfs_graph::{Csr, VertexId};
-    use ibfs_gpu_sim::{DeviceConfig, Profiler};
+    use ibfs_gpu_sim::DeviceConfig;
+
+    /// One-request service on the reference K40 (the figure device). The §3
+    /// clamp is a no-op at figure scale, so results match a direct run.
+    fn service<'g>(
+        graph: &'g Csr,
+        reverse: &'g Csr,
+        strategy: &GroupingStrategy,
+        engine: EngineKind,
+    ) -> IbfsService<'g> {
+        IbfsService::new(graph, reverse, RunConfig {
+            engine,
+            grouping: strategy.clone(),
+            device: DeviceConfig::k40(),
+        })
+    }
 
     /// Runs `engine` over all groups of `grouping` on one device; returns
     /// the grouping and the group runs in execution order.
@@ -65,15 +83,9 @@ pub(crate) mod util {
         strategy: &GroupingStrategy,
         engine: EngineKind,
     ) -> (ibfs::groupby::Grouping, Vec<GroupRun>) {
-        let grouping = strategy.group(graph, sources);
-        let engine = engine.build();
-        let mut prof = Profiler::new(DeviceConfig::k40());
-        let g = GpuGraph::new(graph, reverse, &mut prof);
-        let runs = grouping
-            .groups
-            .iter()
-            .map(|group| engine.run_group(&g, group, &mut prof))
-            .collect();
+        let mut svc = service(graph, reverse, strategy, engine);
+        let grouping = svc.grouping().group(graph, sources);
+        let runs = svc.run(sources).groups;
         (grouping, runs)
     }
 
@@ -85,9 +97,23 @@ pub(crate) mod util {
         strategy: &GroupingStrategy,
         engine: EngineKind,
     ) -> Vec<GroupRun> {
-        run_groups_with_grouping(graph, reverse, sources, strategy, engine).1
+        service(graph, reverse, strategy, engine).run(sources).groups
     }
 
+    /// [`run_groups`] plus the structured per-level
+    /// [`TraversalEvent`] stream the run emitted.
+    pub fn run_groups_traced(
+        graph: &Csr,
+        reverse: &Csr,
+        sources: &[VertexId],
+        strategy: &GroupingStrategy,
+        engine: EngineKind,
+    ) -> (Vec<GroupRun>, Vec<TraversalEvent>) {
+        let mut svc = service(graph, reverse, strategy, engine);
+        let mut sink = RecorderSink::default();
+        let runs = svc.run_traced(sources, &mut sink).groups;
+        (runs, sink.events)
+    }
 }
 
 #[cfg(test)]

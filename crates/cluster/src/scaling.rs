@@ -1,10 +1,16 @@
 //! Cluster scaling: partition groups over devices, report the makespan.
+//!
+//! Each simulated device keeps one resident graph upload and runs its
+//! assigned groups back to back, releasing scratch between groups — the same
+//! residency discipline as [`ibfs::service::IbfsService`], and the same
+//! [`DeviceScheduler`] prices each device's timeline.
 
-use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs::engine::{EngineKind, GpuGraph, GroupRun};
 use ibfs::groupby::GroupingStrategy;
+use ibfs::service::{BackToBack, DeviceScheduler};
 use ibfs_graph::partition::{bin_loads, lpt_assign};
 use ibfs_graph::{Csr, VertexId};
-use ibfs_gpu_sim::{DeviceConfig, Profiler};
+use ibfs_gpu_sim::{CostModel, DeviceConfig, Profiler};
 use ibfs_util::json_struct;
 
 /// Configuration of a cluster run.
@@ -72,11 +78,7 @@ impl ClusterRun {
     /// Aggregate cluster traversal rate: all traversed edges over the
     /// makespan.
     pub fn teps(&self) -> f64 {
-        if self.makespan_seconds <= 0.0 {
-            0.0
-        } else {
-            self.traversed_edges as f64 / self.makespan_seconds
-        }
+        ibfs::metrics::teps(self.traversed_edges, self.makespan_seconds)
     }
 
     /// Speedup relative to a single-device run time `t1`.
@@ -131,16 +133,53 @@ pub fn run_cluster(
         })
         .collect();
 
+    // Each device uploads the graph once and keeps it resident; scratch is
+    // released between the groups it serves. Counters are unaffected: all
+    // allocations are segment-aligned, so transaction counts do not depend
+    // on the scratch base address.
+    struct DeviceState {
+        prof: Profiler,
+        adj_base: u64,
+        radj_base: u64,
+        offsets_base: u64,
+        scratch_mark: u64,
+        runs: Vec<GroupRun>,
+    }
+    let mut states: Vec<DeviceState> = (0..config.gpus)
+        .map(|_| {
+            let mut prof = Profiler::new(config.device);
+            let gg = GpuGraph::new(graph, reverse, &mut prof);
+            let (adj_base, radj_base, offsets_base) =
+                (gg.adj_base, gg.radj_base, gg.offsets_base);
+            let scratch_mark = prof.mem_mark();
+            DeviceState { prof, adj_base, radj_base, offsets_base, scratch_mark, runs: Vec::new() }
+        })
+        .collect();
+
     for (gi, group) in grouping.groups.iter().enumerate() {
         let d = assignment[gi];
-        // Each device has its own profiler (its own memory and counters).
-        let mut prof = Profiler::new(config.device);
-        let gg = GpuGraph::new(graph, reverse, &mut prof);
-        let run = engine.run_group(&gg, group, &mut prof);
+        let st = &mut states[d];
+        st.prof.release_to(st.scratch_mark);
+        let gg = GpuGraph {
+            csr: graph,
+            reverse,
+            adj_base: st.adj_base,
+            radj_base: st.radj_base,
+            offsets_base: st.offsets_base,
+        };
+        let run = engine.run_group(&gg, group, &mut st.prof);
         devices[d].groups += 1;
         devices[d].instances += run.num_instances;
-        devices[d].sim_seconds += run.sim_seconds;
         devices[d].traversed_edges += run.traversed_edges;
+        st.runs.push(run);
+    }
+
+    // Each device's timeline is priced by the shared scheduler (groups run
+    // back to back per device, as in the paper's cluster evaluation).
+    let scheduler = BackToBack;
+    let model = CostModel::new(config.device);
+    for (dev, st) in devices.iter_mut().zip(&states) {
+        dev.sim_seconds = scheduler.schedule(&st.runs, &model);
     }
 
     let makespan = devices

@@ -20,14 +20,20 @@
 //! baseline the paper compares against in Figure 20: per-level status reset
 //! (extra `seen`/`visit` array traffic each level) and *no* early
 //! termination.
+//!
+//! The per-level loop runs under [`crate::driver::LevelDriver`]; this module
+//! implements the word-generic [`crate::driver::LevelEngine`].
 
 use crate::direction::{Direction, DirectionPolicy};
+use crate::driver::{LevelDriver, LevelEngine};
 use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
+use crate::frontier::FQ_ID_BYTES;
 use crate::sequential::MAX_LEVELS;
 use crate::status::BitwiseStatusArray;
+use crate::trace::{NullSink, TraceSink};
 use crate::word::{StatusWord, W256};
 use ibfs_graph::{Depth, VertexId, DEPTH_UNVISITED};
-use ibfs_gpu_sim::{CostModel, PhaseKind, Profiler, SimTimer};
+use ibfs_gpu_sim::{CostModel, PhaseKind, PhaseTimer, Profiler, SimTimer};
 
 /// Which bitwise semantics to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -80,7 +86,7 @@ impl BitwiseEngine {
         sources: &[VertexId],
         prof: &mut Profiler,
     ) -> GroupRun {
-        run_generic::<W>(self, g, sources, prof)
+        run_generic::<W>(self, g, sources, prof, &mut NullSink)
     }
 }
 
@@ -92,117 +98,123 @@ impl Engine for BitwiseEngine {
         }
     }
 
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun {
         // Pick the narrowest CUDA-native word that fits the group, as the
         // paper does with int/long/vector types.
         match sources.len() {
-            0..=32 => run_generic::<u32>(self, g, sources, prof),
-            33..=64 => run_generic::<u64>(self, g, sources, prof),
-            65..=128 => run_generic::<u128>(self, g, sources, prof),
-            129..=256 => run_generic::<W256>(self, g, sources, prof),
+            0..=32 => run_generic::<u32>(self, g, sources, prof, sink),
+            33..=64 => run_generic::<u64>(self, g, sources, prof, sink),
+            65..=128 => run_generic::<u128>(self, g, sources, prof, sink),
+            129..=256 => run_generic::<W256>(self, g, sources, prof, sink),
             n => panic!("bitwise group limited to 256 instances, got {n}"),
         }
     }
 }
 
-fn run_generic<W: StatusWord>(
-    engine: &BitwiseEngine,
-    g: &GpuGraph<'_>,
-    sources: &[VertexId],
-    prof: &mut Profiler,
-) -> GroupRun {
-    let ni = sources.len();
-    assert!(
-        ni as u32 <= W::BITS,
-        "group of {ni} does not fit a {}-bit status word",
-        W::BITS
-    );
-    let csr = g.csr;
-    let rev = g.reverse;
-    let n = csr.num_vertices();
-    let total_edges = csr.num_edges() as u64;
-    let full = W::low_mask(ni as u32);
-    let before = prof.snapshot();
-    let model = CostModel::new(prof.config);
-    let word_bytes = W::bytes();
+/// A bitwise group as a [`LevelEngine`]: the double-buffered BSA plus the
+/// group-wide queue, direction, and depth recording.
+struct BitwiseProcess<'e, 'g, W: StatusWord> {
+    g: &'e GpuGraph<'g>,
+    sources: &'e [VertexId],
+    policy: DirectionPolicy,
+    style: BitwiseStyle,
+    level_cap: u32,
+    full: W,
+    cur: BitwiseStatusArray<W>,
+    next: BitwiseStatusArray<W>,
+    jfq_base: u64,
+    depths: Vec<Depth>,
+    queue: Vec<VertexId>,
+    instance_frontier_count: u64,
+    direction: Direction,
+    frontier_edges: u64,
+    visited_edges: u64,
+    // Scratch for CTA-level merging of top-down updates.
+    cta_touched: Vec<VertexId>,
+}
 
-    let mut cur: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
-    let mut next: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
-    let jfq_base = prof.alloc(n as u64 * 4);
-    let mut timer = SimTimer::start(model, prof);
-
-    let mut depths = vec![DEPTH_UNVISITED; ni * n];
-
-    // Level 0: set source bits in both buffers, queue the unique sources.
-    for (j, &s) in sources.iter().enumerate() {
-        cur.or_word(s, W::bit(j as u32));
-        depths[j * n + s as usize] = 0;
-        prof.atomic_rmw(cur.addr(s), word_bytes);
+impl<W: StatusWord> LevelEngine for BitwiseProcess<'_, '_, W> {
+    fn level_cap(&self) -> u32 {
+        self.level_cap
     }
-    next.copy_from(&cur);
-    let mut queue: Vec<VertexId> = {
-        let mut uniq: Vec<VertexId> = sources.to_vec();
+
+    fn has_work(&self) -> bool {
+        // Frontier identification leaves the queue empty when no new vertex
+        // was marked, so this doubles as the convergence check.
+        !self.queue.is_empty()
+    }
+
+    fn init(&mut self, prof: &mut Profiler, timer: &mut dyn PhaseTimer) {
+        // Level 0: set source bits in both buffers, queue the unique sources.
+        let n = self.g.csr.num_vertices();
+        let word_bytes = W::bytes();
+        for (j, &s) in self.sources.iter().enumerate() {
+            self.cur.or_word(s, W::bit(j as u32));
+            self.depths[j * n + s as usize] = 0;
+            prof.atomic_rmw(self.cur.addr(s), word_bytes);
+        }
+        self.next.copy_from(&self.cur);
+        let mut uniq: Vec<VertexId> = self.sources.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
-        uniq
-    };
-    let mut instance_frontier_count = ni as u64;
-    timer.phase(prof, PhaseKind::Other);
+        self.queue = uniq;
+        self.instance_frontier_count = self.sources.len() as u64;
+        timer.phase(prof, PhaseKind::Other);
+    }
 
-    // Level 1 always runs top-down from the sources; the per-level direction
-    // for later levels is chosen during frontier identification (the queue's
-    // contents depend on it, so the decision and the queue travel together).
-    let mut direction = Direction::TopDown;
-    let mut frontier_edges: u64 = sources.iter().map(|&s| csr.out_degree(s) as u64).sum();
-    let mut visited_edges = frontier_edges;
-    let mut levels = Vec::new();
-    // Scratch for CTA-level merging of top-down updates.
-    let mut cta_touched: Vec<VertexId> = Vec::new();
-    let level_cap = if engine.max_levels == 0 {
-        MAX_LEVELS
-    } else {
-        engine.max_levels.min(MAX_LEVELS)
-    };
-
-    for level in 1..=level_cap {
-        if queue.is_empty() {
-            break;
-        }
+    fn run_level(
+        &mut self,
+        level: u32,
+        prof: &mut Profiler,
+        timer: &mut dyn PhaseTimer,
+    ) -> LevelStats {
+        let csr = self.g.csr;
+        let rev = self.g.reverse;
+        let n = csr.num_vertices();
+        let ni = self.sources.len();
+        let total_edges = csr.num_edges() as u64;
+        let full = self.full;
+        let word_bytes = W::bytes();
         let depth = level as Depth;
-        timer.kernel_launch();
 
         // --- BSA_{k+1} <- BSA_k (Algorithm 1, line 1). ---
-        next.copy_from(&cur);
-        prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
-        prof.store_contiguous(next.base, 0, n as u64, word_bytes);
-        if engine.style == BitwiseStyle::MsBfs {
+        self.next.copy_from(&self.cur);
+        prof.load_contiguous(self.cur.base, 0, n as u64, word_bytes);
+        prof.store_contiguous(self.next.base, 0, n as u64, word_bytes);
+        if self.style == BitwiseStyle::MsBfs {
             // MS-BFS keeps separate seen/visit/visitNext arrays and resets
             // the visit map every level: one more array swept per level.
-            prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
-            prof.store_contiguous(next.base, 0, n as u64, word_bytes);
+            prof.load_contiguous(self.cur.base, 0, n as u64, word_bytes);
+            prof.store_contiguous(self.next.base, 0, n as u64, word_bytes);
         }
         timer.phase(prof, PhaseKind::Other);
 
         // --- Traversal (Algorithm 1). ---
-        prof.load_contiguous(jfq_base, 0, queue.len() as u64, 4);
+        prof.load_contiguous(self.jfq_base, 0, self.queue.len() as u64, 4);
         let mut edges_inspected = 0u64;
         let mut early_terms = 0u64;
 
-        match direction {
+        match self.direction {
             Direction::TopDown => {
                 let cta = prof.config.cta_size as usize;
-                for batch in queue.chunks(cta) {
-                    cta_touched.clear();
+                for batch in self.queue.chunks(cta) {
+                    self.cta_touched.clear();
                     // Each thread loads its frontier's status word.
                     for fchunk in batch.chunks(32) {
-                        prof.warp_gather(fchunk.iter().map(|&f| cur.addr(f)), word_bytes);
+                        prof.warp_gather(fchunk.iter().map(|&f| self.cur.addr(f)), word_bytes);
                     }
                     for &f in batch {
-                        let mask = cur.word(f);
+                        let mask = self.cur.word(f);
                         debug_assert!(!mask.is_zero());
                         let neighbors = csr.neighbors(f);
                         prof.load_contiguous(
-                            g.adj_base,
+                            self.g.adj_base,
                             csr.adj_start(f),
                             neighbors.len() as u64,
                             4,
@@ -214,60 +226,63 @@ fn run_generic<W: StatusWord>(
                         // step").
                         prof.shared_store(neighbors.len() as u64);
                         for &w in neighbors {
-                            next.or_word(w, mask);
-                            cta_touched.push(w);
+                            self.next.or_word(w, mask);
+                            self.cta_touched.push(w);
                         }
                     }
                     // Push the combined updates to global memory with one
                     // atomic per distinct vertex touched by this CTA.
-                    cta_touched.sort_unstable();
-                    cta_touched.dedup();
-                    for wchunk in cta_touched.chunks(32) {
-                        prof.warp_atomic(wchunk.iter().map(|&w| next.addr(w)), word_bytes);
+                    self.cta_touched.sort_unstable();
+                    self.cta_touched.dedup();
+                    for wchunk in self.cta_touched.chunks(32) {
+                        prof.warp_atomic(wchunk.iter().map(|&w| self.next.addr(w)), word_bytes);
                     }
                 }
             }
             Direction::BottomUp => {
-                for fchunk in queue.chunks(32) {
-                    prof.warp_gather(fchunk.iter().map(|&f| next.addr(f)), word_bytes);
+                for fchunk in self.queue.chunks(32) {
+                    prof.warp_gather(fchunk.iter().map(|&f| self.next.addr(f)), word_bytes);
                     for &f in fchunk {
                         let parents = rev.neighbors(f);
-                        let mut acc = next.word(f);
+                        let mut acc = self.next.word(f);
                         let mut scanned = 0u64;
                         for &p in parents {
-                            if engine.style == BitwiseStyle::Ibfs && acc.and(full) == full {
+                            if self.style == BitwiseStyle::Ibfs && acc.and(full) == full {
                                 // Early termination: every instance found a
                                 // parent for f.
                                 break;
                             }
                             scanned += 1;
-                            acc = acc.or(cur.word(p));
+                            acc = acc.or(self.cur.word(p));
                         }
                         // One thread streams f's parents and their words.
-                        prof.load_contiguous(g.radj_base, rev.adj_start(f), scanned, 4);
+                        prof.load_contiguous(self.g.radj_base, rev.adj_start(f), scanned, 4);
                         for pchunk in parents[..scanned as usize].chunks(32) {
-                            prof.warp_gather(pchunk.iter().map(|&p| cur.addr(p)), word_bytes);
+                            prof.warp_gather(
+                                pchunk.iter().map(|&p| self.cur.addr(p)),
+                                word_bytes,
+                            );
                         }
                         prof.lanes(scanned);
                         edges_inspected += scanned;
                         if scanned < parents.len() as u64 {
                             early_terms += 1;
                         }
-                        if acc != next.word(f) {
-                            next.set_word(f, acc);
+                        if acc != self.next.word(f) {
+                            self.next.set_word(f, acc);
                         }
                     }
                     // Tree-based merging within the warp, then one store per
                     // updated frontier word ("avoiding atomic operations").
-                    prof.warp_scatter(fchunk.iter().map(|&f| next.addr(f)), word_bytes);
+                    prof.warp_scatter(fchunk.iter().map(|&f| self.next.addr(f)), word_bytes);
                 }
             }
         }
         timer.phase(prof, PhaseKind::Inspection);
 
         // --- Frontier identification (Algorithm 2) + depth recording. ---
-        prof.load_contiguous(cur.base, 0, n as u64, word_bytes);
-        prof.load_contiguous(next.base, 0, n as u64, word_bytes);
+        prof.load_contiguous(self.cur.base, 0, n as u64, word_bytes);
+        prof.load_contiguous(self.next.base, 0, n as u64, word_bytes);
         prof.lanes(n as u64);
         let mut new_queue: Vec<VertexId> = Vec::new();
         let mut new_frontier_edges = 0u64;
@@ -278,33 +293,33 @@ fn run_generic<W: StatusWord>(
         // Peek at the direction the policy would choose for the next level
         // to identify the right frontier kind; stats first, then decide.
         for v in 0..n as VertexId {
-            let diff = next.word(v).xor(cur.word(v));
+            let diff = self.next.word(v).xor(self.cur.word(v));
             if !diff.is_zero() {
                 for j in diff.iter_ones() {
-                    depths[j as usize * n + v as usize] = depth;
+                    self.depths[j as usize * n + v as usize] = depth;
                 }
                 new_marked_total += diff.count_ones() as u64;
                 new_frontier_edges += diff.count_ones() as u64 * csr.out_degree(v) as u64;
             }
-            if next.word(v).and(full) != full {
+            if self.next.word(v).and(full) != full {
                 any_unvisited = true;
             }
         }
-        visited_edges += new_frontier_edges;
-        frontier_edges = new_frontier_edges;
+        self.visited_edges += new_frontier_edges;
+        self.frontier_edges = new_frontier_edges;
 
-        let next_direction = engine.policy.next(
-            direction,
-            frontier_edges,
+        let next_direction = self.policy.next(
+            self.direction,
+            self.frontier_edges,
             new_marked_total,
-            (total_edges * ni as u64).saturating_sub(visited_edges),
+            (total_edges * ni as u64).saturating_sub(self.visited_edges),
             n as u64 * ni as u64,
         );
         if new_marked_total > 0 {
             match next_direction {
                 Direction::TopDown => {
                     for v in 0..n as VertexId {
-                        let diff = next.word(v).xor(cur.word(v));
+                        let diff = self.next.word(v).xor(self.cur.word(v));
                         if !diff.is_zero() {
                             new_queue.push(v);
                             next_instance_frontiers += diff.count_ones() as u64;
@@ -314,7 +329,7 @@ fn run_generic<W: StatusWord>(
                 Direction::BottomUp => {
                     if any_unvisited {
                         for v in 0..n as VertexId {
-                            let missing = next.word(v).and(full).xor(full);
+                            let missing = self.next.word(v).and(full).xor(full);
                             if !missing.is_zero() {
                                 new_queue.push(v);
                                 next_instance_frontiers += missing.count_ones() as u64;
@@ -324,38 +339,90 @@ fn run_generic<W: StatusWord>(
                 }
             }
         }
-        prof.store_contiguous(jfq_base, 0, new_queue.len() as u64, 4);
+        prof.store_contiguous(self.jfq_base, 0, new_queue.len() as u64, 4);
         timer.phase(prof, PhaseKind::FrontierGeneration);
 
-        levels.push(LevelStats {
+        let stats = LevelStats {
             level,
-            direction,
-            unique_frontiers: queue.len() as u64,
-            instance_frontiers: instance_frontier_count,
+            direction: self.direction,
+            unique_frontiers: self.queue.len() as u64,
+            instance_frontiers: self.instance_frontier_count,
             edges_inspected,
             early_terminations: early_terms,
-        });
+        };
 
-        std::mem::swap(&mut cur, &mut next);
-        queue = new_queue;
-        instance_frontier_count = next_instance_frontiers;
-        direction = next_direction;
-        if new_marked_total == 0 {
-            break;
-        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+        self.queue = new_queue;
+        self.instance_frontier_count = next_instance_frontiers;
+        self.direction = next_direction;
+        stats
     }
+}
+
+fn run_generic<W: StatusWord>(
+    engine: &BitwiseEngine,
+    g: &GpuGraph<'_>,
+    sources: &[VertexId],
+    prof: &mut Profiler,
+    sink: &mut dyn TraceSink,
+) -> GroupRun {
+    let ni = sources.len();
+    assert!(
+        ni as u32 <= W::BITS,
+        "group of {ni} does not fit a {}-bit status word",
+        W::BITS
+    );
+    let csr = g.csr;
+    let n = csr.num_vertices();
+    let before = prof.snapshot();
+    let model = CostModel::new(prof.config);
+
+    let cur: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
+    let next: BitwiseStatusArray<W> = BitwiseStatusArray::new(n, prof);
+    let jfq_base = prof.alloc(n as u64 * FQ_ID_BYTES);
+    let mut timer = SimTimer::start(model, prof);
+
+    let level_cap = if engine.max_levels == 0 {
+        MAX_LEVELS
+    } else {
+        engine.max_levels.min(MAX_LEVELS)
+    };
+    let mut process = BitwiseProcess {
+        g,
+        sources,
+        policy: engine.policy,
+        style: engine.style,
+        level_cap,
+        full: W::low_mask(ni as u32),
+        cur,
+        next,
+        jfq_base,
+        depths: vec![DEPTH_UNVISITED; ni * n],
+        queue: Vec::new(),
+        instance_frontier_count: 0,
+        // Level 1 always runs top-down from the sources; the per-level
+        // direction for later levels is chosen during frontier
+        // identification (the queue's contents depend on it, so the
+        // decision and the queue travel together).
+        direction: Direction::TopDown,
+        frontier_edges: sources.iter().map(|&s| csr.out_degree(s) as u64).sum(),
+        visited_edges: sources.iter().map(|&s| csr.out_degree(s) as u64).sum(),
+        cta_touched: Vec::new(),
+    };
+    let levels = LevelDriver { prof, timer: &mut timer, sink }.drive(&mut process);
 
     let counters = prof.snapshot().delta(&before);
-    let traversed = traversed_edges_for(csr, &depths, ni);
+    let traversed = traversed_edges_for(csr, &process.depths, ni);
     GroupRun {
         engine: engine.name(),
         num_instances: ni,
         num_vertices: n,
-        depths,
+        depths: process.depths,
         levels,
         counters,
         sim_seconds: timer.seconds(),
         traversed_edges: traversed,
+        kernel_launches: timer.launch_count(),
     }
 }
 

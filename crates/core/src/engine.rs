@@ -19,6 +19,7 @@
 //!   launch overhead through [`ibfs_gpu_sim::SimTimer`].
 
 use crate::direction::Direction;
+use crate::trace::{NullSink, TraceSink};
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_gpu_sim::{Counters, Profiler};
 use ibfs_util::{json_enum, json_struct};
@@ -112,6 +113,9 @@ pub struct GroupRun {
     pub sim_seconds: f64,
     /// Directed edges traversed, summed over instances (TEPS numerator).
     pub traversed_edges: u64,
+    /// Kernel launches charged during the run (one per level per kernel
+    /// stream; the scheduler layer re-prices these under overlap).
+    pub kernel_launches: u64,
 }
 
 impl GroupRun {
@@ -127,33 +131,19 @@ impl GroupRun {
 
     /// Traversed edges per simulated second.
     pub fn teps(&self) -> f64 {
-        if self.sim_seconds <= 0.0 {
-            0.0
-        } else {
-            self.traversed_edges as f64 / self.sim_seconds
-        }
+        crate::metrics::teps(self.traversed_edges, self.sim_seconds)
     }
 
     /// The run's sharing degree `SD = Σ_k Σ_j |FQ_j(k)| / Σ_k |JFQ(k)|`
     /// (Equation 1). For private-queue engines every frontier is its own
     /// queue entry, so SD is 1 by construction.
     pub fn sharing_degree(&self) -> f64 {
-        let unique: u64 = self.levels.iter().map(|l| l.unique_frontiers).sum();
-        let total: u64 = self.levels.iter().map(|l| l.instance_frontiers).sum();
-        if unique == 0 {
-            0.0
-        } else {
-            total as f64 / unique as f64
-        }
+        crate::metrics::sharing_degree(&self.levels)
     }
 
     /// Sharing ratio: sharing degree over group size (§5.1).
     pub fn sharing_ratio(&self) -> f64 {
-        if self.num_instances == 0 {
-            0.0
-        } else {
-            self.sharing_degree() / self.num_instances as f64
-        }
+        crate::metrics::sharing_ratio(self.sharing_degree(), self.num_instances)
     }
 }
 
@@ -178,8 +168,21 @@ pub trait Engine {
     fn name(&self) -> &'static str;
 
     /// Runs BFS from every source in `sources` concurrently (per the
-    /// engine's strategy) and returns depths plus accounting.
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun;
+    /// engine's strategy), emitting one [`crate::trace::TraversalEvent`] per
+    /// level into `sink`, and returns depths plus accounting. Sinks are
+    /// observers only: the run is bit-identical with any sink attached.
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun;
+
+    /// [`Engine::run_group_traced`] with tracing disabled.
+    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+        self.run_group_traced(g, sources, prof, &mut NullSink)
+    }
 }
 
 /// Engine selector used by the runner and the figure harness.
@@ -277,6 +280,7 @@ mod tests {
             counters: Counters::default(),
             sim_seconds: 2.0,
             traversed_edges: 50,
+            kernel_launches: 3,
         };
         assert_eq!(run.depth_of(0, 1), 1);
         assert_eq!(run.depth_of(1, 0), 255);

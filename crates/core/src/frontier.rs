@@ -10,6 +10,14 @@
 use ibfs_graph::VertexId;
 use ibfs_gpu_sim::Profiler;
 
+/// Bytes per frontier-queue entry: one `u32` vertex id. Shared by the FQ and
+/// the JFQ's id slots — the §3 memory bound prices JFQ entries at
+/// `FQ_ID_BYTES + JFQ_MASK_BYTES`.
+pub const FQ_ID_BYTES: u64 = 4;
+
+/// Bytes per JFQ `__ballot()` mask: 128 instance bits.
+pub const JFQ_MASK_BYTES: u64 = 16;
+
 /// Private per-instance frontier queue.
 #[derive(Clone, Debug)]
 pub struct FrontierQueue {
@@ -23,7 +31,7 @@ impl FrontierQueue {
     pub fn new(capacity: usize, prof: &mut Profiler) -> Self {
         FrontierQueue {
             items: Vec::with_capacity(capacity),
-            base: prof.alloc(capacity as u64 * 4),
+            base: prof.alloc(capacity as u64 * FQ_ID_BYTES),
         }
     }
 
@@ -84,8 +92,8 @@ impl JointFrontierQueue {
         JointFrontierQueue {
             vertices: Vec::with_capacity(capacity),
             masks: Vec::with_capacity(capacity),
-            base: prof.alloc(capacity as u64 * 4),
-            mask_base: prof.alloc(capacity as u64 * 16),
+            base: prof.alloc(capacity as u64 * FQ_ID_BYTES),
+            mask_base: prof.alloc(capacity as u64 * JFQ_MASK_BYTES),
         }
     }
 

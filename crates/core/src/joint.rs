@@ -19,14 +19,19 @@
 //! Directions are decided per instance with the shared α/β policy; a vertex
 //! can simultaneously be a top-down frontier for some instances and a
 //! bottom-up frontier for others (the paper's vertex 7 in Figure 5).
+//!
+//! The per-level loop runs under [`crate::driver::LevelDriver`]; this module
+//! implements the group-wide [`crate::driver::LevelEngine`].
 
 use crate::direction::{Direction, DirectionPolicy};
+use crate::driver::{LevelDriver, LevelEngine};
 use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
 use crate::frontier::JointFrontierQueue;
 use crate::sequential::MAX_LEVELS;
 use crate::status::JointStatusArray;
+use crate::trace::TraceSink;
 use ibfs_graph::{Depth, VertexId};
-use ibfs_gpu_sim::{CostModel, PhaseKind, Profiler, SimTimer};
+use ibfs_gpu_sim::{CostModel, PhaseKind, PhaseTimer, Profiler, SimTimer};
 
 /// Maximum instances a joint group supports (the paper's default N).
 pub const MAX_GROUP: usize = 128;
@@ -71,33 +76,269 @@ struct InstanceState {
     done: bool,
 }
 
+/// A whole joint group as one [`LevelEngine`]: the JSA/JFQ plus the
+/// per-instance direction and progress bookkeeping.
+struct JointProcess<'e, 'g> {
+    g: &'e GpuGraph<'g>,
+    sources: &'e [VertexId],
+    policy: DirectionPolicy,
+    shared_cache: bool,
+    jsa: JointStatusArray,
+    jfq: JointFrontierQueue,
+    inst: Vec<InstanceState>,
+    td_masks: Vec<u128>,
+    newly_marked_count: Vec<u64>,
+    newly_marked_edges: Vec<u64>,
+}
+
+impl LevelEngine for JointProcess<'_, '_> {
+    fn level_cap(&self) -> u32 {
+        MAX_LEVELS
+    }
+
+    fn has_work(&self) -> bool {
+        // `any()` over an empty group is false, so a zero-instance run ends
+        // immediately.
+        self.inst.iter().any(|i| !i.done)
+    }
+
+    fn init(&mut self, prof: &mut Profiler, timer: &mut dyn PhaseTimer) {
+        // Level 0: sources. Seeding is part of upload, not a kernel launch.
+        for (j, &s) in self.sources.iter().enumerate() {
+            self.jsa.set(s, j, 0);
+            prof.lane_store(self.jsa.addr(s, j), 1);
+        }
+        timer.phase(prof, PhaseKind::Other);
+    }
+
+    fn run_level(
+        &mut self,
+        level: u32,
+        prof: &mut Profiler,
+        timer: &mut dyn PhaseTimer,
+    ) -> LevelStats {
+        let csr = self.g.csr;
+        let rev = self.g.reverse;
+        let n = csr.num_vertices();
+        let ni = self.sources.len();
+        let total_edges = csr.num_edges() as u64;
+        let depth = level as Depth;
+        let prev = depth - 1;
+
+        // Per-instance direction decisions.
+        for st in self.inst.iter_mut().filter(|i| !i.done) {
+            st.direction = self.policy.next(
+                st.direction,
+                st.frontier_edges,
+                st.frontier_count,
+                total_edges - st.visited_edges,
+                n as u64,
+            );
+        }
+
+        // --- JFQ generation: one warp scans each vertex's statuses. ---
+        self.jfq.clear();
+        self.td_masks.clear();
+        prof.load_contiguous(self.jsa.base, 0, (n * ni) as u64, 1);
+        prof.lanes((n * ni) as u64);
+        for v in 0..n as VertexId {
+            let statuses = self.jsa.statuses(v);
+            let mut td = 0u128;
+            let mut bu = 0u128;
+            for (j, st) in self.inst.iter().enumerate() {
+                if st.done {
+                    continue;
+                }
+                match st.direction {
+                    Direction::TopDown => {
+                        if statuses[j] == prev {
+                            td |= 1 << j;
+                        }
+                    }
+                    Direction::BottomUp => {
+                        if statuses[j] == ibfs_graph::DEPTH_UNVISITED {
+                            bu |= 1 << j;
+                        }
+                    }
+                }
+            }
+            if td | bu != 0 {
+                // `__any()` vote found a frontier; one thread enqueues.
+                self.jfq.push(v, td | bu);
+                self.td_masks.push(td);
+            }
+        }
+        prof.store_contiguous(self.jfq.base, 0, self.jfq.len() as u64, 4);
+        prof.store_contiguous(self.jfq.mask_base, 0, self.jfq.len() as u64, 16);
+        timer.phase(prof, PhaseKind::FrontierGeneration);
+
+        // --- Expansion + inspection. ---
+        prof.load_contiguous(self.jfq.base, 0, self.jfq.len() as u64, 4);
+        self.newly_marked_count.iter_mut().for_each(|c| *c = 0);
+        self.newly_marked_edges.iter_mut().for_each(|c| *c = 0);
+        let mut edges_inspected = 0u64;
+        let mut early_terms = 0u64;
+
+        for (idx, (v, mask)) in self.jfq.iter().enumerate() {
+            let td = self.td_masks[idx];
+            let bu = mask & !td;
+
+            if td != 0 {
+                // Top-down: expand v's out-neighbors once for all
+                // sharing instances via the shared-memory cache (or,
+                // ablated, once per sharing instance from global).
+                let neighbors = csr.neighbors(v);
+                let sharers = td.count_ones() as u64;
+                if self.shared_cache {
+                    prof.load_contiguous(
+                        self.g.adj_base,
+                        csr.adj_start(v),
+                        neighbors.len() as u64,
+                        4,
+                    );
+                    prof.shared_store(neighbors.len() as u64);
+                    prof.shared_load(neighbors.len() as u64 * sharers);
+                } else {
+                    for _ in 0..sharers {
+                        prof.load_contiguous(
+                            self.g.adj_base,
+                            csr.adj_start(v),
+                            neighbors.len() as u64,
+                            4,
+                        );
+                    }
+                }
+                edges_inspected += neighbors.len() as u64 * sharers;
+                prof.lanes(neighbors.len() as u64 * sharers);
+                for &w in neighbors {
+                    // N contiguous threads inspect w's contiguous JSA
+                    // block: coalesced load + (if updated) store.
+                    prof.load_block(self.jsa.addr(w, 0), ni as u32);
+                    let mut wrote = 0u64;
+                    let mut m = td;
+                    while m != 0 {
+                        let j = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if !self.jsa.visited(w, j) {
+                            self.jsa.set(w, j, depth);
+                            self.newly_marked_count[j] += 1;
+                            self.newly_marked_edges[j] += csr.out_degree(w) as u64;
+                            wrote += 1;
+                        }
+                    }
+                    if wrote > 0 {
+                        prof.store_block(self.jsa.addr(w, 0), ni as u32);
+                    }
+                }
+            }
+
+            if bu != 0 {
+                // Bottom-up: v is unvisited for the instances in `bu`;
+                // scan its in-neighbors until each finds a parent.
+                let parents = rev.neighbors(v);
+                let mut searching = bu;
+                let mut scanned = 0u64;
+                for &p in parents {
+                    if searching == 0 {
+                        break;
+                    }
+                    scanned += 1;
+                    prof.load_block(self.jsa.addr(p, 0), ni as u32);
+                    prof.lanes(searching.count_ones() as u64);
+                    edges_inspected += searching.count_ones() as u64;
+                    let mut m = searching;
+                    while m != 0 {
+                        let j = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let d = self.jsa.depth(p, j);
+                        if d < depth {
+                            // Found a parent: early termination for j.
+                            self.jsa.set(v, j, depth);
+                            self.newly_marked_count[j] += 1;
+                            self.newly_marked_edges[j] += csr.out_degree(v) as u64;
+                            searching &= !(1 << j);
+                        }
+                    }
+                }
+                // Adjacency was streamed once through the cache for the
+                // whole sub-warp, up to the last scan position (or per
+                // instance when the cache is ablated).
+                let streams = if self.shared_cache { 1 } else { bu.count_ones() as u64 };
+                for _ in 0..streams {
+                    prof.load_contiguous(self.g.radj_base, rev.adj_start(v), scanned, 4);
+                }
+                if self.shared_cache {
+                    prof.shared_store(scanned);
+                }
+                if scanned < parents.len() as u64 {
+                    early_terms += (bu & !searching).count_ones() as u64;
+                }
+                let found = (bu & !searching).count_ones() as u64;
+                if found > 0 {
+                    prof.store_block(self.jsa.addr(v, 0), ni as u32);
+                }
+            }
+        }
+        timer.phase(prof, PhaseKind::Inspection);
+
+        let stats = LevelStats {
+            level,
+            direction: if self
+                .inst
+                .iter()
+                .any(|i| !i.done && i.direction == Direction::BottomUp)
+            {
+                Direction::BottomUp
+            } else {
+                Direction::TopDown
+            },
+            unique_frontiers: self.jfq.len() as u64,
+            instance_frontiers: self.jfq.total_instance_frontiers(),
+            edges_inspected,
+            early_terminations: early_terms,
+        };
+
+        // Per-instance progress bookkeeping.
+        for (j, st) in self.inst.iter_mut().enumerate() {
+            if st.done {
+                continue;
+            }
+            if self.newly_marked_count[j] == 0 {
+                st.done = true;
+            } else {
+                st.frontier_count = self.newly_marked_count[j];
+                st.frontier_edges = self.newly_marked_edges[j];
+                st.visited_edges += self.newly_marked_edges[j];
+            }
+        }
+        stats
+    }
+}
+
 impl Engine for JointEngine {
     fn name(&self) -> &'static str {
         "joint"
     }
 
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun {
         let ni = sources.len();
         assert!(ni <= MAX_GROUP, "joint group limited to {MAX_GROUP} instances");
         let csr = g.csr;
-        let rev = g.reverse;
         let n = csr.num_vertices();
-        let total_edges = csr.num_edges() as u64;
         let before = prof.snapshot();
         let model = CostModel::new(prof.config);
 
-        let mut jsa = JointStatusArray::new(n, ni.max(1), prof);
-        let mut jfq = JointFrontierQueue::new(n, prof);
+        let jsa = JointStatusArray::new(n, ni.max(1), prof);
+        let jfq = JointFrontierQueue::new(n, prof);
         let mut timer = SimTimer::start(model, prof);
 
-        // Level 0: sources.
-        for (j, &s) in sources.iter().enumerate() {
-            jsa.set(s, j, 0);
-            prof.lane_store(jsa.addr(s, j), 1);
-        }
-        timer.phase(prof, PhaseKind::Other);
-
-        let mut inst: Vec<InstanceState> = sources
+        let inst: Vec<InstanceState> = sources
             .iter()
             .map(|&s| InstanceState {
                 direction: Direction::TopDown,
@@ -108,210 +349,24 @@ impl Engine for JointEngine {
             })
             .collect();
 
-        let mut levels = Vec::new();
-        let mut td_masks: Vec<u128> = Vec::with_capacity(n);
-        let mut newly_marked_count = vec![0u64; ni];
-        let mut newly_marked_edges = vec![0u64; ni];
-
-        for level in 1..=MAX_LEVELS {
-            if inst.iter().all(|i| i.done) || ni == 0 {
-                break;
-            }
-            let depth = level as Depth;
-            let prev = depth - 1;
-            timer.kernel_launch();
-
-            // Per-instance direction decisions.
-            for st in inst.iter_mut().filter(|i| !i.done) {
-                st.direction = self.policy.next(
-                    st.direction,
-                    st.frontier_edges,
-                    st.frontier_count,
-                    total_edges - st.visited_edges,
-                    n as u64,
-                );
-            }
-
-            // --- JFQ generation: one warp scans each vertex's statuses. ---
-            jfq.clear();
-            td_masks.clear();
-            prof.load_contiguous(jsa.base, 0, (n * ni) as u64, 1);
-            prof.lanes((n * ni) as u64);
-            for v in 0..n as VertexId {
-                let statuses = jsa.statuses(v);
-                let mut td = 0u128;
-                let mut bu = 0u128;
-                for (j, st) in inst.iter().enumerate() {
-                    if st.done {
-                        continue;
-                    }
-                    match st.direction {
-                        Direction::TopDown => {
-                            if statuses[j] == prev {
-                                td |= 1 << j;
-                            }
-                        }
-                        Direction::BottomUp => {
-                            if statuses[j] == ibfs_graph::DEPTH_UNVISITED {
-                                bu |= 1 << j;
-                            }
-                        }
-                    }
-                }
-                if td | bu != 0 {
-                    // `__any()` vote found a frontier; one thread enqueues.
-                    jfq.push(v, td | bu);
-                    td_masks.push(td);
-                }
-            }
-            prof.store_contiguous(jfq.base, 0, jfq.len() as u64, 4);
-            prof.store_contiguous(jfq.mask_base, 0, jfq.len() as u64, 16);
-            timer.phase(prof, PhaseKind::FrontierGeneration);
-
-            // --- Expansion + inspection. ---
-            prof.load_contiguous(jfq.base, 0, jfq.len() as u64, 4);
-            newly_marked_count.iter_mut().for_each(|c| *c = 0);
-            newly_marked_edges.iter_mut().for_each(|c| *c = 0);
-            let mut edges_inspected = 0u64;
-            let mut early_terms = 0u64;
-
-            for (idx, (v, mask)) in jfq.iter().enumerate() {
-                let td = td_masks[idx];
-                let bu = mask & !td;
-
-                if td != 0 {
-                    // Top-down: expand v's out-neighbors once for all
-                    // sharing instances via the shared-memory cache (or,
-                    // ablated, once per sharing instance from global).
-                    let neighbors = csr.neighbors(v);
-                    let sharers = td.count_ones() as u64;
-                    if self.shared_cache {
-                        prof.load_contiguous(
-                            g.adj_base,
-                            csr.adj_start(v),
-                            neighbors.len() as u64,
-                            4,
-                        );
-                        prof.shared_store(neighbors.len() as u64);
-                        prof.shared_load(neighbors.len() as u64 * sharers);
-                    } else {
-                        for _ in 0..sharers {
-                            prof.load_contiguous(
-                                g.adj_base,
-                                csr.adj_start(v),
-                                neighbors.len() as u64,
-                                4,
-                            );
-                        }
-                    }
-                    edges_inspected += neighbors.len() as u64 * sharers;
-                    prof.lanes(neighbors.len() as u64 * sharers);
-                    for &w in neighbors {
-                        // N contiguous threads inspect w's contiguous JSA
-                        // block: coalesced load + (if updated) store.
-                        prof.load_block(jsa.addr(w, 0), ni as u32);
-                        let mut wrote = 0u64;
-                        let mut m = td;
-                        while m != 0 {
-                            let j = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            if !jsa.visited(w, j) {
-                                jsa.set(w, j, depth);
-                                newly_marked_count[j] += 1;
-                                newly_marked_edges[j] += csr.out_degree(w) as u64;
-                                wrote += 1;
-                            }
-                        }
-                        if wrote > 0 {
-                            prof.store_block(jsa.addr(w, 0), ni as u32);
-                        }
-                    }
-                }
-
-                if bu != 0 {
-                    // Bottom-up: v is unvisited for the instances in `bu`;
-                    // scan its in-neighbors until each finds a parent.
-                    let parents = rev.neighbors(v);
-                    let mut searching = bu;
-                    let mut scanned = 0u64;
-                    for &p in parents {
-                        if searching == 0 {
-                            break;
-                        }
-                        scanned += 1;
-                        prof.load_block(jsa.addr(p, 0), ni as u32);
-                        prof.lanes(searching.count_ones() as u64);
-                        edges_inspected += searching.count_ones() as u64;
-                        let mut m = searching;
-                        while m != 0 {
-                            let j = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            let d = jsa.depth(p, j);
-                            if d < depth {
-                                // Found a parent: early termination for j.
-                                jsa.set(v, j, depth);
-                                newly_marked_count[j] += 1;
-                                newly_marked_edges[j] += csr.out_degree(v) as u64;
-                                searching &= !(1 << j);
-                            }
-                        }
-                    }
-                    // Adjacency was streamed once through the cache for the
-                    // whole sub-warp, up to the last scan position (or per
-                    // instance when the cache is ablated).
-                    let streams = if self.shared_cache { 1 } else { bu.count_ones() as u64 };
-                    for _ in 0..streams {
-                        prof.load_contiguous(g.radj_base, rev.adj_start(v), scanned, 4);
-                    }
-                    if self.shared_cache {
-                        prof.shared_store(scanned);
-                    }
-                    if scanned < parents.len() as u64 {
-                        early_terms += (bu & !searching).count_ones() as u64;
-                    }
-                    let found = (bu & !searching).count_ones() as u64;
-                    if found > 0 {
-                        prof.store_block(jsa.addr(v, 0), ni as u32);
-                    }
-                }
-            }
-            timer.phase(prof, PhaseKind::Inspection);
-
-            levels.push(LevelStats {
-                level,
-                direction: if inst
-                    .iter()
-                    .any(|i| !i.done && i.direction == Direction::BottomUp)
-                {
-                    Direction::BottomUp
-                } else {
-                    Direction::TopDown
-                },
-                unique_frontiers: jfq.len() as u64,
-                instance_frontiers: jfq.total_instance_frontiers(),
-                edges_inspected,
-                early_terminations: early_terms,
-            });
-
-            // Per-instance progress bookkeeping.
-            for (j, st) in inst.iter_mut().enumerate() {
-                if st.done {
-                    continue;
-                }
-                if newly_marked_count[j] == 0 {
-                    st.done = true;
-                } else {
-                    st.frontier_count = newly_marked_count[j];
-                    st.frontier_edges = newly_marked_edges[j];
-                    st.visited_edges += newly_marked_edges[j];
-                }
-            }
-        }
+        let mut process = JointProcess {
+            g,
+            sources,
+            policy: self.policy,
+            shared_cache: self.shared_cache,
+            jsa,
+            jfq,
+            inst,
+            td_masks: Vec::with_capacity(n),
+            newly_marked_count: vec![0u64; ni],
+            newly_marked_edges: vec![0u64; ni],
+        };
+        let levels = LevelDriver { prof, timer: &mut timer, sink }.drive(&mut process);
 
         let counters = prof.snapshot().delta(&before);
         let mut depths = Vec::with_capacity(ni * n);
         for j in 0..ni {
-            depths.extend(jsa.instance_depths(j));
+            depths.extend(process.jsa.instance_depths(j));
         }
         let traversed = traversed_edges_for(csr, &depths, ni);
         GroupRun {
@@ -323,6 +378,7 @@ impl Engine for JointEngine {
             counters,
             sim_seconds: timer.seconds(),
             traversed_edges: traversed,
+            kernel_launches: timer.launch_count(),
         }
     }
 }

@@ -36,6 +36,7 @@
 pub mod bitwise;
 pub mod cpu;
 pub mod direction;
+pub mod driver;
 pub mod engine;
 pub mod frontier;
 pub mod groupby;
@@ -44,13 +45,18 @@ pub mod metrics;
 pub mod naive;
 pub mod runner;
 pub mod sequential;
+pub mod service;
 pub mod sharing;
 pub mod spmm;
 pub mod sssp;
 pub mod status;
+pub mod trace;
 pub mod word;
 
+pub use driver::{LevelDriver, LevelEngine};
 pub use engine::{Engine, EngineKind, GpuGraph, GroupRun};
 pub use groupby::{GroupByConfig, Grouping, GroupingStrategy};
 pub use runner::{IbfsRun, RunConfig};
+pub use service::{BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
+pub use trace::{GroupStamp, JsonlSink, NullSink, RecorderSink, TraceSink, TraversalEvent};
 pub use word::StatusWord;

@@ -1,7 +1,12 @@
-//! Metrics: TEPS, workload-balance statistics, and run summaries.
+//! Metrics: TEPS, sharing degree/ratio, workload-balance statistics, and
+//! run summaries.
+//!
+//! These are the single source of truth for the ratio conventions every
+//! layer shares: a zero denominator (no simulated time, no frontiers, no
+//! instances) yields `0.0`, never NaN or infinity.
 
 use crate::direction::Direction;
-use crate::engine::GroupRun;
+use crate::engine::{GroupRun, LevelStats};
 use ibfs_graph::{Csr, Depth, DEPTH_UNVISITED};
 use ibfs_util::json_struct;
 
@@ -11,6 +16,32 @@ pub fn teps(traversed_edges: u64, seconds: f64) -> f64 {
         0.0
     } else {
         traversed_edges as f64 / seconds
+    }
+}
+
+/// Sharing degree `SD = Σ_k Σ_j |FQ_j(k)| / Σ_k |JFQ(k)|` (Equation 1) over
+/// a set of per-level statistics. For private-queue engines every frontier
+/// is its own queue entry, so SD is 1 by construction.
+pub fn sharing_degree<'a>(levels: impl IntoIterator<Item = &'a LevelStats>) -> f64 {
+    let mut unique = 0u64;
+    let mut total = 0u64;
+    for l in levels {
+        unique += l.unique_frontiers;
+        total += l.instance_frontiers;
+    }
+    if unique == 0 {
+        0.0
+    } else {
+        total as f64 / unique as f64
+    }
+}
+
+/// Sharing ratio: sharing degree over group size (§5.1).
+pub fn sharing_ratio(sharing_degree: f64, instances: usize) -> f64 {
+    if instances == 0 {
+        0.0
+    } else {
+        sharing_degree / instances as f64
     }
 }
 
@@ -126,6 +157,32 @@ mod tests {
         assert_eq!(format_teps(1.5e12), "1.5 trillion TEPS");
         assert_eq!(format_teps(2.0e6), "2.0 million TEPS");
         assert_eq!(format_teps(10.0), "10 TEPS");
+    }
+
+    #[test]
+    fn sharing_degree_and_ratio_conventions() {
+        let levels = [
+            LevelStats {
+                level: 1,
+                direction: Direction::TopDown,
+                unique_frontiers: 2,
+                instance_frontiers: 4,
+                edges_inspected: 0,
+                early_terminations: 0,
+            },
+            LevelStats {
+                level: 2,
+                direction: Direction::TopDown,
+                unique_frontiers: 1,
+                instance_frontiers: 2,
+                edges_inspected: 0,
+                early_terminations: 0,
+            },
+        ];
+        assert_eq!(sharing_degree(&levels), 2.0);
+        assert_eq!(sharing_degree(&[]), 0.0);
+        assert_eq!(sharing_ratio(2.0, 4), 0.5);
+        assert_eq!(sharing_ratio(2.0, 0), 0.0);
     }
 
     #[test]

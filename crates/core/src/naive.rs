@@ -13,6 +13,7 @@
 use crate::direction::DirectionPolicy;
 use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun};
 use crate::sequential::{merge_level_stats, run_single};
+use crate::trace::TraceSink;
 use ibfs_graph::VertexId;
 use ibfs_gpu_sim::hyperq::concurrent_cycles;
 use ibfs_gpu_sim::{CostModel, Profiler};
@@ -43,7 +44,13 @@ impl Engine for NaiveEngine {
         "naive"
     }
 
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun {
         let before = prof.snapshot();
         let model = CostModel::new(prof.config);
         let n = g.num_vertices();
@@ -52,7 +59,7 @@ impl Engine for NaiveEngine {
         let mut demands = Vec::with_capacity(sources.len());
         let mut total_phases = 0u64;
         for &s in sources {
-            let mut run = run_single(g, s, self.policy, prof);
+            let mut run = run_single(g, s, self.policy, prof, sink);
             depths.extend_from_slice(&run.depths);
             all_levels.push(run.levels);
             // Interleaved kernels lose DRAM row locality: bandwidth-side
@@ -79,6 +86,7 @@ impl Engine for NaiveEngine {
             counters,
             sim_seconds: model.seconds(cycles),
             traversed_edges: traversed,
+            kernel_launches: total_phases,
         }
     }
 }

@@ -5,11 +5,18 @@
 //! MSSP for `1 < i < |V|`, APSP when `i = |V|`), partitioned into groups of
 //! at most `N` by a [`GroupingStrategy`], each group traversed jointly, the
 //! groups executed back to back on the device.
+//!
+//! [`run_ibfs`]/[`run_apsp`] are one-shot conveniences over
+//! [`crate::service::IbfsService`], which owns the uploaded graph across
+//! requests; use the service directly when serving more than one batch.
 
-use crate::engine::{EngineKind, GpuGraph, GroupRun};
+use crate::engine::{EngineKind, GroupRun};
+use crate::frontier::{FQ_ID_BYTES, JFQ_MASK_BYTES};
 use crate::groupby::GroupingStrategy;
+use crate::service::IbfsService;
+use crate::status::SA_BYTES_PER_VERTEX;
 use ibfs_graph::{Csr, VertexId};
-use ibfs_gpu_sim::{Counters, DeviceConfig, Profiler};
+use ibfs_gpu_sim::{Counters, DeviceConfig};
 
 /// Configuration of a full run.
 #[derive(Clone, Debug)]
@@ -58,23 +65,7 @@ impl IbfsRun {
 
     /// Overall sharing degree across groups (weighted by joint-queue size).
     pub fn sharing_degree(&self) -> f64 {
-        let unique: u64 = self
-            .groups
-            .iter()
-            .flat_map(|g| g.levels.iter())
-            .map(|l| l.unique_frontiers)
-            .sum();
-        let total: u64 = self
-            .groups
-            .iter()
-            .flat_map(|g| g.levels.iter())
-            .map(|l| l.instance_frontiers)
-            .sum();
-        if unique == 0 {
-            0.0
-        } else {
-            total as f64 / unique as f64
-        }
+        crate::metrics::sharing_degree(self.groups.iter().flat_map(|g| g.levels.iter()))
     }
 }
 
@@ -85,8 +76,8 @@ impl IbfsRun {
 /// is the conservative bound).
 pub fn device_group_bound(graph: &Csr, device: &DeviceConfig, cap: u32) -> u32 {
     let graph_bytes = graph.storage_bytes() * 2;
-    let jfq_bytes = graph.num_vertices() as u64 * (4 + 16);
-    let sa_bytes = graph.num_vertices() as u64;
+    let jfq_bytes = graph.num_vertices() as u64 * (FQ_ID_BYTES + JFQ_MASK_BYTES);
+    let sa_bytes = graph.num_vertices() as u64 * SA_BYTES_PER_VERTEX;
     device.max_group_size(graph_bytes, jfq_bytes, sa_bytes, cap)
 }
 
@@ -94,47 +85,10 @@ pub fn device_group_bound(graph: &Csr, device: &DeviceConfig, cap: u32) -> u32 {
 ///
 /// `reverse` must be `graph.reverse()` (pass the same graph when symmetric —
 /// the suite graphs are). The grouping's group size is clamped to the §3
-/// device-memory bound.
+/// device-memory bound. One-shot wrapper over
+/// [`IbfsService`]: upload, serve one request, discard the device.
 pub fn run_ibfs(graph: &Csr, reverse: &Csr, sources: &[VertexId], config: &RunConfig) -> IbfsRun {
-    let bound = device_group_bound(graph, &config.device, 1 << 20);
-    assert!(
-        bound as usize >= 1,
-        "graph does not fit device memory alongside one status array"
-    );
-    let mut grouping_strategy = config.grouping.clone();
-    if grouping_strategy.group_size() > bound as usize {
-        grouping_strategy = match grouping_strategy {
-            crate::groupby::GroupingStrategy::Random { seed, .. } => {
-                crate::groupby::GroupingStrategy::Random { seed, group_size: bound as usize }
-            }
-            crate::groupby::GroupingStrategy::OutDegreeRules(cfg) => {
-                crate::groupby::GroupingStrategy::OutDegreeRules(
-                    cfg.with_group_size(bound as usize),
-                )
-            }
-        };
-    }
-    let grouping = grouping_strategy.group(graph, sources);
-    let engine = config.engine.build();
-    let mut prof = Profiler::new(config.device);
-    let g = GpuGraph::new(graph, reverse, &mut prof);
-    let mut groups = Vec::with_capacity(grouping.groups.len());
-    let mut sim_seconds = 0.0;
-    let mut traversed = 0u64;
-    let before = prof.snapshot();
-    for group in &grouping.groups {
-        let run = engine.run_group(&g, group, &mut prof);
-        sim_seconds += run.sim_seconds;
-        traversed += run.traversed_edges;
-        groups.push(run);
-    }
-    let counters = prof.snapshot().delta(&before);
-    IbfsRun {
-        groups,
-        sim_seconds,
-        traversed_edges: traversed,
-        counters,
-    }
+    IbfsService::new(graph, reverse, config.clone()).run(sources)
 }
 
 /// Convenience: all-pairs shortest path — BFS from every vertex (optionally

@@ -6,13 +6,21 @@
 //! source, back to back. It is also the stand-in for B40C in the Figure 22
 //! comparison: the paper notes B40C "has similar performance as the
 //! sequential or naive implementation".
+//!
+//! The per-level loop itself lives in [`crate::driver::LevelDriver`]; this
+//! module contributes the single-source [`LevelEngine`] and the
+//! [`PhaseAccum`] timer that prices levels both solo (roofline) and as
+//! Hyper-Q demand for the naive engine.
 
 use crate::direction::{Direction, DirectionPolicy};
+use crate::driver::{LevelDriver, LevelEngine};
 use crate::engine::{traversed_edges_for, Engine, GpuGraph, GroupRun, LevelStats};
+use crate::frontier::FQ_ID_BYTES;
 use crate::status::StatusArray;
+use crate::trace::TraceSink;
 use ibfs_graph::{Depth, VertexId};
 use ibfs_gpu_sim::hyperq::KernelDemand;
-use ibfs_gpu_sim::{CostModel, Counters, Profiler};
+use ibfs_gpu_sim::{CostModel, Counters, PhaseKind, PhaseTimer, Profiler};
 
 /// Maximum BFS depth the engines support (u8 with a sentinel).
 pub const MAX_LEVELS: u32 = 254;
@@ -47,8 +55,15 @@ impl PhaseAccum {
             launches: 0,
         }
     }
+}
 
-    pub(crate) fn phase(&mut self, prof: &Profiler) {
+impl PhaseTimer for PhaseAccum {
+    fn kernel_launch(&mut self) {
+        self.solo_cycles += self.model.launch_overhead_cycles;
+        self.launches += 1;
+    }
+
+    fn phase(&mut self, prof: &Profiler, _kind: PhaseKind) -> f64 {
         let now = prof.snapshot();
         let d = now.delta(&self.last);
         self.last = now;
@@ -56,14 +71,22 @@ impl PhaseAccum {
         let memory = self.model.memory_cycles(&d);
         self.demand.compute_cycles += compute;
         self.demand.memory_cycles += memory;
-        self.solo_cycles += compute.max(memory);
+        let cycles = compute.max(memory);
+        self.solo_cycles += cycles;
         self.phases += 1;
+        cycles
     }
 
-    /// Charges one kernel launch (one per BFS level).
-    pub(crate) fn launch(&mut self) {
-        self.solo_cycles += self.model.launch_overhead_cycles;
-        self.launches += 1;
+    fn cycles(&self) -> f64 {
+        self.solo_cycles
+    }
+
+    fn seconds(&self) -> f64 {
+        self.model.seconds(self.solo_cycles)
+    }
+
+    fn launches(&self) -> u64 {
+        self.launches
     }
 }
 
@@ -76,92 +99,90 @@ pub(crate) struct SingleRun {
     pub launches: u64,
 }
 
-/// Runs one direction-optimizing BFS from `source`, charging the profiler
-/// for every access per the conventions in [`crate::engine`].
-pub(crate) fn run_single(
-    g: &GpuGraph<'_>,
+/// One direction-optimizing single-source BFS as a [`LevelEngine`]: a
+/// private status array and frontier queue, driven level by level.
+struct SingleSource<'e, 'g> {
+    g: &'e GpuGraph<'g>,
     source: VertexId,
     policy: DirectionPolicy,
-    prof: &mut Profiler,
-) -> SingleRun {
-    run_single_capped(g, source, policy, 0, prof)
+    level_cap: u32,
+    sa: StatusArray,
+    fq_base: u64,
+    frontier: Vec<VertexId>,
+    queue: Vec<VertexId>,
+    newly_marked: Vec<VertexId>,
+    frontier_edges: u64,
+    visited_edges: u64,
+    dir: Direction,
+    done: bool,
+    levels_total_edges: u64,
 }
 
-/// [`run_single`] with a level cap (0 = unlimited).
-pub(crate) fn run_single_capped(
-    g: &GpuGraph<'_>,
-    source: VertexId,
-    policy: DirectionPolicy,
-    max_levels: u32,
-    prof: &mut Profiler,
-) -> SingleRun {
-    let csr = g.csr;
-    let rev = g.reverse;
-    let n = csr.num_vertices();
-    let total_edges = csr.num_edges() as u64;
+impl LevelEngine for SingleSource<'_, '_> {
+    fn level_cap(&self) -> u32 {
+        self.level_cap
+    }
 
-    let mut sa = StatusArray::new(n, prof);
-    let fq_base = prof.alloc(n as u64 * 4);
-    let model = CostModel::new(prof.config);
-    let mut acc = PhaseAccum::start(model, prof);
+    fn has_work(&self) -> bool {
+        !self.done && !self.frontier.is_empty()
+    }
 
-    // Level 0: the source.
-    acc.launch();
-    sa.set(source, 0);
-    prof.lane_store(sa.addr(source), 1);
-    acc.phase(prof);
+    fn init(&mut self, prof: &mut Profiler, timer: &mut dyn PhaseTimer) {
+        // Level 0: the source. Seeding is itself a (trivial) kernel.
+        timer.kernel_launch();
+        self.sa.set(self.source, 0);
+        prof.lane_store(self.sa.addr(self.source), 1);
+        timer.phase(prof, PhaseKind::Other);
+    }
 
-    let mut frontier: Vec<VertexId> = vec![source];
-    let mut frontier_edges = csr.out_degree(source) as u64;
-    let mut visited_edges = frontier_edges;
-    let mut dir = Direction::TopDown;
-    let mut levels = Vec::new();
-    let mut queue: Vec<VertexId> = Vec::new();
-    let mut newly_marked: Vec<VertexId> = Vec::new();
-    let level_cap = if max_levels == 0 { MAX_LEVELS } else { max_levels.min(MAX_LEVELS) };
-
-    for level in 1..=level_cap {
-        if frontier.is_empty() {
-            break;
-        }
+    fn run_level(
+        &mut self,
+        level: u32,
+        prof: &mut Profiler,
+        timer: &mut dyn PhaseTimer,
+    ) -> LevelStats {
+        let csr = self.g.csr;
+        let rev = self.g.reverse;
+        let n = csr.num_vertices();
         let depth = level as Depth;
-        acc.launch();
-        dir = policy.next(
-            dir,
-            frontier_edges,
-            frontier.len() as u64,
-            total_edges - visited_edges,
+        self.dir = self.policy.next(
+            self.dir,
+            self.frontier_edges,
+            self.frontier.len() as u64,
+            self.levels_total_edges - self.visited_edges,
             n as u64,
         );
 
         // --- Frontier-queue generation: scan the status array. ---
-        queue.clear();
-        prof.load_contiguous(sa.base, 0, n as u64, 1);
+        self.queue.clear();
+        prof.load_contiguous(self.sa.base, 0, n as u64, 1);
         prof.lanes(n as u64);
-        match dir {
+        match self.dir {
             Direction::TopDown => {
                 // Enqueue the vertices discovered at the previous level.
-                queue.extend_from_slice(&frontier);
+                self.queue.extend_from_slice(&self.frontier);
             }
             Direction::BottomUp => {
                 // Bottom-up treats unvisited vertices as frontiers.
-                queue.extend((0..n as VertexId).filter(|&v| !sa.visited(v)));
+                let sa = &self.sa;
+                self.queue
+                    .extend((0..n as VertexId).filter(|&v| !sa.visited(v)));
             }
         }
-        prof.store_contiguous(fq_base, 0, queue.len() as u64, 4);
-        acc.phase(prof);
+        prof.store_contiguous(self.fq_base, 0, self.queue.len() as u64, 4);
+        timer.phase(prof, PhaseKind::FrontierGeneration);
 
         // --- Expansion + inspection. ---
-        prof.load_contiguous(fq_base, 0, queue.len() as u64, 4);
-        newly_marked.clear();
+        prof.load_contiguous(self.fq_base, 0, self.queue.len() as u64, 4);
+        self.newly_marked.clear();
         let mut edges_inspected = 0u64;
         let mut early_terms = 0u64;
-        match dir {
+        match self.dir {
             Direction::TopDown => {
-                for &f in &queue {
+                for &f in &self.queue {
                     let neighbors = csr.neighbors(f);
                     prof.load_contiguous(
-                        g.adj_base,
+                        self.g.adj_base,
                         csr.adj_start(f),
                         neighbors.len() as u64,
                         4,
@@ -169,13 +190,13 @@ pub(crate) fn run_single_capped(
                     prof.lanes(neighbors.len() as u64);
                     edges_inspected += neighbors.len() as u64;
                     for chunk in neighbors.chunks(32) {
-                        prof.warp_gather(chunk.iter().map(|&w| sa.addr(w)), 1);
+                        prof.warp_gather(chunk.iter().map(|&w| self.sa.addr(w)), 1);
                         let mut marked_addrs: Vec<u64> = Vec::new();
                         for &w in chunk {
-                            if !sa.visited(w) {
-                                sa.set(w, depth);
-                                newly_marked.push(w);
-                                marked_addrs.push(sa.addr(w));
+                            if !self.sa.visited(w) {
+                                self.sa.set(w, depth);
+                                self.newly_marked.push(w);
+                                marked_addrs.push(self.sa.addr(w));
                             }
                         }
                         if !marked_addrs.is_empty() {
@@ -185,7 +206,7 @@ pub(crate) fn run_single_capped(
                 }
             }
             Direction::BottomUp => {
-                for chunk in queue.chunks(32) {
+                for chunk in self.queue.chunks(32) {
                     let mut marked_addrs: Vec<u64> = Vec::new();
                     for &f in chunk {
                         let parents = rev.neighbors(f);
@@ -193,16 +214,16 @@ pub(crate) fn run_single_capped(
                         let mut found = false;
                         for &p in parents {
                             inspected += 1;
-                            if sa.visited(p) && sa.depth(p) < depth {
+                            if self.sa.visited(p) && self.sa.depth(p) < depth {
                                 found = true;
                                 break;
                             }
                         }
-                        prof.load_contiguous(g.radj_base, rev.adj_start(f), inspected, 4);
+                        prof.load_contiguous(self.g.radj_base, rev.adj_start(f), inspected, 4);
                         // Each status check loads the parent's status byte;
                         // scans longer than a warp issue multiple requests.
                         for pch in parents[..inspected as usize].chunks(32) {
-                            prof.warp_gather(pch.iter().map(|&p| sa.addr(p)), 1);
+                            prof.warp_gather(pch.iter().map(|&p| self.sa.addr(p)), 1);
                         }
                         prof.lanes(inspected);
                         edges_inspected += inspected;
@@ -210,9 +231,9 @@ pub(crate) fn run_single_capped(
                             if inspected < parents.len() as u64 {
                                 early_terms += 1;
                             }
-                            sa.set(f, depth);
-                            newly_marked.push(f);
-                            marked_addrs.push(sa.addr(f));
+                            self.sa.set(f, depth);
+                            self.newly_marked.push(f);
+                            marked_addrs.push(self.sa.addr(f));
                         }
                     }
                     if !marked_addrs.is_empty() {
@@ -221,31 +242,83 @@ pub(crate) fn run_single_capped(
                 }
             }
         }
-        acc.phase(prof);
+        timer.phase(prof, PhaseKind::Inspection);
 
-        levels.push(LevelStats {
+        let stats = LevelStats {
             level,
-            direction: dir,
-            unique_frontiers: queue.len() as u64,
-            instance_frontiers: queue.len() as u64,
+            direction: self.dir,
+            unique_frontiers: self.queue.len() as u64,
+            instance_frontiers: self.queue.len() as u64,
             edges_inspected,
             early_terminations: early_terms,
-        });
+        };
 
-        if newly_marked.is_empty() {
-            break;
+        if self.newly_marked.is_empty() {
+            self.done = true;
+        } else {
+            self.frontier_edges = self
+                .newly_marked
+                .iter()
+                .map(|&v| csr.out_degree(v) as u64)
+                .sum();
+            self.visited_edges += self.frontier_edges;
+            std::mem::swap(&mut self.frontier, &mut self.newly_marked);
+            self.newly_marked.clear();
         }
-        frontier_edges = newly_marked
-            .iter()
-            .map(|&v| csr.out_degree(v) as u64)
-            .sum();
-        visited_edges += frontier_edges;
-        std::mem::swap(&mut frontier, &mut newly_marked);
-        newly_marked.clear();
+        stats
     }
+}
+
+/// Runs one direction-optimizing BFS from `source`, charging the profiler
+/// for every access per the conventions in [`crate::engine`].
+pub(crate) fn run_single(
+    g: &GpuGraph<'_>,
+    source: VertexId,
+    policy: DirectionPolicy,
+    prof: &mut Profiler,
+    sink: &mut dyn TraceSink,
+) -> SingleRun {
+    run_single_capped(g, source, policy, 0, prof, sink)
+}
+
+/// [`run_single`] with a level cap (0 = unlimited).
+pub(crate) fn run_single_capped(
+    g: &GpuGraph<'_>,
+    source: VertexId,
+    policy: DirectionPolicy,
+    max_levels: u32,
+    prof: &mut Profiler,
+    sink: &mut dyn TraceSink,
+) -> SingleRun {
+    let csr = g.csr;
+    let n = csr.num_vertices();
+
+    let sa = StatusArray::new(n, prof);
+    let fq_base = prof.alloc(n as u64 * FQ_ID_BYTES);
+    let model = CostModel::new(prof.config);
+    let mut acc = PhaseAccum::start(model, prof);
+
+    let level_cap = if max_levels == 0 { MAX_LEVELS } else { max_levels.min(MAX_LEVELS) };
+    let mut engine = SingleSource {
+        g,
+        source,
+        policy,
+        level_cap,
+        sa,
+        fq_base,
+        frontier: vec![source],
+        queue: Vec::new(),
+        newly_marked: Vec::new(),
+        frontier_edges: csr.out_degree(source) as u64,
+        visited_edges: csr.out_degree(source) as u64,
+        dir: Direction::TopDown,
+        done: false,
+        levels_total_edges: csr.num_edges() as u64,
+    };
+    let levels = LevelDriver { prof, timer: &mut acc, sink }.drive(&mut engine);
 
     SingleRun {
-        depths: sa.into_depths(),
+        depths: engine.sa.into_depths(),
         levels,
         demand: acc.demand,
         solo_cycles: acc.solo_cycles,
@@ -297,18 +370,26 @@ impl Engine for SequentialEngine {
         "sequential"
     }
 
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun {
         let before = prof.snapshot();
         let model = CostModel::new(prof.config);
         let n = g.num_vertices();
         let mut depths = Vec::with_capacity(sources.len() * n);
         let mut all_levels = Vec::with_capacity(sources.len());
         let mut cycles = 0.0;
+        let mut launches = 0u64;
         for &s in sources {
-            let run = run_single_capped(g, s, self.policy, self.max_levels, prof);
+            let run = run_single_capped(g, s, self.policy, self.max_levels, prof, sink);
             depths.extend_from_slice(&run.depths);
             all_levels.push(run.levels);
             cycles += run.solo_cycles;
+            launches += run.launches;
         }
         let counters = prof.snapshot().delta(&before);
         let traversed = traversed_edges_for(g.csr, &depths, sources.len());
@@ -321,6 +402,7 @@ impl Engine for SequentialEngine {
             counters,
             sim_seconds: model.seconds(cycles),
             traversed_edges: traversed,
+            kernel_launches: launches,
         }
     }
 }
@@ -424,5 +506,24 @@ mod tests {
             .any(|l| l.direction == Direction::BottomUp));
         let et: u64 = run.levels.iter().map(|l| l.early_terminations).sum();
         assert!(et > 0, "power-law bottom-up should terminate early");
+    }
+
+    #[test]
+    fn per_instance_levels_are_traced() {
+        let g = figure1();
+        let r = g.reverse();
+        let mut prof = Profiler::new(DeviceConfig::k40());
+        let gg = GpuGraph::new(&g, &r, &mut prof);
+        let mut sink = crate::trace::RecorderSink::default();
+        let run = SequentialEngine::default().run_group_traced(
+            &gg,
+            &FIGURE1_SOURCES,
+            &mut prof,
+            &mut sink,
+        );
+        // One event stream per instance, each restarting at level 1.
+        let restarts = sink.events.iter().filter(|e| e.level == 1).count();
+        assert_eq!(restarts, FIGURE1_SOURCES.len());
+        assert_eq!(run.kernel_launches, sink.events.len() as u64 + FIGURE1_SOURCES.len() as u64);
     }
 }

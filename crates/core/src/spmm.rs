@@ -9,6 +9,7 @@
 use crate::direction::DirectionPolicy;
 use crate::engine::{Engine, GpuGraph, GroupRun};
 use crate::joint::JointEngine;
+use crate::trace::TraceSink;
 use ibfs_graph::VertexId;
 use ibfs_gpu_sim::Profiler;
 
@@ -21,12 +22,18 @@ impl Engine for SpmmEngine {
         "spmm-bc"
     }
 
-    fn run_group(&self, g: &GpuGraph<'_>, sources: &[VertexId], prof: &mut Profiler) -> GroupRun {
+    fn run_group_traced(
+        &self,
+        g: &GpuGraph<'_>,
+        sources: &[VertexId],
+        prof: &mut Profiler,
+        sink: &mut dyn TraceSink,
+    ) -> GroupRun {
         let inner = JointEngine {
             policy: DirectionPolicy::top_down_only(),
             ..Default::default()
         };
-        let mut run = inner.run_group(g, sources, prof);
+        let mut run = inner.run_group_traced(g, sources, prof, sink);
         run.engine = self.name();
         run
     }

@@ -18,6 +18,10 @@ use crate::word::StatusWord;
 use ibfs_graph::{Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_gpu_sim::Profiler;
 
+/// Bytes per (vertex, instance) status in the SA/JSA: one depth byte. The
+/// §3 memory bound prices per-instance state with this.
+pub const SA_BYTES_PER_VERTEX: u64 = 1;
+
 /// Private per-instance status array (one byte per vertex).
 #[derive(Clone, Debug)]
 pub struct StatusArray {
@@ -31,7 +35,7 @@ impl StatusArray {
     pub fn new(n: usize, prof: &mut Profiler) -> Self {
         StatusArray {
             depths: vec![DEPTH_UNVISITED; n],
-            base: prof.alloc(n as u64),
+            base: prof.alloc(n as u64 * SA_BYTES_PER_VERTEX),
         }
     }
 
@@ -86,7 +90,7 @@ impl JointStatusArray {
         JointStatusArray {
             depths: vec![DEPTH_UNVISITED; n_vertices * n_instances],
             n_instances,
-            base: prof.alloc((n_vertices * n_instances) as u64),
+            base: prof.alloc((n_vertices * n_instances) as u64 * SA_BYTES_PER_VERTEX),
         }
     }
 

@@ -1,0 +1,183 @@
+//! Structured per-level trace stream.
+//!
+//! The [`crate::driver::LevelDriver`] emits one [`TraversalEvent`] per BFS
+//! level it executes: the level's direction, frontier counts, counter deltas
+//! and simulated time. Consumers plug in a [`TraceSink`]:
+//!
+//! * [`NullSink`] — discard (the default; tracing costs nothing when off).
+//! * [`RecorderSink`] — collect in memory (figure modules, tests).
+//! * [`JsonlSink`] — one JSON object per line via `ibfs_util::json`
+//!   (`bfs --trace`).
+//! * [`GroupStamp`] — adapter that stamps the group index before forwarding
+//!   (used by the service layer, which runs many groups per request).
+//!
+//! Sinks observe the traversal; they never influence it. The engines charge
+//! the profiler identically whether a sink is attached or not, which is what
+//! keeps traced and untraced runs bit-identical.
+
+use crate::direction::Direction;
+use ibfs_util::json_struct;
+use ibfs_util::json::ToJson;
+
+/// One BFS level as observed by the level driver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraversalEvent {
+    /// Group index within the request (stamped by [`GroupStamp`]; 0 when the
+    /// traversal runs outside the service layer).
+    pub group: u64,
+    /// Level number (depth assigned at this level).
+    pub level: u32,
+    /// Direction executed.
+    pub direction: Direction,
+    /// Unique frontiers in the (joint) queue this level.
+    pub unique_frontiers: u64,
+    /// Sum over instances of per-instance frontier counts.
+    pub instance_frontiers: u64,
+    /// Edges inspected across all instances this level.
+    pub edges_inspected: u64,
+    /// Bottom-up inspections cut short by early termination.
+    pub early_terminations: u64,
+    /// Global-memory load transactions charged during this level.
+    pub load_transactions: u64,
+    /// Global-memory store transactions charged during this level.
+    pub store_transactions: u64,
+    /// Atomic transactions charged during this level.
+    pub atomic_transactions: u64,
+    /// Simulated seconds this level cost (including its launch overhead).
+    pub sim_seconds: f64,
+}
+
+json_struct!(TraversalEvent {
+    group,
+    level,
+    direction,
+    unique_frontiers,
+    instance_frontiers,
+    edges_inspected,
+    early_terminations,
+    load_transactions,
+    store_transactions,
+    atomic_transactions,
+    sim_seconds,
+});
+
+/// Receiver of [`TraversalEvent`]s.
+pub trait TraceSink {
+    /// Observes one level.
+    fn record(&mut self, event: &TraversalEvent);
+}
+
+/// Discards every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraversalEvent) {}
+}
+
+/// Collects events in memory.
+#[derive(Clone, Debug, Default)]
+pub struct RecorderSink {
+    /// Recorded events, in emission order.
+    pub events: Vec<TraversalEvent>,
+}
+
+impl TraceSink for RecorderSink {
+    fn record(&mut self, event: &TraversalEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Writes one compact JSON object per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: std::io::Write> {
+    writer: W,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// A sink writing JSONL to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// The underlying writer (flushes what the sink buffered).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: std::io::Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraversalEvent) {
+        // Trace output is best-effort: a closed pipe must not abort the
+        // traversal itself.
+        let _ = writeln!(self.writer, "{}", event.to_json().to_string());
+    }
+}
+
+/// Adapter stamping a group index onto every forwarded event.
+pub struct GroupStamp<'a> {
+    /// Group index to stamp.
+    pub group: u64,
+    /// Downstream sink.
+    pub inner: &'a mut dyn TraceSink,
+}
+
+impl TraceSink for GroupStamp<'_> {
+    fn record(&mut self, event: &TraversalEvent) {
+        let mut stamped = *event;
+        stamped.group = self.group;
+        self.inner.record(&stamped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_util::json::{FromJson, Json};
+
+    fn event(level: u32) -> TraversalEvent {
+        TraversalEvent {
+            group: 0,
+            level,
+            direction: Direction::TopDown,
+            unique_frontiers: 3,
+            instance_frontiers: 7,
+            edges_inspected: 21,
+            early_terminations: 1,
+            load_transactions: 10,
+            store_transactions: 4,
+            atomic_transactions: 2,
+            sim_seconds: 1.5e-6,
+        }
+    }
+
+    #[test]
+    fn recorder_collects_in_order() {
+        let mut sink = RecorderSink::default();
+        sink.record(&event(1));
+        sink.record(&event(2));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[1].level, 2);
+    }
+
+    #[test]
+    fn group_stamp_overrides_group() {
+        let mut rec = RecorderSink::default();
+        let mut stamp = GroupStamp { group: 5, inner: &mut rec };
+        stamp.record(&event(1));
+        assert_eq!(rec.events[0].group, 5);
+        assert_eq!(rec.events[0].level, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&event(3));
+        let bytes = sink.into_inner();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.ends_with('\n'));
+        let parsed = Json::parse(line.trim()).unwrap();
+        let back = TraversalEvent::from_json(&parsed).unwrap();
+        assert_eq!(back, event(3));
+    }
+}

@@ -86,6 +86,26 @@ impl CostModel {
     }
 }
 
+/// The per-level timing contract shared by every kernel timer.
+///
+/// The level driver in `ibfs` charges kernel launches and closes kernel
+/// phases through this trait without knowing whether the engine is timed by
+/// a roofline [`SimTimer`] (joint/bitwise single-kernel engines) or by a
+/// Hyper-Q demand accumulator (the private per-instance engines).
+pub trait PhaseTimer {
+    /// Charges one kernel-launch overhead (call once per BFS level).
+    fn kernel_launch(&mut self);
+    /// Ends a kernel phase: costs everything recorded on `prof` since the
+    /// previous checkpoint. Returns the phase's cycles.
+    fn phase(&mut self, prof: &Profiler, kind: PhaseKind) -> f64;
+    /// Total cycles accumulated so far (including launch overheads).
+    fn cycles(&self) -> f64;
+    /// Total simulated seconds accumulated so far.
+    fn seconds(&self) -> f64;
+    /// Kernel launches charged so far.
+    fn launches(&self) -> u64;
+}
+
 /// Accumulates simulated time across kernel phases by snapshotting a
 /// [`Profiler`]'s counters.
 #[derive(Clone, Debug)]
@@ -94,6 +114,7 @@ pub struct SimTimer {
     last: Counters,
     total_cycles: f64,
     phases: u64,
+    launches: u64,
 }
 
 impl SimTimer {
@@ -104,6 +125,7 @@ impl SimTimer {
             last: prof.snapshot(),
             total_cycles: 0.0,
             phases: 0,
+            launches: 0,
         }
     }
 
@@ -122,6 +144,12 @@ impl SimTimer {
     /// Charges one kernel-launch overhead (call once per BFS level).
     pub fn kernel_launch(&mut self) {
         self.total_cycles += self.model.launch_overhead_cycles;
+        self.launches += 1;
+    }
+
+    /// Kernel launches charged so far.
+    pub fn launch_count(&self) -> u64 {
+        self.launches
     }
 
     /// Total simulated cycles so far.
@@ -142,6 +170,28 @@ impl SimTimer {
     /// The cost model in use.
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+}
+
+impl PhaseTimer for SimTimer {
+    fn kernel_launch(&mut self) {
+        SimTimer::kernel_launch(self);
+    }
+
+    fn phase(&mut self, prof: &Profiler, kind: PhaseKind) -> f64 {
+        SimTimer::phase(self, prof, kind)
+    }
+
+    fn cycles(&self) -> f64 {
+        SimTimer::cycles(self)
+    }
+
+    fn seconds(&self) -> f64 {
+        SimTimer::seconds(self)
+    }
+
+    fn launches(&self) -> u64 {
+        self.launch_count()
     }
 }
 

@@ -31,6 +31,6 @@ pub mod profiler;
 pub mod warp;
 
 pub use config::DeviceConfig;
-pub use cost::{CostModel, PhaseKind, SimTimer};
+pub use cost::{CostModel, PhaseKind, PhaseTimer, SimTimer};
 pub use memory::{transactions_for_contiguous, transactions_for_warp};
 pub use profiler::{Counters, Profiler};

@@ -97,6 +97,23 @@ impl AddressSpace {
     pub fn allocated(&self) -> u64 {
         self.next - self.segment_bytes as u64
     }
+
+    /// The current high-water mark, for later [`AddressSpace::release_to`].
+    pub fn mark(&self) -> u64 {
+        self.next
+    }
+
+    /// Releases every allocation made after `mark` (stack discipline: `mark`
+    /// must come from [`AddressSpace::mark`] on this space). Because every
+    /// base address is segment-aligned, re-allocating the released range
+    /// yields the same addresses — and therefore the same transaction counts.
+    pub fn release_to(&mut self, mark: u64) {
+        assert!(
+            mark >= self.segment_bytes as u64 && mark <= self.next,
+            "release_to mark outside allocated range"
+        );
+        self.next = mark;
+    }
 }
 
 #[cfg(test)]

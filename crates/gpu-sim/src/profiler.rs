@@ -149,6 +149,19 @@ impl Profiler {
         self.space.allocated()
     }
 
+    /// Allocation high-water mark, for [`Profiler::release_to`].
+    pub fn mem_mark(&self) -> u64 {
+        self.space.mark()
+    }
+
+    /// Frees every array allocated after `mark` (like `cudaFree` of the
+    /// per-request scratch while the graph stays resident). Segment alignment
+    /// guarantees re-allocations land at identical addresses, keeping
+    /// transaction accounting reproducible across requests.
+    pub fn release_to(&mut self, mark: u64) {
+        self.space.release_to(mark);
+    }
+
     /// One warp-level *gather* load: lanes read `elem_bytes` at each
     /// address. Scattered accesses are served per 32-byte L2 sector.
     pub fn warp_gather(&mut self, addrs: impl IntoIterator<Item = u64>, elem_bytes: u32) {

@@ -1,0 +1,145 @@
+//! Golden snapshot pinning every engine's accounting on one R-MAT graph.
+//!
+//! The values below were captured from the pre-refactor engines (PR 1 tree)
+//! and assert that the layered traversal stack (level driver + service +
+//! trace) is *bit-identical* to the original monolithic level loops: same
+//! `Counters`, same `sim_seconds` (compared via `f64::to_bits`), same depth
+//! arrays (compared via an FNV-1a hash).
+//!
+//! If an intentional cost-model change lands, regenerate with:
+//! `cargo test -q --test golden_snapshot -- --nocapture print_golden_table`
+//! (un-ignore it first) and update the table.
+
+use ibfs::engine::{EngineKind, GpuGraph};
+use ibfs_graph::generators::{rmat, RmatParams};
+use ibfs_graph::{Csr, VertexId};
+use ibfs_gpu_sim::{DeviceConfig, Profiler};
+
+/// 64-bit FNV-1a over the flattened depth bytes.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn golden_graph() -> Csr {
+    rmat(9, 16, RmatParams::graph500(), 42)
+}
+
+fn golden_sources() -> Vec<VertexId> {
+    (0..48).collect()
+}
+
+/// One engine's pinned accounting.
+struct Golden {
+    engine: EngineKind,
+    load_txns: u64,
+    store_txns: u64,
+    load_bytes: u64,
+    store_bytes: u64,
+    load_reqs: u64,
+    store_reqs: u64,
+    atomics: u64,
+    shared_loads: u64,
+    shared_stores: u64,
+    lanes: u64,
+    sim_seconds_bits: u64,
+    depth_hash: u64,
+}
+
+fn measure(kind: EngineKind, g: &Csr, r: &Csr, sources: &[VertexId]) -> Golden {
+    let mut prof = Profiler::new(DeviceConfig::k40());
+    let gg = GpuGraph::new(g, r, &mut prof);
+    let run = kind.build().run_group(&gg, sources, &mut prof);
+    let c = run.counters;
+    Golden {
+        engine: kind,
+        load_txns: c.global_load_transactions,
+        store_txns: c.global_store_transactions,
+        load_bytes: c.global_load_bytes,
+        store_bytes: c.global_store_bytes,
+        load_reqs: c.global_load_requests,
+        store_reqs: c.global_store_requests,
+        atomics: c.atomic_transactions,
+        shared_loads: c.shared_load_ops,
+        shared_stores: c.shared_store_ops,
+        lanes: c.lane_instructions,
+        sim_seconds_bits: run.sim_seconds.to_bits(),
+        depth_hash: fnv1a(&run.depths),
+    }
+}
+
+#[test]
+#[ignore = "generator for the pinned table below"]
+fn print_golden_table() {
+    let g = golden_graph();
+    let r = g.reverse();
+    let sources = golden_sources();
+    for kind in EngineKind::all() {
+        let m = measure(kind, &g, &r, &sources);
+        println!(
+            "    Golden {{ engine: EngineKind::{:?}, load_txns: {}, store_txns: {}, \
+             load_bytes: {}, store_bytes: {}, load_reqs: {}, store_reqs: {}, atomics: {}, \
+             shared_loads: {}, shared_stores: {}, lanes: {}, sim_seconds_bits: {:#x}, \
+             depth_hash: {:#x} }},",
+            m.engine,
+            m.load_txns,
+            m.store_txns,
+            m.load_bytes,
+            m.store_bytes,
+            m.load_reqs,
+            m.store_reqs,
+            m.atomics,
+            m.shared_loads,
+            m.shared_stores,
+            m.lanes,
+            m.sim_seconds_bits,
+            m.depth_hash,
+        );
+    }
+}
+
+/// The pinned pre-refactor table. See module docs for regeneration.
+fn golden_table() -> Vec<Golden> {
+    vec![
+        Golden { engine: EngineKind::Sequential, load_txns: 57566, store_txns: 3883, load_bytes: 3957280, store_bytes: 212480, load_reqs: 43003, store_reqs: 1960, atomics: 0, shared_loads: 0, shared_stores: 0, lanes: 161800, sim_seconds_bits: 0x3f31f8d76fcce99f, depth_hash: 0x51cfd9661ce729c4 },
+        Golden { engine: EngineKind::Naive, load_txns: 57566, store_txns: 3883, load_bytes: 3957280, store_bytes: 212480, load_reqs: 43003, store_reqs: 1960, atomics: 0, shared_loads: 0, shared_stores: 0, lanes: 161800, sim_seconds_bits: 0x3f321d54fab9278a, depth_hash: 0x51cfd9661ce729c4 },
+        Golden { engine: EngineKind::Joint, load_txns: 22619, store_txns: 8465, load_bytes: 972928, store_bytes: 290368, load_reqs: 15894, store_reqs: 4239, atomics: 0, shared_loads: 5305, shared_stores: 10012, lanes: 201736, sim_seconds_bits: 0x3ee5e151f899537a, depth_hash: 0x51cfd9661ce729c4 },
+        Golden { engine: EngineKind::Bitwise, load_txns: 27670, store_txns: 628, load_bytes: 1175072, store_bytes: 43520, load_reqs: 4349, store_reqs: 196, atomics: 427, shared_loads: 0, shared_stores: 1225, lanes: 33250, sim_seconds_bits: 0x3ee5f44c63fa773f, depth_hash: 0x51cfd9661ce729c4 },
+        Golden { engine: EngineKind::BitwiseMsBfsStyle, load_txns: 27862, store_txns: 820, load_bytes: 1199648, store_bytes: 68096, load_reqs: 4445, store_reqs: 292, atomics: 427, shared_loads: 0, shared_stores: 1225, lanes: 33250, sim_seconds_bits: 0x3ee6500fb66305ad, depth_hash: 0x51cfd9661ce729c4 },
+        Golden { engine: EngineKind::Spmm, load_txns: 59079, store_txns: 11337, load_bytes: 2209728, store_bytes: 383040, load_reqs: 34339, store_reqs: 5677, atomics: 0, shared_loads: 424644, shared_stores: 27877, lanes: 572100, sim_seconds_bits: 0x3eef935767ee0d26, depth_hash: 0x51cfd9661ce729c4 },
+    ]
+}
+
+#[test]
+fn engines_bit_identical_to_pre_refactor_snapshot() {
+    let table = golden_table();
+    assert_eq!(table.len(), EngineKind::all().len(), "table covers every engine");
+    let g = golden_graph();
+    let r = g.reverse();
+    let sources = golden_sources();
+    for pin in &table {
+        let m = measure(pin.engine, &g, &r, &sources);
+        let ctx = format!("engine {:?}", pin.engine);
+        assert_eq!(m.load_txns, pin.load_txns, "{ctx}: load transactions");
+        assert_eq!(m.store_txns, pin.store_txns, "{ctx}: store transactions");
+        assert_eq!(m.load_bytes, pin.load_bytes, "{ctx}: load bytes");
+        assert_eq!(m.store_bytes, pin.store_bytes, "{ctx}: store bytes");
+        assert_eq!(m.load_reqs, pin.load_reqs, "{ctx}: load requests");
+        assert_eq!(m.store_reqs, pin.store_reqs, "{ctx}: store requests");
+        assert_eq!(m.atomics, pin.atomics, "{ctx}: atomic transactions");
+        assert_eq!(m.shared_loads, pin.shared_loads, "{ctx}: shared loads");
+        assert_eq!(m.shared_stores, pin.shared_stores, "{ctx}: shared stores");
+        assert_eq!(m.lanes, pin.lanes, "{ctx}: lane instructions");
+        assert_eq!(
+            m.sim_seconds_bits, pin.sim_seconds_bits,
+            "{ctx}: sim_seconds must be bit-identical ({} vs {})",
+            f64::from_bits(m.sim_seconds_bits),
+            f64::from_bits(pin.sim_seconds_bits)
+        );
+        assert_eq!(m.depth_hash, pin.depth_hash, "{ctx}: depth-array FNV hash");
+    }
+}
