@@ -9,6 +9,9 @@ set -eux
 cargo build --release --workspace --offline
 cargo build --all-targets --offline
 cargo test -q --workspace --offline
+# Serve-layer stress suite under optimization, pinned to a fixed seed so
+# the request streams are identical run to run.
+IBFS_STRESS_SEED=42 cargo test -q --release -p ibfs-serve --offline
 cargo bench --no-run --workspace --offline
 cargo build --examples --offline
 RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline

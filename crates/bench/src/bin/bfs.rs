@@ -3,6 +3,11 @@
 //! ```text
 //! bfs <GRAPH> [--engine ENGINE] [--sources N | --source-list a,b,c]
 //!             [--group-size N] [--groupby] [--depths] [--trace PATH]
+//! bfs serve-bench <GRAPH> [--clients N] [--requests N] [--workers N]
+//!             [--max-batch N] [--window-us N] [--queue N] [--worker-queue N]
+//!             [--deadline-ms N] [--seed N] [--policy arrival|groupby|bestof]
+//!             [--router rr|lpt] [--scheduler b2b|hyperq] [--engine ENGINE]
+//!             [--json]
 //!
 //! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
 //!          name prefixed with `suite:` (e.g. `suite:FB`)
@@ -15,13 +20,21 @@ use ibfs::groupby::GroupingStrategy;
 use ibfs::runner::RunConfig;
 use ibfs::service::IbfsService;
 use ibfs::trace::JsonlSink;
+use ibfs_bench::loadgen::{run_loadgen, LoadGenConfig};
 use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
+use ibfs_serve::{CoalescePolicy, RouterKind, SchedulerKind};
+use ibfs_util::ToJson;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage("missing graph argument");
+    }
+    if args[0] == "serve-bench" {
+        args.remove(0);
+        return serve_bench(args);
     }
     let graph_arg = args.remove(0);
     let mut engine = EngineKind::Bitwise;
@@ -83,19 +96,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let graph: Csr = if let Some(name) = graph_arg.strip_prefix("suite:") {
-        match suite::by_name(name) {
-            Some(spec) => spec.generate(),
-            None => return usage(&format!("unknown suite graph `{name}`")),
-        }
-    } else {
-        match io::load(std::path::Path::new(&graph_arg)) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("error loading {graph_arg}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let graph: Csr = match load_graph(&graph_arg) {
+        Ok(g) => g,
+        Err(code) => return code,
     };
     let reverse = graph.reverse();
     let sources: Vec<VertexId> = source_list.unwrap_or_else(|| {
@@ -183,12 +186,182 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn load_graph(graph_arg: &str) -> Result<Csr, ExitCode> {
+    if let Some(name) = graph_arg.strip_prefix("suite:") {
+        match suite::by_name(name) {
+            Some(spec) => Ok(spec.generate()),
+            None => Err(usage(&format!("unknown suite graph `{name}`"))),
+        }
+    } else {
+        match io::load(std::path::Path::new(graph_arg)) {
+            Ok(g) => Ok(g),
+            Err(e) => {
+                eprintln!("error loading {graph_arg}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        }
+    }
+}
+
+/// `bfs serve-bench` — drive the batching server with closed-loop clients
+/// and report latency, throughput, and batch-shape statistics.
+fn serve_bench(args: Vec<String>) -> ExitCode {
+    if args.is_empty() {
+        return usage("serve-bench: missing graph argument");
+    }
+    let mut args = args;
+    let graph_arg = args.remove(0);
+    let mut cfg = LoadGenConfig::default();
+    let mut json = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let num = |flag: &str, it: &mut dyn Iterator<Item = String>| -> Option<u64> {
+            let v = it.next().and_then(|s| s.parse().ok());
+            if v.is_none() {
+                eprintln!("error: {flag} needs a number");
+            }
+            v
+        };
+        match a.as_str() {
+            "--clients" => match num("--clients", &mut it) {
+                Some(n) => cfg.clients = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--requests" => match num("--requests", &mut it) {
+                Some(n) => cfg.requests_per_client = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--workers" => match num("--workers", &mut it) {
+                Some(n) => cfg.serve.workers = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--max-batch" => match num("--max-batch", &mut it) {
+                Some(n) => cfg.serve.max_batch = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--window-us" => match num("--window-us", &mut it) {
+                Some(n) => cfg.serve.batch_window = Duration::from_micros(n),
+                None => return ExitCode::from(2),
+            },
+            "--queue" => match num("--queue", &mut it) {
+                Some(n) => cfg.serve.queue_capacity = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--worker-queue" => match num("--worker-queue", &mut it) {
+                Some(n) => cfg.serve.worker_queue_capacity = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--deadline-ms" => match num("--deadline-ms", &mut it) {
+                Some(n) => cfg.serve.default_deadline = Some(Duration::from_millis(n)),
+                None => return ExitCode::from(2),
+            },
+            "--seed" => match num("--seed", &mut it) {
+                Some(n) => cfg.seed = n,
+                None => return ExitCode::from(2),
+            },
+            "--policy" => {
+                cfg.serve.policy = match it.next().as_deref() {
+                    Some("arrival") => CoalescePolicy::Arrival,
+                    Some("groupby") => CoalescePolicy::GroupBy,
+                    Some("bestof") => CoalescePolicy::BestOf,
+                    other => return usage(&format!("unknown policy {other:?}")),
+                }
+            }
+            "--router" => {
+                cfg.serve.router = match it.next().as_deref() {
+                    Some("rr") => RouterKind::RoundRobin,
+                    Some("lpt") => RouterKind::LeastLoaded,
+                    other => return usage(&format!("unknown router {other:?}")),
+                }
+            }
+            "--scheduler" => {
+                cfg.serve.scheduler = match it.next().as_deref() {
+                    Some("b2b") => SchedulerKind::BackToBack,
+                    Some("hyperq") => SchedulerKind::HyperQOverlap,
+                    other => return usage(&format!("unknown scheduler {other:?}")),
+                }
+            }
+            "--engine" => {
+                cfg.serve.run.engine = match it.next().as_deref() {
+                    Some("sequential") => EngineKind::Sequential,
+                    Some("naive") => EngineKind::Naive,
+                    Some("joint") => EngineKind::Joint,
+                    Some("bitwise") => EngineKind::Bitwise,
+                    Some("msbfs") => EngineKind::BitwiseMsBfsStyle,
+                    Some("spmm") => EngineKind::Spmm,
+                    other => return usage(&format!("unknown engine {other:?}")),
+                }
+            }
+            "--json" => json = true,
+            other => return usage(&format!("serve-bench: unknown option {other}")),
+        }
+    }
+
+    let graph = match load_graph(&graph_arg) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    let reverse = graph.reverse();
+    eprintln!(
+        "serve-bench: {} vertices, {} edges; {} clients x {} requests; {} workers, \
+         max batch {}, window {:?}, policy {:?}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.serve.workers,
+        cfg.serve.max_batch,
+        cfg.serve.batch_window,
+        cfg.serve.policy,
+    );
+    let res = run_loadgen(&graph, &reverse, &cfg);
+
+    if json {
+        println!("{}", res.summary.to_json().to_string_pretty());
+        return ExitCode::SUCCESS;
+    }
+    let s = &res.summary;
+    let r = &res.report;
+    println!("issued:             {}", s.issued);
+    println!(
+        "completed:          {} (timeouts {}, overloaded {}, shutdown {})",
+        s.completed, s.timeouts, s.overloaded, r.shutdown
+    );
+    println!(
+        "latency:            {:.3} ms mean ({:.3} ms stddev)",
+        s.latency_s.mean * 1e3,
+        s.latency_s.stddev * 1e3
+    );
+    println!("throughput:         {:.1} requests/s over {:.3} s", s.throughput_rps, s.wall_seconds);
+    println!(
+        "batches:            {} ({} groupby, {} arrival)",
+        s.num_batches, r.groupby_batches, r.arrival_batches
+    );
+    println!("batch occupancy:    {:.2}", s.occupancy);
+    println!("sharing degree:     {:.2}", s.sharing_degree);
+    println!("queue wait:         {:.3} ms mean", r.stats.queue_wait_s.mean * 1e3);
+    println!(
+        "simulated rate:     {}",
+        ibfs::metrics::format_teps(s.sim_teps)
+    );
+    if !r.is_conserved() {
+        eprintln!("error: request accounting not conserved");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm] \
          [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels] \
-         [--trace PATH|-]"
+         [--trace PATH|-]\n\
+       bfs serve-bench <GRAPH|suite:NAME> [--clients N] [--requests N] [--workers N] \
+         [--max-batch N] [--window-us N] [--queue N] [--worker-queue N] [--deadline-ms N] \
+         [--seed N] [--policy arrival|groupby|bestof] [--router rr|lpt] \
+         [--scheduler b2b|hyperq] [--engine ENGINE] [--json]"
     );
     ExitCode::from(2)
 }

@@ -7,6 +7,7 @@
 //! modules at reduced scale.
 
 pub mod figures;
+pub mod loadgen;
 pub mod result;
 
 use ibfs_graph::suite::GraphSpec;

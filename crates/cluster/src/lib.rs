@@ -9,6 +9,8 @@
 //! skew — is exactly what limits scaling, so uniform-degree graphs (RD)
 //! scale best, as in the paper.
 
+pub mod router;
 pub mod scaling;
 
+pub use router::{batch_weight, BatchRouter, LeastLoaded, RoundRobin};
 pub use scaling::{run_cluster, ClusterConfig, ClusterRun, DeviceRun};

@@ -1,0 +1,175 @@
+//! Online batch routing across simulated devices.
+//!
+//! [`scaling::run_cluster`](crate::scaling::run_cluster) places a *known*
+//! set of groups offline with LPT. A serving front-end sees batches one at
+//! a time and must place each as it arrives; [`BatchRouter`] is that online
+//! policy. [`LeastLoaded`] is the online counterpart of LPT — greedy
+//! assignment to the device with the smallest accumulated weight — and
+//! produces the *same* placement as `lpt_assign` whenever batches happen to
+//! arrive in descending weight order. [`RoundRobin`] is the oblivious
+//! baseline.
+//!
+//! Routers are deliberately deterministic: given the same batch sequence
+//! they produce the same placement, which is what keeps serve-path tests
+//! replayable.
+
+use ibfs_graph::partition::lpt_assign;
+use ibfs_graph::{Csr, VertexId};
+
+/// Estimated device work of one batch of BFS sources: a base cost per
+/// instance (every instance traverses the whole graph) plus the batch's
+/// source out-degrees, which proxy how quickly bottom-up parent discovery
+/// terminates. The same model weighs groups in the offline cluster
+/// scheduler.
+pub fn batch_weight(graph: &Csr, sources: &[VertexId]) -> u64 {
+    let deg_sum: u64 = sources.iter().map(|&s| graph.out_degree(s) as u64).sum();
+    sources.len() as u64 * 1_000 + deg_sum
+}
+
+/// An online policy assigning each arriving batch to one of `devices()`
+/// simulated devices.
+pub trait BatchRouter: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of devices routed across.
+    fn devices(&self) -> usize;
+
+    /// Picks the device for the next batch of estimated `weight`, recording
+    /// the dispatch in the router's state.
+    fn route(&mut self, weight: u64) -> usize;
+}
+
+/// Cycles through devices regardless of weight.
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    devices: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin router over `devices` devices.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        RoundRobin { devices, next: 0 }
+    }
+}
+
+impl BatchRouter for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn devices(&self) -> usize {
+        self.devices
+    }
+
+    fn route(&mut self, _weight: u64) -> usize {
+        let d = self.next;
+        self.next = (self.next + 1) % self.devices;
+        d
+    }
+}
+
+/// Greedy online LPT: each batch goes to the device with the least
+/// accumulated weight (ties to the lowest index, matching `lpt_assign`).
+#[derive(Clone, Debug)]
+pub struct LeastLoaded {
+    loads: Vec<u64>,
+}
+
+impl LeastLoaded {
+    /// A least-loaded router over `devices` devices.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        LeastLoaded { loads: vec![0; devices] }
+    }
+
+    /// Accumulated weight per device.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+}
+
+impl BatchRouter for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn devices(&self) -> usize {
+        self.loads.len()
+    }
+
+    fn route(&mut self, weight: u64) -> usize {
+        let d = (0..self.loads.len()).min_by_key(|&b| self.loads[b]).unwrap();
+        self.loads[d] += weight;
+        d
+    }
+}
+
+/// Routes a whole weight sequence, returning the per-batch assignment —
+/// the offline view of an online router, used by tests and by callers that
+/// already know every batch.
+pub fn route_all(router: &mut dyn BatchRouter, weights: &[u64]) -> Vec<usize> {
+    weights.iter().map(|&w| router.route(w)).collect()
+}
+
+/// `lpt_assign` equivalence check helper: the assignment LPT would produce
+/// for `weights` over `devices` devices.
+pub fn offline_lpt(weights: &[u64], devices: usize) -> Vec<usize> {
+    lpt_assign(weights, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::partition::bin_loads;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RoundRobin::new(3);
+        let a = route_all(&mut r, &[5, 5, 5, 5, 5, 5, 5]);
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_matches_offline_lpt_on_sorted_streams() {
+        // LPT sorts descending then greedily places; the online router fed
+        // an already-descending stream must make identical choices.
+        let weights = vec![90, 70, 55, 40, 40, 30, 20, 10, 5];
+        let mut r = LeastLoaded::new(3);
+        let online = route_all(&mut r, &weights);
+        let offline = offline_lpt(&weights, 3);
+        assert_eq!(online, offline);
+        assert_eq!(r.loads(), &bin_loads(&weights, &online, 3)[..]);
+    }
+
+    #[test]
+    fn least_loaded_balances_better_than_round_robin_on_skew() {
+        // A skewed stream arranged so round-robin piles heavy batches onto
+        // device 0 while least-loaded spreads them.
+        let weights = vec![100, 1, 1, 100, 1, 1, 100, 1, 1];
+        let spread = |assign: &[usize]| {
+            let loads = bin_loads(&weights, assign, 3);
+            loads.iter().max().unwrap() - loads.iter().min().unwrap()
+        };
+        let rr = route_all(&mut RoundRobin::new(3), &weights);
+        let ll = route_all(&mut LeastLoaded::new(3), &weights);
+        assert!(spread(&ll) < spread(&rr), "ll {ll:?} vs rr {rr:?}");
+    }
+
+    #[test]
+    fn batch_weight_scales_with_size_and_degree() {
+        let g = ibfs_graph::generators::uniform_random(64, 4, 1);
+        let small = batch_weight(&g, &[0]);
+        let large = batch_weight(&g, &[0, 1, 2, 3]);
+        assert!(large > small);
+        assert_eq!(batch_weight(&g, &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn rejects_zero_devices() {
+        LeastLoaded::new(0);
+    }
+}

@@ -106,15 +106,11 @@ pub fn run_cluster(
     // whole graph (every group traverses everything) — in practice group
     // *size* is the imbalance driver, with a skew correction from the
     // group's source degrees (hub-adjacent groups finish bottom-up sooner).
+    // The same model prices batches in the online `router`.
     let weights: Vec<u64> = grouping
         .groups
         .iter()
-        .map(|g| {
-            let deg_sum: u64 = g.iter().map(|&s| graph.out_degree(s) as u64).sum();
-            // Base work per instance plus a term for slow parent discovery
-            // on low-degree sources.
-            g.len() as u64 * 1_000 + deg_sum
-        })
+        .map(|g| crate::router::batch_weight(graph, g))
         .collect();
     let assignment = if config.lpt {
         lpt_assign(&weights, config.gpus)

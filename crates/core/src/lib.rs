@@ -57,6 +57,8 @@ pub use driver::{LevelDriver, LevelEngine};
 pub use engine::{Engine, EngineKind, GpuGraph, GroupRun};
 pub use groupby::{GroupByConfig, Grouping, GroupingStrategy};
 pub use runner::{IbfsRun, RunConfig};
-pub use service::{BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
+pub use service::{
+    admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService, RequestError,
+};
 pub use trace::{GroupStamp, JsonlSink, NullSink, RecorderSink, TraceSink, TraversalEvent};
 pub use word::StatusWord;

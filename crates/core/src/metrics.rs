@@ -7,6 +7,7 @@
 
 use crate::direction::Direction;
 use crate::engine::{GroupRun, LevelStats};
+use crate::trace::TraversalEvent;
 use ibfs_graph::{Csr, Depth, DEPTH_UNVISITED};
 use ibfs_util::json_struct;
 
@@ -44,6 +45,70 @@ pub fn sharing_ratio(sharing_degree: f64, instances: usize) -> f64 {
         sharing_degree / instances as f64
     }
 }
+
+/// [`sharing_degree`] over a stream of per-level trace events — the serve
+/// layer derives each batch's sharing degree from the [`TraversalEvent`]s
+/// its traced run emitted, without keeping the `GroupRun`s around.
+pub fn event_sharing_degree<'a>(events: impl IntoIterator<Item = &'a TraversalEvent>) -> f64 {
+    let mut unique = 0u64;
+    let mut total = 0u64;
+    for e in events {
+        unique += e.unique_frontiers;
+        total += e.instance_frontiers;
+    }
+    if unique == 0 {
+        0.0
+    } else {
+        total as f64 / unique as f64
+    }
+}
+
+/// Batch occupancy: how full a dispatched batch is relative to the §3
+/// group-size clamp. Zero-clamp follows the zero-denominator convention.
+pub fn batch_occupancy(requests: usize, max_batch: usize) -> f64 {
+    if max_batch == 0 {
+        0.0
+    } else {
+        requests as f64 / max_batch as f64
+    }
+}
+
+/// Per-batch serve metrics, recorded by the serve layer's workers — one
+/// record per batch dispatched to a device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchMetrics {
+    /// Batch sequence number (dispatch order).
+    pub batch: u64,
+    /// Device (worker) that executed the batch.
+    pub device: u64,
+    /// Requests answered by the batch (distinct sources traversed).
+    pub requests: u64,
+    /// [`batch_occupancy`] against the configured max batch.
+    pub occupancy: f64,
+    /// Mean wall-clock seconds requests waited between admission and the
+    /// start of the batch's traversal.
+    pub queue_wait_s: f64,
+    /// [`event_sharing_degree`] of the batch's traversal.
+    pub sharing_degree: f64,
+    /// Simulated seconds of the batch's traversal.
+    pub sim_seconds: f64,
+    /// Edges traversed across the batch's instances.
+    pub traversed_edges: u64,
+    /// Simulated TEPS of the batch.
+    pub teps: f64,
+}
+
+json_struct!(BatchMetrics {
+    batch,
+    device,
+    requests,
+    occupancy,
+    queue_wait_s,
+    sharing_degree,
+    sim_seconds,
+    traversed_edges,
+    teps,
+});
 
 /// Formats a TEPS value the way the paper quotes them ("640 billion TEPS").
 pub fn format_teps(teps: f64) -> String {
@@ -183,6 +248,34 @@ mod tests {
         assert_eq!(sharing_degree(&[]), 0.0);
         assert_eq!(sharing_ratio(2.0, 4), 0.5);
         assert_eq!(sharing_ratio(2.0, 0), 0.0);
+    }
+
+    #[test]
+    fn event_sharing_degree_matches_level_stats() {
+        use crate::trace::TraversalEvent;
+        let event = |unique, inst| TraversalEvent {
+            group: 0,
+            level: 1,
+            direction: Direction::TopDown,
+            unique_frontiers: unique,
+            instance_frontiers: inst,
+            edges_inspected: 0,
+            early_terminations: 0,
+            load_transactions: 0,
+            store_transactions: 0,
+            atomic_transactions: 0,
+            sim_seconds: 0.0,
+        };
+        let events = [event(2, 4), event(1, 2)];
+        assert_eq!(event_sharing_degree(&events), 2.0);
+        assert_eq!(event_sharing_degree(&[]), 0.0);
+    }
+
+    #[test]
+    fn batch_occupancy_conventions() {
+        assert_eq!(batch_occupancy(4, 8), 0.5);
+        assert_eq!(batch_occupancy(8, 8), 1.0);
+        assert_eq!(batch_occupancy(1, 0), 0.0);
     }
 
     #[test]

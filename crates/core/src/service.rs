@@ -31,6 +31,38 @@ use ibfs_graph::{Csr, VertexId};
 use ibfs_gpu_sim::hyperq::{concurrent_cycles, KernelDemand};
 use ibfs_gpu_sim::{CostModel, Profiler};
 
+/// Why a request was rejected at admission, before any device work.
+///
+/// The service validates every request up front so that malformed input
+/// (an empty source list, a source id past the vertex range) is a typed
+/// error at the boundary rather than a silent empty run or an index panic
+/// deep inside an engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request named no sources at all.
+    EmptySources,
+    /// A source id is not a vertex of the resident graph.
+    SourceOutOfRange {
+        /// The offending source id.
+        source: VertexId,
+        /// Vertex count of the resident graph.
+        num_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::EmptySources => write!(f, "request names no sources"),
+            RequestError::SourceOutOfRange { source, num_vertices } => {
+                write!(f, "source {source} out of range (graph has {num_vertices} vertices)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// How one request's groups share the simulated device.
 pub trait DeviceScheduler {
     /// Scheduler name for reports.
@@ -173,14 +205,47 @@ impl<'g> IbfsService<'g> {
         self.prof.allocated_bytes()
     }
 
+    /// Validates a request against the resident graph without running it —
+    /// the admission check shared by [`IbfsService::try_run`] and the serve
+    /// layer's front door.
+    pub fn admit(&self, sources: &[VertexId]) -> Result<(), RequestError> {
+        admit_sources(sources, self.graph.num_vertices())
+    }
+
     /// Serves one request: iBFS from every source in `sources`.
+    ///
+    /// # Panics
+    /// Panics on an invalid request (empty source list or out-of-range
+    /// source); use [`IbfsService::try_run`] for a typed error instead.
     pub fn run(&mut self, sources: &[VertexId]) -> IbfsRun {
         self.run_traced(sources, &mut NullSink)
     }
 
     /// [`IbfsService::run`] with per-level [`crate::trace::TraversalEvent`]s
     /// delivered to `sink`, stamped with each group's index.
+    ///
+    /// # Panics
+    /// Panics on an invalid request; see [`IbfsService::try_run_traced`].
     pub fn run_traced(&mut self, sources: &[VertexId], sink: &mut dyn TraceSink) -> IbfsRun {
+        self.try_run_traced(sources, sink)
+            .unwrap_or_else(|e| panic!("invalid request: {e}"))
+    }
+
+    /// [`IbfsService::run`] with admission errors surfaced as values
+    /// instead of panics.
+    pub fn try_run(&mut self, sources: &[VertexId]) -> Result<IbfsRun, RequestError> {
+        self.try_run_traced(sources, &mut NullSink)
+    }
+
+    /// [`IbfsService::run_traced`] with admission errors surfaced as values
+    /// instead of panics. A zero-source request never reaches the driver:
+    /// it is rejected here with [`RequestError::EmptySources`].
+    pub fn try_run_traced(
+        &mut self,
+        sources: &[VertexId],
+        sink: &mut dyn TraceSink,
+    ) -> Result<IbfsRun, RequestError> {
+        self.admit(sources)?;
         // Drop the previous request's scratch; the upload stays resident.
         self.prof.release_to(self.scratch_mark);
         let grouping = self.grouping.group(self.graph, sources);
@@ -205,18 +270,35 @@ impl<'g> IbfsService<'g> {
         let model = CostModel::new(self.prof.config);
         let sim_seconds = self.scheduler.schedule(&groups, &model);
         let counters = self.prof.snapshot().delta(&before);
-        IbfsRun {
+        Ok(IbfsRun {
             groups,
             sim_seconds,
             traversed_edges: traversed,
             counters,
-        }
+        })
     }
 
     /// Serves a batch of requests in order, reusing the uploaded graph.
+    ///
+    /// # Panics
+    /// Panics if any request is invalid (see [`IbfsService::try_run`]).
     pub fn run_batch(&mut self, requests: &[Vec<VertexId>]) -> Vec<IbfsRun> {
         requests.iter().map(|sources| self.run(sources)).collect()
     }
+}
+
+/// The admission predicate behind [`IbfsService::admit`], usable without a
+/// constructed service (the serve front-end validates before enqueueing).
+pub fn admit_sources(sources: &[VertexId], num_vertices: usize) -> Result<(), RequestError> {
+    if sources.is_empty() {
+        return Err(RequestError::EmptySources);
+    }
+    for &s in sources {
+        if s as usize >= num_vertices {
+            return Err(RequestError::SourceOutOfRange { source: s, num_vertices });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -363,6 +445,55 @@ mod tests {
         let untraced = svc2.run(&sources);
         assert_eq!(untraced.counters, run.counters);
         assert_eq!(untraced.sim_seconds.to_bits(), run.sim_seconds.to_bits());
+    }
+
+    #[test]
+    fn zero_source_request_is_rejected_at_admission() {
+        // Regression: an empty request used to fall through grouping and
+        // return a silent empty run instead of being rejected up front.
+        let g = small_graph();
+        let r = g.reverse();
+        let mut svc = IbfsService::new(&g, &r, RunConfig::default());
+        assert_eq!(svc.try_run(&[]).unwrap_err(), RequestError::EmptySources);
+        assert_eq!(svc.admit(&[]), Err(RequestError::EmptySources));
+        // The service still works after a rejected request.
+        let run = svc.try_run(&[0]).unwrap();
+        assert_eq!(run.num_instances(), 1);
+    }
+
+    #[test]
+    fn out_of_range_source_is_rejected_at_admission() {
+        let g = small_graph();
+        let r = g.reverse();
+        let n = g.num_vertices();
+        let mut svc = IbfsService::new(&g, &r, RunConfig::default());
+        let bad = n as VertexId;
+        assert_eq!(
+            svc.try_run(&[0, bad]).unwrap_err(),
+            RequestError::SourceOutOfRange { source: bad, num_vertices: n }
+        );
+        assert!(svc.admit(&[0, 1]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid request")]
+    fn run_panics_on_zero_source_request() {
+        let g = small_graph();
+        let r = g.reverse();
+        IbfsService::new(&g, &r, RunConfig::default()).run(&[]);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_requests() {
+        let g = small_graph();
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..16).collect();
+        let mut a = IbfsService::new(&g, &r, RunConfig::default());
+        let mut b = IbfsService::new(&g, &r, RunConfig::default());
+        let x = a.run(&sources);
+        let y = b.try_run(&sources).unwrap();
+        assert_eq!(x.counters, y.counters);
+        assert_eq!(x.sim_seconds.to_bits(), y.sim_seconds.to_bits());
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! In-tree channel primitives (hermetic policy: no crossbeam).
+//!
+//! * [`bounded`] — a multi-producer multi-consumer FIFO with a hard
+//!   capacity. `send` blocks when full (backpressure), `try_send` reports
+//!   [`TrySendError::Full`] instead — the serve layer maps that to its
+//!   `Overloaded` error. Disconnection follows the usual contract: senders
+//!   learn that every receiver is gone, receivers drain what was queued and
+//!   then learn that every sender is gone, which is exactly the graceful
+//!   drain the server's shutdown relies on.
+//! * [`oneshot`] — a single-value rendezvous used for request replies. The
+//!   sender half resolving *or dropping* always wakes the receiver, so a
+//!   waiting client can never be stranded by a dying worker.
+//!
+//! Everything is `Mutex` + `Condvar`; no spinning, no `unsafe`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Error returned by [`Sender::send`]: every receiver is gone; the value
+/// comes back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: the queue is empty and every
+/// sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_deadline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the queue still empty.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Producer half of a bounded channel. Clone freely; the channel
+/// disconnects for receivers when the last clone drops.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Consumer half of a bounded channel. Clone freely; the channel
+/// disconnects for senders when the last clone drops.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` values.
+///
+/// # Panics
+/// Panics if `cap` is zero (a rendezvous channel is not needed here and a
+/// zero capacity would deadlock `send`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "channel capacity must be positive");
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(cap),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`. Fails only when
+    /// every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < st.cap {
+                st.queue.push_back(value);
+                drop(st);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.chan.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Enqueues `value` if there is room right now.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() >= st.cap {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake receivers parked on an empty queue so they observe the
+            // disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives. Fails only when the queue is empty and
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// [`Receiver::recv`] that gives up at `deadline`.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, timeout) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+            if timeout.timed_out() && st.queue.is_empty() {
+                return Err(if st.senders == 0 {
+                    RecvTimeoutError::Disconnected
+                } else {
+                    RecvTimeoutError::Timeout
+                });
+            }
+        }
+    }
+
+    /// Dequeues a value if one is ready right now. `Ok(None)` means the
+    /// queue is empty but senders remain.
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.chan.not_full.notify_one();
+            return Ok(Some(v));
+        }
+        if st.senders == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake senders parked on a full queue so they observe the
+            // disconnect.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+enum OneState<T> {
+    Empty,
+    Value(T),
+    Dead,
+}
+
+struct One<T> {
+    state: Mutex<OneState<T>>,
+    ready: Condvar,
+}
+
+/// Producer half of a [`oneshot`] channel.
+pub struct OneSender<T> {
+    one: Arc<One<T>>,
+}
+
+/// Consumer half of a [`oneshot`] channel.
+pub struct OneReceiver<T> {
+    one: Arc<One<T>>,
+}
+
+/// Creates a single-value channel. Dropping the sender without sending
+/// resolves the receiver with [`RecvError`].
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let one = Arc::new(One {
+        state: Mutex::new(OneState::Empty),
+        ready: Condvar::new(),
+    });
+    (OneSender { one: one.clone() }, OneReceiver { one })
+}
+
+impl<T> OneSender<T> {
+    /// Delivers `value`. The value is dropped if the receiver is gone,
+    /// which is fine: a reply nobody waits for needs no destination.
+    pub fn send(self, value: T) {
+        *self.one.state.lock().unwrap() = OneState::Value(value);
+        self.one.ready.notify_all();
+        // Drop runs next but sees Value, not Empty, so it won't mark Dead.
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.one.state.lock().unwrap();
+        if matches!(*st, OneState::Empty) {
+            *st = OneState::Dead;
+            drop(st);
+            self.one.ready.notify_all();
+        }
+    }
+}
+
+impl<T> OneReceiver<T> {
+    /// Blocks until the sender resolves (value or drop).
+    pub fn recv(self) -> Result<T, RecvError> {
+        let mut st = self.one.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, OneState::Dead) {
+                OneState::Value(v) => return Ok(v),
+                OneState::Dead => return Err(RecvError),
+                OneState::Empty => {
+                    *st = OneState::Empty;
+                    st = self.one.ready.wait(st).unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(None));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn receivers_drain_after_senders_drop() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let (tx, rx) = bounded::<u32>(1);
+        let t0 = Instant::now();
+        let r = rx.recv_deadline(t0 + Duration::from_millis(20));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the receiver makes room
+            42u32
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn mpmc_conserves_messages() {
+        let (tx, rx) = bounded(8);
+        let n_producers = 4;
+        let per_producer = 250;
+        let mut got = std::thread::scope(|s| {
+            for p in 0..n_producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        tx.send(p * per_producer + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect::<Vec<usize>>()
+        });
+        got.sort_unstable();
+        let want: Vec<usize> = (0..n_producers * per_producer).collect();
+        assert_eq!(got, want, "every message exactly once");
+    }
+
+    #[test]
+    fn oneshot_delivers_value() {
+        let (tx, rx) = oneshot();
+        tx.send(99);
+        assert_eq!(rx.recv(), Ok(99));
+    }
+
+    #[test]
+    fn oneshot_dropped_sender_resolves_receiver() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn oneshot_across_threads() {
+        let (tx, rx) = oneshot();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send("done");
+        });
+        assert_eq!(rx.recv(), Ok("done"));
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! Batch coalescing: turning an admission window into dispatchable batches.
+//!
+//! Each batch dispatched to a device runs as **one traversal group**, so a
+//! batch may never exceed the §3 device-memory clamp on group size. Within
+//! that constraint the planner decides *which* pending requests traverse
+//! together:
+//!
+//! * [`CoalescePolicy::Arrival`] — chunk the window in arrival order (the
+//!   baseline every request-batching system starts from).
+//! * [`CoalescePolicy::GroupBy`] — partition with the paper's §5.2
+//!   out-degree rules, clamped to the batch bound.
+//! * [`CoalescePolicy::BestOf`] (default) — compute both and keep whichever
+//!   scores higher on **early-level sharing**: the analytic sharing degree
+//!   of depth arrays truncated to the first few levels. Lemma 2 is exactly
+//!   the license for scoring on a prefix — groups that share early keep
+//!   sharing later — and it keeps the score affordable at serve time.
+//!   By construction the chosen plan never scores below arrival order,
+//!   which is the invariant the property suite pins.
+//!
+//! The planner operates on **distinct** sources; the server maps duplicate
+//! concurrent requests for the same source onto one traversal instance.
+
+use ibfs::groupby::{outdegree_grouping, GroupByConfig};
+use ibfs::sharing::analytic_sharing_degree;
+use ibfs_graph::validate::reference_bfs_capped;
+use ibfs_graph::{Csr, Depth, VertexId};
+
+/// How the batcher groups an admission window into batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoalescePolicy {
+    /// Chunk in arrival order; no grouping work at all.
+    Arrival,
+    /// Always apply the §5.2 out-degree rules.
+    GroupBy,
+    /// Score both plans on early-level sharing and keep the better one.
+    #[default]
+    BestOf,
+}
+
+/// Levels of reference BFS used to score a plan (Lemma 2: early-level
+/// sharing predicts whole-traversal sharing).
+pub const SCORE_LEVELS: Depth = 3;
+
+/// The planner's output: a partition of the window's distinct sources into
+/// batches of at most the clamp, plus the scores that justified it.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// The batches, each non-empty and at most `max_batch` sources.
+    pub batches: Vec<Vec<VertexId>>,
+    /// True when the GroupBy arrangement was chosen.
+    pub groupby_chosen: bool,
+    /// Early-level sharing score of the chosen plan (0 when unscored).
+    pub score: f64,
+    /// Early-level sharing score of the arrival-order plan (0 when
+    /// unscored).
+    pub arrival_score: f64,
+}
+
+impl BatchPlan {
+    /// Total sources across batches.
+    pub fn total_sources(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// Mean early-level sharing degree over a plan's batches: each batch is
+/// scored by the analytic sharing degree of its sources' depth arrays
+/// truncated to [`SCORE_LEVELS`], then batches are averaged weighted by
+/// size (so the score of a plan is invariant under batch order).
+pub fn plan_score(graph: &Csr, batches: &[Vec<VertexId>], levels: Depth) -> f64 {
+    let total: usize = batches.iter().map(|b| b.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for batch in batches {
+        let arrays: Vec<Vec<Depth>> = batch
+            .iter()
+            .map(|&s| reference_bfs_capped(graph, s, levels))
+            .collect();
+        acc += analytic_sharing_degree(&arrays) * batch.len() as f64;
+    }
+    acc / total as f64
+}
+
+/// Plans batches for `sources` (distinct, arrival order) under `policy`.
+///
+/// Invariants, relied on by the server and pinned by the property suite:
+/// every batch is non-empty; no batch exceeds `max_batch` (the §3 clamp);
+/// the batches partition `sources`; under [`CoalescePolicy::BestOf`] the
+/// plan's score is never below the arrival-order score.
+pub fn plan(
+    graph: &Csr,
+    sources: &[VertexId],
+    max_batch: usize,
+    policy: CoalescePolicy,
+    cfg: &GroupByConfig,
+) -> BatchPlan {
+    assert!(max_batch > 0, "max_batch must be positive");
+    if sources.is_empty() {
+        return BatchPlan {
+            batches: Vec::new(),
+            groupby_chosen: false,
+            score: 0.0,
+            arrival_score: 0.0,
+        };
+    }
+    let arrival = || -> Vec<Vec<VertexId>> {
+        sources.chunks(max_batch).map(|c| c.to_vec()).collect()
+    };
+    let groupby = || -> Vec<Vec<VertexId>> {
+        let cfg = cfg.clone().with_group_size(max_batch);
+        outdegree_grouping(graph, sources, &cfg).groups
+    };
+    match policy {
+        CoalescePolicy::Arrival => BatchPlan {
+            batches: arrival(),
+            groupby_chosen: false,
+            score: 0.0,
+            arrival_score: 0.0,
+        },
+        CoalescePolicy::GroupBy => BatchPlan {
+            batches: groupby(),
+            groupby_chosen: true,
+            score: 0.0,
+            arrival_score: 0.0,
+        },
+        CoalescePolicy::BestOf => {
+            let a = arrival();
+            let g = groupby();
+            let arrival_score = plan_score(graph, &a, SCORE_LEVELS);
+            let groupby_score = plan_score(graph, &g, SCORE_LEVELS);
+            if groupby_score > arrival_score {
+                BatchPlan {
+                    batches: g,
+                    groupby_chosen: true,
+                    score: groupby_score,
+                    arrival_score,
+                }
+            } else {
+                BatchPlan {
+                    batches: a,
+                    groupby_chosen: false,
+                    score: arrival_score,
+                    arrival_score,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::generators::{chung_lu, powerlaw_weights};
+
+    fn powerlaw() -> Csr {
+        let w = powerlaw_weights(512, 8.0, 2.1);
+        chung_lu(&w, 11)
+    }
+
+    fn check_partition(plan: &BatchPlan, sources: &[VertexId], max_batch: usize) {
+        assert!(plan.batches.iter().all(|b| !b.is_empty() && b.len() <= max_batch));
+        let mut seen: Vec<VertexId> = plan.batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut want = sources.to_vec();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn arrival_plan_preserves_order() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = vec![9, 3, 7, 1, 4];
+        let p = plan(&g, &sources, 2, CoalescePolicy::Arrival, &GroupByConfig::default());
+        assert_eq!(p.batches, vec![vec![9, 3], vec![7, 1], vec![4]]);
+        assert!(!p.groupby_chosen);
+    }
+
+    #[test]
+    fn every_policy_partitions_within_clamp() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = (0..96).collect();
+        for policy in [CoalescePolicy::Arrival, CoalescePolicy::GroupBy, CoalescePolicy::BestOf] {
+            for max_batch in [1, 3, 8, 128] {
+                let p = plan(&g, &sources, max_batch, policy, &GroupByConfig::default());
+                check_partition(&p, &sources, max_batch);
+            }
+        }
+    }
+
+    #[test]
+    fn best_of_never_scores_below_arrival() {
+        let g = powerlaw();
+        let sources: Vec<VertexId> = (0..64).collect();
+        let p = plan(&g, &sources, 8, CoalescePolicy::BestOf, &GroupByConfig::default().with_q(16));
+        assert!(p.score >= p.arrival_score, "{} < {}", p.score, p.arrival_score);
+        check_partition(&p, &sources, 8);
+    }
+
+    #[test]
+    fn empty_window_plans_nothing() {
+        let g = powerlaw();
+        let p = plan(&g, &[], 4, CoalescePolicy::BestOf, &GroupByConfig::default());
+        assert!(p.batches.is_empty());
+        assert_eq!(p.total_sources(), 0);
+    }
+
+    #[test]
+    fn plan_score_of_identical_sources_is_batch_size() {
+        // Duplicated depth arrays share everything, so a batch of k copies
+        // scores exactly k.
+        let g = powerlaw();
+        let batches = vec![vec![5, 5, 5]];
+        let s = plan_score(&g, &batches, SCORE_LEVELS);
+        assert!((s - 3.0).abs() < 1e-12, "{s}");
+    }
+}

@@ -1,0 +1,52 @@
+//! The serve-path error taxonomy.
+
+use ibfs::service::RequestError;
+
+/// Why a request did not come back with a depth array. Every admitted
+/// request resolves with exactly one of `Ok(response)` or one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's deadline passed before its batch started traversal.
+    Timeout,
+    /// The admission queue was full (`try_submit` only; blocking `submit`
+    /// waits instead).
+    Overloaded,
+    /// The server is shutting down: the request was rejected at admission
+    /// or abandoned by an aborting drain.
+    Shutdown,
+    /// The request failed validation against the resident graph.
+    Invalid(RequestError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Timeout => write!(f, "request deadline passed before dispatch"),
+            ServeError::Overloaded => write!(f, "admission queue full"),
+            ServeError::Shutdown => write!(f, "server shutting down"),
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RequestError> for ServeError {
+    fn from(e: RequestError) -> Self {
+        ServeError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Timeout.to_string().contains("deadline"));
+        assert!(ServeError::Overloaded.to_string().contains("full"));
+        assert!(ServeError::Shutdown.to_string().contains("shutting down"));
+        let e = ServeError::from(RequestError::EmptySources);
+        assert!(e.to_string().contains("no sources"));
+    }
+}

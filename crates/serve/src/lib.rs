@@ -1,0 +1,37 @@
+//! `ibfs-serve` — a concurrent batching front-end over the resident
+//! [`ibfs::service::IbfsService`].
+//!
+//! The paper's motivating workloads (all-pairs analytics, centrality,
+//! reachability indexing) arrive as *streams* of BFS requests, not one
+//! prepared batch. This crate closes that gap: many client threads submit
+//! single-source requests; a batcher coalesces a short admission window
+//! into GroupBy-grouped batches under the §3 device-memory clamp; a router
+//! spreads batches across per-device worker threads, each owning a
+//! resident service; every request resolves with exactly one of a depth
+//! array or a typed [`ServeError`].
+//!
+//! Entry point: [`serve`] — run a closure against a [`ServeHandle`], get a
+//! [`ServeReport`] back after graceful drain. Layers, front to back:
+//!
+//! * [`channel`] — in-tree bounded MPMC + oneshot primitives (hermetic
+//!   policy: no external crates).
+//! * [`error`] — the [`ServeError`] taxonomy
+//!   (Timeout/Overloaded/Shutdown/Invalid).
+//! * [`coalesce`] — window → batches planning, including the
+//!   early-level-sharing score that arbitrates GroupBy vs arrival order.
+//! * [`server`] — admission, batching, routing, workers, lifecycle.
+//! * [`metrics`] — per-batch records and the end-of-run [`ServeReport`].
+
+pub mod channel;
+pub mod coalesce;
+pub mod error;
+pub mod metrics;
+pub mod server;
+
+pub use coalesce::{plan, BatchPlan, CoalescePolicy, SCORE_LEVELS};
+pub use error::ServeError;
+pub use metrics::{Collector, ServeReport, ServeStats};
+pub use server::{
+    effective_max_batch, serve, BfsResponse, RouterKind, SchedulerKind, ServeConfig, ServeHandle,
+    Ticket,
+};

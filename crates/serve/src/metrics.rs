@@ -1,0 +1,226 @@
+//! Serve-side metrics: per-batch records and the end-of-run report.
+//!
+//! Workers push one [`ibfs::metrics::BatchMetrics`] per dispatched batch;
+//! admission and resolution counters tick atomically as requests move
+//! through the pipeline. [`ServeReport`] is the aggregate view the server
+//! returns after drain, reusing the ratio conventions of `ibfs::metrics`
+//! (zero denominators yield `0.0`).
+
+use ibfs::metrics::{mean_std, teps, BatchMetrics, MeanStd};
+use ibfs_util::json_struct;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Atomic counters for every way a request can resolve.
+#[derive(Debug, Default)]
+pub struct Counts {
+    /// Requests accepted into the admission queue.
+    pub accepted: AtomicU64,
+    /// Requests answered with a depth array.
+    pub completed: AtomicU64,
+    /// Requests that missed their deadline before traversal.
+    pub timeouts: AtomicU64,
+    /// Requests bounced by `try_submit` on a full queue.
+    pub overloaded: AtomicU64,
+    /// Accepted requests abandoned with `Shutdown` by an aborting drain.
+    pub shutdown: AtomicU64,
+    /// Requests rejected with `Shutdown` at admission (never accepted).
+    pub rejected: AtomicU64,
+    /// Requests rejected by validation (never accepted).
+    pub invalid: AtomicU64,
+}
+
+impl Counts {
+    pub(crate) fn bump(&self, which: &AtomicU64) {
+        which.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared collector the batcher and workers feed.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Resolution counters.
+    pub counts: Counts,
+    /// Per-batch records, in completion order.
+    pub batches: Mutex<Vec<BatchMetrics>>,
+    /// Batches whose membership came from the GroupBy arrangement.
+    pub groupby_batches: AtomicU64,
+    /// Batches whose membership kept arrival order.
+    pub arrival_batches: AtomicU64,
+}
+
+impl Collector {
+    pub(crate) fn push_batch(&self, m: BatchMetrics) {
+        self.batches.lock().unwrap().push(m);
+    }
+
+    /// Freezes the collector into a report.
+    pub fn report(self) -> ServeReport {
+        let batches = self.batches.into_inner().unwrap();
+        let stats = ServeStats::of(&batches);
+        ServeReport {
+            accepted: self.counts.accepted.into_inner(),
+            completed: self.counts.completed.into_inner(),
+            timeouts: self.counts.timeouts.into_inner(),
+            overloaded: self.counts.overloaded.into_inner(),
+            shutdown: self.counts.shutdown.into_inner(),
+            rejected: self.counts.rejected.into_inner(),
+            invalid: self.counts.invalid.into_inner(),
+            groupby_batches: self.groupby_batches.into_inner(),
+            arrival_batches: self.arrival_batches.into_inner(),
+            stats,
+            batches,
+        }
+    }
+}
+
+/// Aggregates over a run's [`BatchMetrics`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Number of batches dispatched.
+    pub num_batches: u64,
+    /// Requests answered through batches.
+    pub requests: u64,
+    /// Mean/stddev batch occupancy.
+    pub occupancy: MeanStd,
+    /// Mean/stddev per-batch queue wait (seconds, wall clock).
+    pub queue_wait_s: MeanStd,
+    /// Mean/stddev per-batch sharing degree.
+    pub sharing_degree: MeanStd,
+    /// Total simulated seconds across batches.
+    pub sim_seconds: f64,
+    /// Total traversed edges across batches.
+    pub traversed_edges: u64,
+    /// Aggregate simulated TEPS (total edges over total simulated time).
+    pub sim_teps: f64,
+}
+
+json_struct!(ServeStats {
+    num_batches,
+    requests,
+    occupancy,
+    queue_wait_s,
+    sharing_degree,
+    sim_seconds,
+    traversed_edges,
+    sim_teps,
+});
+
+impl ServeStats {
+    /// Aggregates `batches` into summary statistics.
+    pub fn of(batches: &[BatchMetrics]) -> ServeStats {
+        let collect = |f: fn(&BatchMetrics) -> f64| -> Vec<f64> {
+            batches.iter().map(f).collect()
+        };
+        let sim_seconds: f64 = batches.iter().map(|b| b.sim_seconds).sum();
+        let traversed_edges: u64 = batches.iter().map(|b| b.traversed_edges).sum();
+        ServeStats {
+            num_batches: batches.len() as u64,
+            requests: batches.iter().map(|b| b.requests).sum(),
+            occupancy: mean_std(&collect(|b| b.occupancy)),
+            queue_wait_s: mean_std(&collect(|b| b.queue_wait_s)),
+            sharing_degree: mean_std(&collect(|b| b.sharing_degree)),
+            sim_seconds,
+            traversed_edges,
+            sim_teps: teps(traversed_edges, sim_seconds),
+        }
+    }
+}
+
+/// What the server hands back after drain: resolution accounting plus
+/// batch-level metrics.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Requests accepted into the admission queue.
+    pub accepted: u64,
+    /// Requests answered with a depth array.
+    pub completed: u64,
+    /// Requests that missed their deadline before traversal.
+    pub timeouts: u64,
+    /// Requests bounced by `try_submit` on a full queue.
+    pub overloaded: u64,
+    /// Accepted requests abandoned with `Shutdown` by an aborting drain.
+    pub shutdown: u64,
+    /// Requests rejected with `Shutdown` at admission (never accepted).
+    pub rejected: u64,
+    /// Requests rejected by validation (never accepted).
+    pub invalid: u64,
+    /// Batches planned by the GroupBy arrangement.
+    pub groupby_batches: u64,
+    /// Batches planned in arrival order.
+    pub arrival_batches: u64,
+    /// Aggregate statistics.
+    pub stats: ServeStats,
+    /// Every batch's record, in completion order.
+    pub batches: Vec<BatchMetrics>,
+}
+
+impl ServeReport {
+    /// Every accepted request resolved exactly once: completions, timeouts
+    /// and shutdown abandonments add up to admissions.
+    pub fn is_conserved(&self) -> bool {
+        self.completed + self.timeouts + self.shutdown == self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(requests: u64, occupancy: f64, sim_seconds: f64, edges: u64) -> BatchMetrics {
+        BatchMetrics {
+            batch: 0,
+            device: 0,
+            requests,
+            occupancy,
+            queue_wait_s: 0.001,
+            sharing_degree: 2.0,
+            sim_seconds,
+            traversed_edges: edges,
+            teps: teps(edges, sim_seconds),
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_batches() {
+        let stats = ServeStats::of(&[batch(4, 0.5, 1.0, 100), batch(8, 1.0, 1.0, 300)]);
+        assert_eq!(stats.num_batches, 2);
+        assert_eq!(stats.requests, 12);
+        assert!((stats.occupancy.mean - 0.75).abs() < 1e-12);
+        assert_eq!(stats.traversed_edges, 400);
+        assert!((stats.sim_teps - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_follow_zero_conventions() {
+        let stats = ServeStats::of(&[]);
+        assert_eq!(stats.num_batches, 0);
+        assert_eq!(stats.sim_teps, 0.0);
+        assert_eq!(stats.occupancy, MeanStd::default());
+    }
+
+    #[test]
+    fn conservation_check() {
+        let mut r = ServeReport { accepted: 10, completed: 7, timeouts: 2, shutdown: 1, ..Default::default() };
+        assert!(r.is_conserved());
+        r.completed = 6;
+        assert!(!r.is_conserved());
+    }
+
+    #[test]
+    fn collector_report_round_trip() {
+        let c = Collector::default();
+        c.counts.bump(&c.counts.accepted);
+        c.counts.bump(&c.counts.accepted);
+        c.counts.bump(&c.counts.completed);
+        c.counts.bump(&c.counts.timeouts);
+        c.push_batch(batch(1, 1.0, 0.5, 50));
+        let r = c.report();
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.batches.len(), 1);
+        assert_eq!(r.stats.requests, 1);
+        assert!(r.is_conserved());
+    }
+}

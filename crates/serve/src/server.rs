@@ -1,0 +1,711 @@
+//! The batching server: admission queue → batcher → router → per-device
+//! workers, each owning a resident [`IbfsService`].
+//!
+//! ```text
+//!  clients ──submit──▶ [bounded queue] ──▶ batcher ──plan──▶ router
+//!                                                             │
+//!                                   ┌─────────────────────────┤
+//!                                   ▼                         ▼
+//!                             worker 0                   worker D-1
+//!                          (IbfsService)               (IbfsService)
+//!                                   │                         │
+//!                                   └────── oneshot reply ────┘
+//! ```
+//!
+//! Lifecycle is ownership-driven: [`serve`] runs the caller's closure
+//! against a [`ServeHandle`]; when the closure returns, the handle (the
+//! only request sender) drops, the batcher drains what is queued,
+//! dispatches it, and exits, which disconnects the worker queues and lets
+//! each worker drain and exit in turn. No thread is ever detached —
+//! everything joins inside one `std::thread::scope`, which is also what
+//! lets workers borrow the graph instead of cloning it.
+//!
+//! [`ServeHandle::shutdown_now`] flips an abort flag instead: queued and
+//! in-flight requests resolve with [`ServeError::Shutdown`], new
+//! submissions are rejected at admission. The batcher wakes on a short
+//! poll tick while idle, so the flag is observed even when no request ever
+//! arrives to unblock it.
+
+use crate::channel::{bounded, oneshot, OneSender, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crate::coalesce::{self, CoalescePolicy};
+use crate::error::ServeError;
+use crate::metrics::{Collector, ServeReport};
+use ibfs::groupby::{GroupByConfig, GroupingStrategy};
+use ibfs::metrics::{batch_occupancy, event_sharing_degree, teps, BatchMetrics};
+use ibfs::runner::{device_group_bound, RunConfig};
+use ibfs::service::{admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
+use ibfs::trace::RecorderSink;
+use ibfs_cluster::router::{batch_weight, BatchRouter, LeastLoaded, RoundRobin};
+use ibfs_graph::{Csr, Depth, VertexId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which [`DeviceScheduler`] each worker's service uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Groups run back to back (the paper's evaluation setup).
+    #[default]
+    BackToBack,
+    /// Group kernels overlap through Hyper-Q.
+    HyperQOverlap,
+}
+
+impl SchedulerKind {
+    fn build(self) -> Box<dyn DeviceScheduler> {
+        match self {
+            SchedulerKind::BackToBack => Box::new(BackToBack),
+            SchedulerKind::HyperQOverlap => Box::new(HyperQOverlap),
+        }
+    }
+}
+
+/// Which [`BatchRouter`] spreads batches across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Cycle through workers in order.
+    RoundRobin,
+    /// Greedy online LPT on batch weight (default).
+    #[default]
+    LeastLoaded,
+}
+
+impl RouterKind {
+    fn build(self, devices: usize) -> Box<dyn BatchRouter> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::new(devices)),
+            RouterKind::LeastLoaded => Box::new(LeastLoaded::new(devices)),
+        }
+    }
+}
+
+/// Server tuning knobs. `Default` is sized for tests and small machines;
+/// `bfs serve-bench` exposes every field as a flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker (simulated device) count; each worker owns one resident
+    /// [`IbfsService`]. Zero is treated as one.
+    pub workers: usize,
+    /// Admission queue capacity — the backpressure bound on `submit`.
+    pub queue_capacity: usize,
+    /// Per-worker batch queue capacity.
+    pub worker_queue_capacity: usize,
+    /// Requested batch size cap; the effective cap is additionally clamped
+    /// to the §3 device-memory bound (see [`effective_max_batch`]).
+    pub max_batch: usize,
+    /// Micro-batching window: after the first request of a wave arrives,
+    /// how long the batcher keeps admitting before it dispatches.
+    pub batch_window: Duration,
+    /// Idle poll tick: how often the parked batcher wakes to observe the
+    /// abort flag.
+    pub poll_tick: Duration,
+    /// Deadline applied by [`ServeHandle::submit`] when the caller gives
+    /// none. `None` means requests never time out.
+    pub default_deadline: Option<Duration>,
+    /// How the batcher groups a window into batches.
+    pub policy: CoalescePolicy,
+    /// §5.2 out-degree rule thresholds for the GroupBy plans.
+    pub groupby: GroupByConfig,
+    /// How batches spread across workers.
+    pub router: RouterKind,
+    /// How each worker's groups share its device.
+    pub scheduler: SchedulerKind,
+    /// Engine/device template for every worker; the grouping field is
+    /// overridden per worker (one batch = one traversal group).
+    pub run: RunConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            worker_queue_capacity: 2,
+            max_batch: 32,
+            batch_window: Duration::from_micros(200),
+            poll_tick: Duration::from_millis(2),
+            default_deadline: None,
+            policy: CoalescePolicy::default(),
+            groupby: GroupByConfig::default(),
+            router: RouterKind::default(),
+            scheduler: SchedulerKind::default(),
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// The batch-size cap actually in force: the configured `max_batch`
+/// clamped into `[1, §3 device-memory bound]`.
+pub fn effective_max_batch(graph: &Csr, config: &ServeConfig) -> usize {
+    let bound = device_group_bound(graph, &config.run.device, 1 << 20) as usize;
+    config.max_batch.clamp(1, bound.max(1))
+}
+
+/// A successful reply: the depth array plus where and how it ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResponse {
+    /// The requested source.
+    pub source: VertexId,
+    /// Depth of every vertex from `source` (`DEPTH_UNVISITED` when
+    /// unreached).
+    pub depths: Vec<Depth>,
+    /// Sequence number of the batch that carried the request.
+    pub batch: u64,
+    /// Worker (device) index that ran the batch.
+    pub device: usize,
+    /// Distinct sources traversed by that batch.
+    pub batch_sources: usize,
+    /// Admission-to-dispatch wall-clock wait.
+    pub queue_wait: Duration,
+}
+
+struct Request {
+    source: VertexId,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: OneSender<Result<BfsResponse, ServeError>>,
+}
+
+struct Batch {
+    seq: u64,
+    /// Distinct sources, each traversed once.
+    sources: Vec<VertexId>,
+    /// Every pending request answered by this batch (duplicates of one
+    /// source share its instance).
+    requests: Vec<Request>,
+}
+
+/// A pending reply. [`Ticket::wait`] consumes it and blocks until the
+/// request resolves; resolution is guaranteed because dropping the reply
+/// sender (even via a panic) wakes the receiver.
+pub struct Ticket {
+    rx: crate::channel::OneReceiver<Result<BfsResponse, ServeError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket")
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Result<BfsResponse, ServeError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            // The reply sender vanished without resolving — only possible
+            // if a server thread died; surface it as a shutdown.
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+/// The client side of a running server: submit requests, get [`Ticket`]s.
+/// Share it across client threads by reference.
+pub struct ServeHandle<'s> {
+    tx: Sender<Request>,
+    num_vertices: usize,
+    default_deadline: Option<Duration>,
+    abort: &'s AtomicBool,
+    collector: &'s Collector,
+}
+
+impl ServeHandle<'_> {
+    /// Vertex count of the resident graph (the admission range).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Flips the abort flag: queued and in-flight requests resolve with
+    /// [`ServeError::Shutdown`], later submissions are rejected.
+    pub fn shutdown_now(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn admit(
+        &self,
+        source: VertexId,
+        deadline: Option<Duration>,
+    ) -> Result<(Request, Ticket), ServeError> {
+        if self.abort.load(Ordering::Acquire) {
+            self.collector.counts.bump(&self.collector.counts.rejected);
+            return Err(ServeError::Shutdown);
+        }
+        if let Err(e) = admit_sources(&[source], self.num_vertices) {
+            self.collector.counts.bump(&self.collector.counts.invalid);
+            return Err(ServeError::Invalid(e));
+        }
+        let (otx, orx) = oneshot();
+        let now = Instant::now();
+        let req = Request {
+            source,
+            submitted: now,
+            deadline: deadline.map(|d| now + d),
+            reply: otx,
+        };
+        Ok((req, Ticket { rx: orx }))
+    }
+
+    fn enqueue(&self, req: Request, block: bool) -> Result<(), ServeError> {
+        let res = if block {
+            self.tx.send(req).map_err(|_| ServeError::Shutdown)
+        } else {
+            self.tx.try_send(req).map_err(|e| match e {
+                TrySendError::Full(_) => ServeError::Overloaded,
+                TrySendError::Disconnected(_) => ServeError::Shutdown,
+            })
+        };
+        match res {
+            Ok(()) => {
+                self.collector.counts.bump(&self.collector.counts.accepted);
+                Ok(())
+            }
+            Err(ServeError::Overloaded) => {
+                self.collector.counts.bump(&self.collector.counts.overloaded);
+                Err(ServeError::Overloaded)
+            }
+            Err(e) => {
+                self.collector.counts.bump(&self.collector.counts.rejected);
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits a BFS request for `source` with the configured default
+    /// deadline, blocking while the admission queue is full
+    /// (backpressure).
+    pub fn submit(&self, source: VertexId) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(source, self.default_deadline)
+    }
+
+    /// [`ServeHandle::submit`] with an explicit deadline (`None` = never
+    /// time out).
+    pub fn submit_with_deadline(
+        &self,
+        source: VertexId,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let (req, ticket) = self.admit(source, deadline)?;
+        self.enqueue(req, true)?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking submit: a full admission queue is
+    /// [`ServeError::Overloaded`] instead of backpressure.
+    pub fn try_submit(&self, source: VertexId) -> Result<Ticket, ServeError> {
+        let (req, ticket) = self.admit(source, self.default_deadline)?;
+        self.enqueue(req, false)?;
+        Ok(ticket)
+    }
+}
+
+/// Runs a batching server over `graph` for the duration of `body`, then
+/// drains, joins every thread, and returns `body`'s result alongside the
+/// serve report. `reverse` must be `graph.reverse()` (pass `graph` itself
+/// when symmetric), exactly as for [`IbfsService::new`].
+pub fn serve<R>(
+    graph: &Csr,
+    reverse: &Csr,
+    config: ServeConfig,
+    body: impl FnOnce(&ServeHandle<'_>) -> R,
+) -> (R, ServeReport) {
+    let max_batch = effective_max_batch(graph, &config);
+    let workers = config.workers.max(1);
+    let collector = Collector::default();
+    let abort = AtomicBool::new(false);
+    let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity.max(1));
+
+    let result = std::thread::scope(|s| {
+        let mut batch_txs = Vec::with_capacity(workers);
+        for device in 0..workers {
+            let (btx, brx) = bounded::<Batch>(config.worker_queue_capacity.max(1));
+            batch_txs.push(btx);
+            let (collector, abort, config) = (&collector, &abort, &config);
+            s.spawn(move || {
+                worker_loop(device, brx, graph, reverse, config, max_batch, collector, abort)
+            });
+        }
+        {
+            let (collector, abort, config) = (&collector, &abort, &config);
+            s.spawn(move || {
+                batcher_loop(req_rx, batch_txs, graph, config, max_batch, collector, abort)
+            });
+        }
+        let handle = ServeHandle {
+            tx: req_tx,
+            num_vertices: graph.num_vertices(),
+            default_deadline: config.default_deadline,
+            abort: &abort,
+            collector: &collector,
+        };
+        body(&handle)
+        // `handle` drops here: the request channel disconnects, the batcher
+        // drains and exits, the worker channels disconnect, the workers
+        // drain and exit, and the scope joins them all.
+    });
+    (result, collector.report())
+}
+
+fn resolve(req: Request, outcome: Result<BfsResponse, ServeError>, collector: &Collector) {
+    let counter = match &outcome {
+        Ok(_) => &collector.counts.completed,
+        Err(ServeError::Timeout) => &collector.counts.timeouts,
+        Err(ServeError::Shutdown) => &collector.counts.shutdown,
+        Err(ServeError::Overloaded) => &collector.counts.overloaded,
+        Err(ServeError::Invalid(_)) => &collector.counts.invalid,
+    };
+    collector.counts.bump(counter);
+    req.reply.send(outcome);
+}
+
+/// Splits `window` into requests still worth running and resolves the
+/// rest: aborted requests with `Shutdown`, expired ones with `Timeout`.
+fn prune(window: Vec<Request>, abort: &AtomicBool, collector: &Collector) -> Vec<Request> {
+    let aborting = abort.load(Ordering::Acquire);
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(window.len());
+    for req in window {
+        if aborting {
+            resolve(req, Err(ServeError::Shutdown), collector);
+        } else if req.deadline.is_some_and(|d| now >= d) {
+            resolve(req, Err(ServeError::Timeout), collector);
+        } else {
+            live.push(req);
+        }
+    }
+    live
+}
+
+fn batcher_loop(
+    req_rx: Receiver<Request>,
+    batch_txs: Vec<Sender<Batch>>,
+    graph: &Csr,
+    config: &ServeConfig,
+    max_batch: usize,
+    collector: &Collector,
+    abort: &AtomicBool,
+) {
+    let mut router = config.router.build(batch_txs.len());
+    let mut seq = 0u64;
+    // Collect up to one full wave (every worker's batch) per window.
+    let wave_cap = max_batch.saturating_mul(batch_txs.len()).max(1);
+    'serve: loop {
+        // Park until the first request of a wave, waking on the poll tick
+        // so an abort is observed even while clients hold the handle open
+        // without submitting.
+        let first = loop {
+            match req_rx.recv_deadline(Instant::now() + config.poll_tick) {
+                Ok(req) => break req,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
+            }
+        };
+        let mut window = vec![first];
+        let mut disconnected = false;
+        let wave_deadline = Instant::now() + config.batch_window;
+        while window.len() < wave_cap {
+            match req_rx.recv_deadline(wave_deadline) {
+                Ok(req) => window.push(req),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        dispatch_wave(window, graph, config, max_batch, router.as_mut(), &mut seq, &batch_txs, collector, abort);
+        if disconnected {
+            break;
+        }
+    }
+    // Dropping `batch_txs` here disconnects the workers, which drain their
+    // queues and exit.
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_wave(
+    window: Vec<Request>,
+    graph: &Csr,
+    config: &ServeConfig,
+    max_batch: usize,
+    router: &mut dyn BatchRouter,
+    seq: &mut u64,
+    batch_txs: &[Sender<Batch>],
+    collector: &Collector,
+    abort: &AtomicBool,
+) {
+    let live = prune(window, abort, collector);
+    if live.is_empty() {
+        return;
+    }
+    // Plan over distinct sources in arrival order; duplicate requests for
+    // one source ride the same traversal instance.
+    let mut seen = HashSet::new();
+    let mut distinct = Vec::with_capacity(live.len());
+    for req in &live {
+        if seen.insert(req.source) {
+            distinct.push(req.source);
+        }
+    }
+    let plan = coalesce::plan(graph, &distinct, max_batch, config.policy, &config.groupby);
+    let chosen = if plan.groupby_chosen {
+        &collector.groupby_batches
+    } else {
+        &collector.arrival_batches
+    };
+    let mut batch_of = HashMap::with_capacity(distinct.len());
+    let mut batches: Vec<Batch> = plan
+        .batches
+        .into_iter()
+        .map(|sources| {
+            let b = Batch { seq: *seq, sources, requests: Vec::new() };
+            *seq += 1;
+            for &s in &b.sources {
+                batch_of.insert(s, b.seq);
+            }
+            b
+        })
+        .collect();
+    for req in live {
+        let want = batch_of[&req.source];
+        let batch = batches.iter_mut().find(|b| b.seq == want).unwrap();
+        batch.requests.push(req);
+    }
+    for batch in batches {
+        chosen.fetch_add(1, Ordering::Relaxed);
+        let device = router.route(batch_weight(graph, &batch.sources));
+        if let Err(send_err) = batch_txs[device].send(batch) {
+            // Worker gone (only possible under abort/panic): abandon.
+            for req in send_err.0.requests {
+                resolve(req, Err(ServeError::Shutdown), collector);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    device: usize,
+    brx: Receiver<Batch>,
+    graph: &Csr,
+    reverse: &Csr,
+    config: &ServeConfig,
+    max_batch: usize,
+    collector: &Collector,
+    abort: &AtomicBool,
+) {
+    // One batch = one traversal group: the per-worker service groups with
+    // a cap of `max_batch`, which the batcher never exceeds, so every
+    // dispatched batch traverses jointly.
+    let run_cfg = RunConfig {
+        grouping: GroupingStrategy::Random { seed: device as u64, group_size: max_batch },
+        ..config.run.clone()
+    };
+    let mut svc =
+        IbfsService::new(graph, reverse, run_cfg).with_scheduler(config.scheduler.build());
+    while let Ok(batch) = brx.recv() {
+        run_batch(batch, &mut svc, graph, device, max_batch, collector, abort);
+    }
+}
+
+fn run_batch(
+    batch: Batch,
+    svc: &mut IbfsService<'_>,
+    graph: &Csr,
+    device: usize,
+    max_batch: usize,
+    collector: &Collector,
+    abort: &AtomicBool,
+) {
+    let live = prune(batch.requests, abort, collector);
+    if live.is_empty() {
+        return;
+    }
+    // Re-derive distinct sources: pruning may have dropped every request
+    // for some planned source, so traverse only what is still wanted.
+    let mut seen = HashSet::new();
+    let mut sources = Vec::with_capacity(live.len());
+    for req in &live {
+        if seen.insert(req.source) {
+            sources.push(req.source);
+        }
+    }
+    let started = Instant::now();
+    let mut sink = RecorderSink::default();
+    let run = match svc.try_run_traced(&sources, &mut sink) {
+        Ok(run) => run,
+        // Unreachable in practice: admission validated every source.
+        Err(e) => {
+            for req in live {
+                resolve(req, Err(ServeError::Invalid(e)), collector);
+            }
+            return;
+        }
+    };
+    // Map each source to its instance's depth slice via the service's own
+    // grouping (deterministic, so it matches what ran).
+    let grouping = svc.grouping().group(graph, &sources);
+    let mut depths_of: HashMap<VertexId, (usize, usize)> = HashMap::with_capacity(sources.len());
+    for (gi, group) in grouping.groups.iter().enumerate() {
+        for (j, &s) in group.iter().enumerate() {
+            depths_of.insert(s, (gi, j));
+        }
+    }
+    let mean_wait = live
+        .iter()
+        .map(|r| started.saturating_duration_since(r.submitted).as_secs_f64())
+        .sum::<f64>()
+        / live.len() as f64;
+    collector.push_batch(BatchMetrics {
+        batch: batch.seq,
+        device: device as u64,
+        requests: live.len() as u64,
+        occupancy: batch_occupancy(sources.len(), max_batch),
+        queue_wait_s: mean_wait,
+        sharing_degree: event_sharing_degree(&sink.events),
+        sim_seconds: run.sim_seconds,
+        traversed_edges: run.traversed_edges,
+        teps: teps(run.traversed_edges, run.sim_seconds),
+    });
+    let batch_sources = sources.len();
+    for req in live {
+        let (gi, j) = depths_of[&req.source];
+        let response = BfsResponse {
+            source: req.source,
+            depths: run.groups[gi].instance_depths(j).to_vec(),
+            batch: batch.seq,
+            device,
+            batch_sources,
+            queue_wait: started.saturating_duration_since(req.submitted),
+        };
+        resolve(req, Ok(response), collector);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::generators::{rmat, RmatParams};
+    use ibfs_graph::validate::reference_bfs;
+
+    fn graph() -> Csr {
+        rmat(8, 8, RmatParams::graph500(), 31)
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig { batch_window: Duration::from_micros(50), ..Default::default() }
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let g = graph();
+        let r = g.reverse();
+        let (resp, report) = serve(&g, &r, quick_config(), |h| {
+            h.submit(3).unwrap().wait().unwrap()
+        });
+        assert_eq!(resp.source, 3);
+        assert_eq!(resp.depths, reference_bfs(&g, 3));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.accepted, 1);
+        assert!(report.is_conserved());
+        assert_eq!(report.batches.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_sources_share_one_instance() {
+        let g = graph();
+        let r = g.reverse();
+        let ((a, b), report) = serve(&g, &r, quick_config(), |h| {
+            let ta = h.submit(5).unwrap();
+            let tb = h.submit(5).unwrap();
+            (ta.wait().unwrap(), tb.wait().unwrap())
+        });
+        assert_eq!(a.depths, b.depths);
+        assert_eq!(report.completed, 2);
+        // Both replies may come from the same batch (if coalesced into one
+        // window) or two; either way every batch carries distinct sources.
+        for batch in &report.batches {
+            assert!(batch.requests >= 1);
+        }
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn invalid_source_is_rejected_at_admission() {
+        let g = graph();
+        let r = g.reverse();
+        let n = g.num_vertices();
+        let (err, report) = serve(&g, &r, quick_config(), |h| {
+            h.submit(n as VertexId).unwrap_err()
+        });
+        assert!(matches!(err, ServeError::Invalid(_)));
+        assert_eq!(report.invalid, 1);
+        assert_eq!(report.accepted, 0);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let g = graph();
+        let r = g.reverse();
+        let (outcome, report) = serve(&g, &r, quick_config(), |h| {
+            h.submit_with_deadline(1, Some(Duration::ZERO)).unwrap().wait()
+        });
+        assert_eq!(outcome, Err(ServeError::Timeout));
+        assert_eq!(report.timeouts, 1);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn shutdown_rejects_later_submissions_and_drains() {
+        let g = graph();
+        let r = g.reverse();
+        let (err, report) = serve(&g, &r, quick_config(), |h| {
+            h.shutdown_now();
+            h.submit(0).unwrap_err()
+        });
+        assert_eq!(err, ServeError::Shutdown);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.accepted, 0);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn effective_max_batch_clamps_to_device_bound() {
+        let g = graph();
+        let mut config = ServeConfig { max_batch: usize::MAX, ..Default::default() };
+        let bound = device_group_bound(&g, &config.run.device, 1 << 20) as usize;
+        assert_eq!(effective_max_batch(&g, &config), bound);
+        config.max_batch = 0;
+        assert_eq!(effective_max_batch(&g, &config), 1);
+        config.max_batch = 4;
+        assert_eq!(effective_max_batch(&g, &config), 4.min(bound));
+    }
+
+    #[test]
+    fn many_requests_complete_across_workers() {
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig { workers: 3, max_batch: 8, ..quick_config() };
+        let (sources, report) = serve(&g, &r, config, |h| {
+            let tickets: Vec<_> =
+                (0..40u32).map(|s| (s, h.submit(s).unwrap())).collect();
+            tickets
+                .into_iter()
+                .map(|(s, t)| {
+                    let resp = t.wait().unwrap();
+                    assert_eq!(resp.source, s);
+                    assert_eq!(resp.depths, reference_bfs(&g, s));
+                    s
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(sources.len(), 40);
+        assert_eq!(report.completed, 40);
+        assert!(report.is_conserved());
+        assert!(report.batches.iter().all(|b| b.occupancy <= 1.0));
+        // Batches respected the clamp.
+        let devices: HashSet<u64> = report.batches.iter().map(|b| b.device).collect();
+        assert!(!devices.is_empty());
+    }
+}

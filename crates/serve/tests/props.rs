@@ -1,0 +1,113 @@
+//! Property tests for the coalescing planner (satellite of the serve PR).
+//!
+//! Pinned invariants, for any graph/window/clamp/policy:
+//! * no planned batch ever exceeds the §3 clamp ([`effective_max_batch`]);
+//! * no batch is empty (occupancy never drops below one source);
+//! * the batches partition the window's distinct sources exactly;
+//! * under `BestOf`, the chosen plan's early-level sharing score is never
+//!   below the arrival-order score.
+//!
+//! Seed/cases are overridable via `IBFS_PROP_SEED` / `IBFS_PROP_CASES`.
+
+use ibfs::groupby::GroupByConfig;
+use ibfs_graph::generators::{chung_lu, powerlaw_weights, rmat, uniform_random, RmatParams};
+use ibfs_graph::{Csr, VertexId};
+use ibfs_serve::coalesce::{plan, CoalescePolicy};
+use ibfs_serve::{effective_max_batch, ServeConfig};
+use ibfs_util::prop::Prop;
+use ibfs_util::rng::Rng;
+
+fn graphs() -> Vec<Csr> {
+    vec![
+        rmat(8, 8, RmatParams::graph500(), 7),
+        uniform_random(300, 6, 13),
+        chung_lu(&powerlaw_weights(400, 8.0, 2.1), 23),
+    ]
+}
+
+/// Distinct sources sampled without replacement, in random order.
+fn sample_window(rng: &mut Rng, n: usize, k: usize) -> Vec<VertexId> {
+    let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(n) {
+        let i = rng.gen_range(0..pool.len());
+        out.push(pool.swap_remove(i));
+    }
+    out
+}
+
+fn policies() -> [CoalescePolicy; 3] {
+    [CoalescePolicy::Arrival, CoalescePolicy::GroupBy, CoalescePolicy::BestOf]
+}
+
+#[test]
+fn planned_batches_never_exceed_the_clamp_and_never_go_empty() {
+    let graphs = graphs();
+    Prop::new("serve::clamp_and_occupancy").cases(60).run(|rng| {
+        let g = &graphs[rng.gen_range(0..graphs.len())];
+        let n = g.num_vertices();
+        let k = rng.gen_range(1..=96usize);
+        let window = sample_window(rng, n, k);
+        // Drive the clamp through the server's own knob: a random requested
+        // max_batch, clamped by the §3 bound exactly as `serve` does it.
+        let config = ServeConfig {
+            max_batch: rng.gen_range(1..=256usize),
+            ..Default::default()
+        };
+        let clamp = effective_max_batch(g, &config);
+        assert!(clamp >= 1);
+        assert!(clamp <= config.max_batch.max(1));
+        let policy = policies()[rng.gen_range(0..3usize)];
+        let q = rng.gen_range(4..64u32);
+        let p = plan(g, &window, clamp, policy, &GroupByConfig::default().with_q(q as usize));
+        for batch in &p.batches {
+            assert!(!batch.is_empty(), "{policy:?} planned an empty batch");
+            assert!(
+                batch.len() <= clamp,
+                "{policy:?} batch of {} exceeds clamp {clamp}",
+                batch.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn planned_batches_partition_the_window() {
+    let graphs = graphs();
+    Prop::new("serve::partition").cases(60).run(|rng| {
+        let g = &graphs[rng.gen_range(0..graphs.len())];
+        let n = g.num_vertices();
+        let k = rng.gen_range(1..=80usize);
+        let window = sample_window(rng, n, k);
+        let clamp = rng.gen_range(1..=48usize);
+        let policy = policies()[rng.gen_range(0..3usize)];
+        let p = plan(g, &window, clamp, policy, &GroupByConfig::default());
+        let mut planned: Vec<VertexId> = p.batches.iter().flatten().copied().collect();
+        planned.sort_unstable();
+        let mut want = window.clone();
+        want.sort_unstable();
+        assert_eq!(planned, want, "{policy:?} lost or duplicated sources");
+        assert_eq!(p.total_sources(), window.len());
+    });
+}
+
+#[test]
+fn best_of_never_scores_below_arrival_order() {
+    let graphs = graphs();
+    Prop::new("serve::best_of_dominates_arrival").cases(40).run(|rng| {
+        let g = &graphs[rng.gen_range(0..graphs.len())];
+        let n = g.num_vertices();
+        let k = rng.gen_range(2..=64usize);
+        let window = sample_window(rng, n, k);
+        let clamp = rng.gen_range(2..=32usize);
+        let cfg = GroupByConfig::default().with_q(rng.gen_range(4..64u32) as usize);
+        let p = plan(g, &window, clamp, CoalescePolicy::BestOf, &cfg);
+        assert!(
+            p.score >= p.arrival_score,
+            "BestOf chose a worse plan: {} < {} (groupby_chosen={})",
+            p.score,
+            p.arrival_score,
+            p.groupby_chosen
+        );
+    });
+}

@@ -155,6 +155,48 @@ fn enums_round_trip_every_variant() {
 }
 
 #[test]
+fn serve_metrics_round_trip() {
+    use ibfs_repro::ibfs::metrics::BatchMetrics;
+    use ibfs_repro::serve::ServeStats;
+
+    let b = BatchMetrics {
+        batch: 7,
+        device: 1,
+        requests: 12,
+        occupancy: 0.75,
+        queue_wait_s: 0.002,
+        sharing_degree: 3.5,
+        sim_seconds: 0.125,
+        traversed_edges: 1 << 30,
+        teps: 8.0e9,
+    };
+    assert_eq!(round_trip_text(&b), b);
+
+    let s = ServeStats::of(&[b, BatchMetrics { batch: 8, requests: 4, ..b }]);
+    assert_eq!(round_trip_text(&s), s);
+    assert_eq!(round_trip_text(&ServeStats::default()), ServeStats::default());
+}
+
+#[test]
+fn loadgen_summary_round_trips() {
+    use ibfs_bench::loadgen::LoadGenSummary;
+    let s = LoadGenSummary {
+        issued: 256,
+        completed: 250,
+        timeouts: 4,
+        overloaded: 2,
+        latency_s: MeanStd { mean: 0.004, stddev: 0.001 },
+        wall_seconds: 1.5,
+        throughput_rps: 166.7,
+        num_batches: 32,
+        occupancy: 0.9,
+        sharing_degree: 4.2,
+        sim_teps: 1.0e10,
+    };
+    assert_eq!(round_trip_text(&s), s);
+}
+
+#[test]
 fn direction_policy_round_trips_including_infinity() {
     let beamer = DirectionPolicy::beamer();
     let back = round_trip_text(&beamer);

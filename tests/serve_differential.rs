@@ -1,0 +1,131 @@
+//! Differential pinning of the serve path against the one-shot runner.
+//!
+//! A seeded stream of single-source requests is pushed through the
+//! batching front-end from several client threads; every depth array that
+//! comes back must be **bit-identical** to a one-shot
+//! [`ibfs::runner::run_ibfs`] of the same source on the same graph — the
+//! batcher, the GroupBy coalescing, the router, and the resident services
+//! may change *when* and *with whom* a source is traversed, but never the
+//! answer. Depth arrays are compared both directly and through the same
+//! FNV-1a hash the golden snapshot suite uses.
+
+use ibfs::runner::{run_ibfs, RunConfig};
+use ibfs_graph::generators::{rmat, RmatParams};
+use ibfs_graph::{Csr, Depth, VertexId};
+use ibfs_serve::{serve, CoalescePolicy, ServeConfig};
+use ibfs_util::rng::Rng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// 64-bit FNV-1a over depth bytes — same machinery as the golden
+/// snapshot suite.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The golden graph from `tests/golden_snapshot.rs`.
+fn golden_graph() -> Csr {
+    rmat(9, 16, RmatParams::graph500(), 42)
+}
+
+fn differential_seed() -> u64 {
+    std::env::var("IBFS_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// One-shot ground truth: `run_ibfs` with a single source is one group
+/// with one instance.
+fn one_shot_depths(g: &Csr, r: &Csr, source: VertexId) -> Vec<Depth> {
+    let run = run_ibfs(g, r, &[source], &RunConfig::default());
+    assert_eq!(run.num_instances(), 1);
+    run.groups[0].instance_depths(0).to_vec()
+}
+
+fn check_stream(policy: CoalescePolicy, clients: usize, per_client: usize) {
+    let g = golden_graph();
+    let r = g.reverse();
+    let n = g.num_vertices() as u32;
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        batch_window: Duration::from_micros(200),
+        policy,
+        ..Default::default()
+    };
+
+    // The seeded request stream, fixed up front so the expectation set is
+    // independent of scheduling.
+    let streams: Vec<Vec<VertexId>> = (0..clients)
+        .map(|c| {
+            let mut rng = Rng::seed_from_u64(differential_seed() ^ (c as u64 + 1));
+            (0..per_client).map(|_| rng.gen_range(0..n)).collect()
+        })
+        .collect();
+
+    // Ground truth for every distinct source via the one-shot runner.
+    let mut want: HashMap<VertexId, Vec<Depth>> = HashMap::new();
+    for &s in streams.iter().flatten() {
+        want.entry(s).or_insert_with(|| one_shot_depths(&g, &r, s));
+    }
+
+    let (served, report) = serve(&g, &r, config, |h| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    s.spawn(move || {
+                        stream
+                            .iter()
+                            .map(|&src| {
+                                let resp = h.submit(src).unwrap().wait().unwrap();
+                                assert_eq!(resp.source, src);
+                                (src, resp.depths)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let total = (clients * per_client) as u64;
+    assert_eq!(served.len() as u64, total);
+    assert_eq!(report.completed, total);
+    assert!(report.is_conserved());
+    for (source, depths) in &served {
+        let expect = &want[source];
+        assert_eq!(depths, expect, "serve diverged from one-shot for source {source}");
+        assert_eq!(
+            fnv1a(depths),
+            fnv1a(expect),
+            "depth hash diverged for source {source}"
+        );
+    }
+}
+
+#[test]
+fn serve_matches_one_shot_runner_arrival_order() {
+    // 4 × 30 = 120 seeded requests (the issue's floor is 100).
+    check_stream(CoalescePolicy::Arrival, 4, 30);
+}
+
+#[test]
+fn serve_matches_one_shot_runner_groupby() {
+    check_stream(CoalescePolicy::GroupBy, 4, 30);
+}
+
+#[test]
+fn serve_matches_one_shot_runner_best_of() {
+    check_stream(CoalescePolicy::BestOf, 4, 30);
+}
