@@ -15,3 +15,14 @@ IBFS_STRESS_SEED=42 cargo test -q --release -p ibfs-serve --offline
 cargo bench --no-run --workspace --offline
 cargo build --examples --offline
 RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline
+
+# Telemetry gate: a seeded serve-bench run must emit a metrics snapshot
+# that parses, carries the required serve/cluster/core families, and has
+# well-formed (monotone, bounded) histogram quantiles. metrics-check also
+# re-parses every Prometheus exposition value as a float, so a
+# locale-dependent formatter would fail here.
+SNAP="$(mktemp -t ibfs-metrics.XXXXXX.json)"
+trap 'rm -f "$SNAP"' EXIT
+cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
+    --clients 4 --requests 8 --seed 7 --metrics-out "$SNAP"
+cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$SNAP"

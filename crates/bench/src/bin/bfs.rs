@@ -3,26 +3,36 @@
 //! ```text
 //! bfs <GRAPH> [--engine ENGINE] [--sources N | --source-list a,b,c]
 //!             [--group-size N] [--groupby] [--depths] [--trace PATH]
+//! bfs stats <GRAPH> [--engine ENGINE] [--sources N] [--group-size N]
+//!             [--groupby] [--json]
 //! bfs serve-bench <GRAPH> [--clients N] [--requests N] [--workers N]
 //!             [--max-batch N] [--window-us N] [--queue N] [--worker-queue N]
 //!             [--deadline-ms N] [--seed N] [--policy arrival|groupby|bestof]
 //!             [--router rr|lpt] [--scheduler b2b|hyperq] [--engine ENGINE]
-//!             [--json]
+//!             [--json] [--metrics-out PATH] [--metrics-text PATH]
+//!             [--trace PATH]
 //!
 //! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
 //!          name prefixed with `suite:` (e.g. `suite:FB`)
 //! ENGINE   sequential | naive | joint | bitwise (default) | msbfs | spmm
-//! PATH     JSONL destination for the per-level trace (`-` for stdout)
+//! PATH     output destination (`-` for stdout)
+//!
+//! `stats` runs one traversal and prints the metrics registry
+//! (Prometheus text, or a versioned JSON snapshot with `--json`).
+//! `serve-bench --metrics-out` writes the end-of-run JSON snapshot,
+//! `--metrics-text` the Prometheus rendering, and `--trace` the merged
+//! request-span + per-level JSONL stream.
 //! ```
 
 use ibfs::engine::EngineKind;
 use ibfs::groupby::GroupingStrategy;
 use ibfs::runner::RunConfig;
 use ibfs::service::IbfsService;
-use ibfs::trace::JsonlSink;
-use ibfs_bench::loadgen::{run_loadgen, LoadGenConfig};
+use ibfs::trace::{JsonlSink, MetricsSink, NullSink, TraceLog};
+use ibfs_bench::loadgen::{run_loadgen_with, LoadGenConfig};
 use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
-use ibfs_serve::{CoalescePolicy, RouterKind, SchedulerKind};
+use ibfs_obs::Registry;
+use ibfs_serve::{CoalescePolicy, RouterKind, SchedulerKind, ServeTelemetry};
 use ibfs_util::ToJson;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -35,6 +45,10 @@ fn main() -> ExitCode {
     if args[0] == "serve-bench" {
         args.remove(0);
         return serve_bench(args);
+    }
+    if args[0] == "stats" {
+        args.remove(0);
+        return stats(args);
     }
     let graph_arg = args.remove(0);
     let mut engine = EngineKind::Bitwise;
@@ -213,6 +227,9 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     let graph_arg = args.remove(0);
     let mut cfg = LoadGenConfig::default();
     let mut json = false;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_text: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -294,6 +311,24 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
                 }
             }
             "--json" => json = true,
+            "--metrics-out" => {
+                metrics_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--metrics-out needs a path (or `-` for stdout)"),
+                }
+            }
+            "--metrics-text" => {
+                metrics_text = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--metrics-text needs a path (or `-` for stdout)"),
+                }
+            }
+            "--trace" => {
+                trace_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("serve-bench: unknown option {other}")),
         }
     }
@@ -315,7 +350,30 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
         cfg.serve.batch_window,
         cfg.serve.policy,
     );
-    let res = run_loadgen(&graph, &reverse, &cfg);
+    let mut telemetry = ServeTelemetry::with_registry(Registry::shared());
+    let trace_log = trace_out.as_ref().map(|_| TraceLog::new());
+    if let Some(log) = &trace_log {
+        telemetry = telemetry.traced(log.clone());
+    }
+    let res = run_loadgen_with(&graph, &reverse, &cfg, telemetry);
+
+    if let Some(path) = &metrics_out {
+        let body = res.report.snapshot.to_json().to_string_pretty();
+        if let Err(code) = write_output(path, &body, "metrics snapshot") {
+            return code;
+        }
+    }
+    if let Some(path) = &metrics_text {
+        let body = res.report.snapshot.render_prometheus();
+        if let Err(code) = write_output(path, &body, "metrics text") {
+            return code;
+        }
+    }
+    if let (Some(path), Some(log)) = (&trace_out, &trace_log) {
+        if let Err(code) = write_output(path, &log.render_jsonl(), "trace") {
+            return code;
+        }
+    }
 
     if json {
         println!("{}", res.summary.to_json().to_string_pretty());
@@ -352,16 +410,124 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `bfs stats` — run one traversal with the metrics sink attached and
+/// print the registry, as Prometheus text or a versioned JSON snapshot.
+fn stats(args: Vec<String>) -> ExitCode {
+    if args.is_empty() {
+        return usage("stats: missing graph argument");
+    }
+    let mut args = args;
+    let graph_arg = args.remove(0);
+    let mut engine = EngineKind::Bitwise;
+    let mut sources_n = 64usize;
+    let mut group_size = 64usize;
+    let mut groupby = false;
+    let mut json = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("sequential") => EngineKind::Sequential,
+                    Some("naive") => EngineKind::Naive,
+                    Some("joint") => EngineKind::Joint,
+                    Some("bitwise") => EngineKind::Bitwise,
+                    Some("msbfs") => EngineKind::BitwiseMsBfsStyle,
+                    Some("spmm") => EngineKind::Spmm,
+                    other => return usage(&format!("unknown engine {other:?}")),
+                }
+            }
+            "--sources" => {
+                sources_n = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--sources needs a number"),
+                }
+            }
+            "--group-size" => {
+                group_size = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--group-size needs a number"),
+                }
+            }
+            "--groupby" => groupby = true,
+            "--json" => json = true,
+            other => return usage(&format!("stats: unknown option {other}")),
+        }
+    }
+
+    let graph = match load_graph(&graph_arg) {
+        Ok(g) => g,
+        Err(code) => return code,
+    };
+    let reverse = graph.reverse();
+    let sources: Vec<VertexId> =
+        (0..graph.num_vertices().min(sources_n) as VertexId).collect();
+    let grouping = if groupby {
+        GroupingStrategy::OutDegreeRules(
+            ibfs::groupby::GroupByConfig::default().with_group_size(group_size),
+        )
+    } else {
+        GroupingStrategy::Random { seed: 1, group_size }
+    };
+    let mut svc = IbfsService::new(&graph, &reverse, RunConfig {
+        engine,
+        grouping,
+        ..Default::default()
+    });
+    let registry = Registry::new();
+    let mut null = NullSink;
+    let mut sink = MetricsSink::new(&registry, &mut null);
+    let run = svc.run_traced(&sources, &mut sink);
+    eprintln!(
+        "stats: {} vertices, {} edges; {} sources in {} groups; {:.6} s simulated",
+        graph.num_vertices(),
+        graph.num_edges(),
+        sources.len(),
+        run.groups.len(),
+        run.sim_seconds,
+    );
+    let snapshot = registry.snapshot();
+    if json {
+        println!("{}", snapshot.to_json().to_string_pretty());
+    } else {
+        print!("{}", snapshot.render_prometheus());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes `body` to `path`, with `-` meaning stdout. `what` names the
+/// payload in error messages.
+fn write_output(path: &str, body: &str, what: &str) -> Result<(), ExitCode> {
+    if path == "-" {
+        print!("{body}");
+        return Ok(());
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => {
+            eprintln!("wrote {what} to {path}");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("error writing {what} to {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm] \
          [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels] \
          [--trace PATH|-]\n\
+       bfs stats <GRAPH|suite:NAME> [--engine ENGINE] [--sources N] [--group-size N] \
+         [--groupby] [--json]\n\
        bfs serve-bench <GRAPH|suite:NAME> [--clients N] [--requests N] [--workers N] \
          [--max-batch N] [--window-us N] [--queue N] [--worker-queue N] [--deadline-ms N] \
          [--seed N] [--policy arrival|groupby|bestof] [--router rr|lpt] \
-         [--scheduler b2b|hyperq] [--engine ENGINE] [--json]"
+         [--scheduler b2b|hyperq] [--engine ENGINE] [--json] \
+         [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]"
     );
     ExitCode::from(2)
 }

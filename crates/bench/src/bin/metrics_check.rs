@@ -1,0 +1,92 @@
+//! `metrics-check` — CI gate over a metrics snapshot.
+//!
+//! ```text
+//! metrics-check <SNAPSHOT.json> [REQUIRED_NAME ...]
+//! ```
+//!
+//! Parses the versioned JSON snapshot that `bfs serve-bench --metrics-out`
+//! writes and validates it: the required metric names are present (a
+//! trailing `*` matches any name with that prefix, covering labelled
+//! families like `ibfs_cluster_routed_total{device="0"}`), every histogram
+//! is well-formed (monotone p50 ≤ p90 ≤ p99 inside `[min, max]`, count and
+//! sum consistent), and the Prometheus rendering re-parses as plain floats.
+//! With no explicit names it checks the default serve/cluster/core set.
+//! Exits non-zero with a message on the first violation, so `ci.sh` can
+//! gate on telemetry without scraping anything.
+
+use ibfs_obs::Snapshot;
+use ibfs_util::{FromJson, Json};
+use std::process::ExitCode;
+
+/// The default required set: at least one metric from every layer the
+/// serve-bench path is supposed to light up.
+const DEFAULT_REQUIRED: &[&str] = &[
+    "ibfs_serve_accepted_total",
+    "ibfs_serve_completed_total",
+    "ibfs_serve_latency_seconds",
+    "ibfs_serve_queue_wait_seconds",
+    "ibfs_serve_batch_occupancy",
+    "ibfs_cluster_routed_total*",
+    "ibfs_cluster_batch_weight",
+    "ibfs_core_levels_total",
+    "ibfs_core_frontier_size",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, names)) = args.split_first() else {
+        eprintln!("usage: metrics-check <SNAPSHOT.json> [REQUIRED_NAME ...]");
+        return ExitCode::from(2);
+    };
+    let required: Vec<&str> = if names.is_empty() {
+        DEFAULT_REQUIRED.to_vec()
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("metrics-check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match Snapshot::from_json(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("metrics-check: {path} is not a metrics snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(msg) = snapshot.validate(&required) {
+        eprintln!("metrics-check: {path}: {msg}");
+        return ExitCode::FAILURE;
+    }
+    // The text exposition must round-trip as locale-stable floats.
+    for line in snapshot.render_prometheus().lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((_, value)) = line.rsplit_once(' ') else {
+            eprintln!("metrics-check: malformed exposition line: {line}");
+            return ExitCode::FAILURE;
+        };
+        if value.parse::<f64>().is_err() {
+            eprintln!("metrics-check: non-numeric exposition value: {line}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "metrics-check: {path}: {} metrics ok ({} required names)",
+        snapshot.metrics.len(),
+        required.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,7 @@
 
 use ibfs::metrics::{mean_std, MeanStd};
 use ibfs_graph::{Csr, VertexId};
-use ibfs_serve::{serve, ServeConfig, ServeError, ServeReport};
+use ibfs_serve::{serve_with, ServeConfig, ServeError, ServeReport, ServeTelemetry};
 use ibfs_util::json_struct;
 use ibfs_util::rng::Rng;
 use std::time::Instant;
@@ -88,12 +88,26 @@ pub struct LoadGenResult {
     pub report: ServeReport,
 }
 
-/// Drives `cfg.clients` closed-loop clients against a server on `graph`.
+/// Drives `cfg.clients` closed-loop clients against a server on `graph`
+/// with default telemetry (fresh registry, no trace).
 pub fn run_loadgen(graph: &Csr, reverse: &Csr, cfg: &LoadGenConfig) -> LoadGenResult {
+    run_loadgen_with(graph, reverse, cfg, ServeTelemetry::default())
+}
+
+/// [`run_loadgen`] recording into caller-provided telemetry: the registry
+/// snapshot lands in `report.snapshot`; when `telemetry.trace` is set, the
+/// caller's [`TraceLog`](ibfs::trace::TraceLog) receives the merged
+/// span/level stream.
+pub fn run_loadgen_with(
+    graph: &Csr,
+    reverse: &Csr,
+    cfg: &LoadGenConfig,
+    telemetry: ServeTelemetry,
+) -> LoadGenResult {
     let n = graph.num_vertices() as u32;
     let clients = cfg.clients.max(1);
     let started = Instant::now();
-    let (latencies, report) = serve(graph, reverse, cfg.serve.clone(), |h| {
+    let (latencies, report) = serve_with(graph, reverse, cfg.serve.clone(), telemetry, |h| {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..clients)
                 .map(|c| {
@@ -191,6 +205,30 @@ mod tests {
         let b = run_loadgen(&g, &r, &cfg);
         assert_eq!(a.summary.issued, b.summary.issued);
         assert_eq!(a.summary.completed, b.summary.completed);
+    }
+
+    #[test]
+    fn telemetry_run_produces_snapshot_and_trace() {
+        use ibfs::trace::{TraceLog, TraceRecord};
+        use ibfs_obs::Registry;
+        use ibfs_serve::ServeTelemetry;
+        let g = rmat(7, 8, RmatParams::graph500(), 5);
+        let r = g.reverse();
+        let cfg = LoadGenConfig { clients: 2, requests_per_client: 6, ..Default::default() };
+        let log = TraceLog::new();
+        let telemetry =
+            ServeTelemetry::with_registry(Registry::shared()).traced(log.clone());
+        let res = run_loadgen_with(&g, &r, &cfg, telemetry);
+        assert_eq!(res.summary.completed, 12);
+        // The report snapshot covers all three layers.
+        let snap = &res.report.snapshot;
+        assert_eq!(snap.counter("ibfs_serve_completed_total"), Some(12));
+        assert!(snap.counter("ibfs_core_levels_total").unwrap_or(0) > 0);
+        assert!(snap.with_prefix("ibfs_cluster_routed_total").count() > 0);
+        // The trace carries both record kinds.
+        let records = log.records();
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::Span(_))));
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::Level(_))));
     }
 
     #[test]

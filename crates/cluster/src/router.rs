@@ -107,6 +107,57 @@ impl BatchRouter for LeastLoaded {
     }
 }
 
+/// Decorator recording every routing decision into a metrics registry:
+/// `ibfs_cluster_routed_total{device="D"}` (batches placed on device D),
+/// `ibfs_cluster_device_load{device="D"}` (accumulated estimated weight),
+/// and the `ibfs_cluster_batch_weight` histogram. Routing behaviour is
+/// untouched — the decorated policy stays deterministic.
+pub struct InstrumentedRouter {
+    inner: Box<dyn BatchRouter>,
+    routed: Vec<std::sync::Arc<ibfs_obs::Counter>>,
+    load: Vec<std::sync::Arc<ibfs_obs::Gauge>>,
+    weight_hist: std::sync::Arc<ibfs_obs::Histogram>,
+}
+
+impl InstrumentedRouter {
+    /// Wraps `inner`, registering per-device instruments in `registry`.
+    pub fn new(inner: Box<dyn BatchRouter>, registry: &ibfs_obs::Registry) -> Self {
+        let per_device = |name: &str, device: usize| {
+            ibfs_obs::labeled(name, &[("device", &device.to_string())])
+        };
+        let routed = (0..inner.devices())
+            .map(|d| registry.counter(&per_device("ibfs_cluster_routed_total", d)))
+            .collect();
+        let load = (0..inner.devices())
+            .map(|d| registry.gauge(&per_device("ibfs_cluster_device_load", d)))
+            .collect();
+        InstrumentedRouter {
+            routed,
+            load,
+            weight_hist: registry.histogram("ibfs_cluster_batch_weight"),
+            inner,
+        }
+    }
+}
+
+impl BatchRouter for InstrumentedRouter {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn devices(&self) -> usize {
+        self.inner.devices()
+    }
+
+    fn route(&mut self, weight: u64) -> usize {
+        let device = self.inner.route(weight);
+        self.routed[device].inc();
+        self.load[device].add(weight as f64);
+        self.weight_hist.record(weight as f64);
+        device
+    }
+}
+
 /// Routes a whole weight sequence, returning the per-batch assignment —
 /// the offline view of an online router, used by tests and by callers that
 /// already know every batch.
@@ -171,5 +222,42 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn rejects_zero_devices() {
         LeastLoaded::new(0);
+    }
+
+    #[test]
+    fn instrumented_router_is_transparent_and_records() {
+        let registry = ibfs_obs::Registry::new();
+        let weights = vec![90, 70, 55, 40, 40, 30, 20, 10, 5];
+        let plain = route_all(&mut LeastLoaded::new(3), &weights);
+        let mut wrapped =
+            InstrumentedRouter::new(Box::new(LeastLoaded::new(3)), &registry);
+        assert_eq!(wrapped.name(), "least-loaded");
+        assert_eq!(wrapped.devices(), 3);
+        let instrumented = route_all(&mut wrapped, &weights);
+        assert_eq!(instrumented, plain, "instrumentation changed routing");
+
+        let snap = registry.snapshot();
+        let routed: u64 = (0..3)
+            .filter_map(|d| {
+                snap.counter(&ibfs_obs::labeled(
+                    "ibfs_cluster_routed_total",
+                    &[("device", &d.to_string())],
+                ))
+            })
+            .sum();
+        assert_eq!(routed, weights.len() as u64);
+        let loads = bin_loads(&weights, &plain, 3);
+        for (d, &want) in loads.iter().enumerate() {
+            let got = snap
+                .gauge(&ibfs_obs::labeled(
+                    "ibfs_cluster_device_load",
+                    &[("device", &d.to_string())],
+                ))
+                .unwrap();
+            assert_eq!(got, want as f64);
+        }
+        let hist = snap.histogram("ibfs_cluster_batch_weight").unwrap();
+        assert_eq!(hist.count, weights.len() as u64);
+        assert_eq!(hist.max, 90.0);
     }
 }

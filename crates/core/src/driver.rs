@@ -72,6 +72,7 @@ impl LevelDriver<'_> {
             let delta = self.prof.snapshot().delta(&counters_before);
             self.sink.record(&TraversalEvent {
                 group: 0,
+                batch: 0,
                 level,
                 direction: stats.direction,
                 unique_frontiers: stats.unique_frontiers,

@@ -255,6 +255,7 @@ mod tests {
         use crate::trace::TraversalEvent;
         let event = |unique, inst| TraversalEvent {
             group: 0,
+            batch: 0,
             level: 1,
             direction: Direction::TopDown,
             unique_frontiers: unique,

@@ -2,22 +2,36 @@
 //!
 //! The [`crate::driver::LevelDriver`] emits one [`TraversalEvent`] per BFS
 //! level it executes: the level's direction, frontier counts, counter deltas
-//! and simulated time. Consumers plug in a [`TraceSink`]:
+//! and simulated time. The serve layer interleaves [`SpanEvent`]s (request
+//! lifecycle stages) into the same stream, correlated through the event's
+//! `batch` field. Consumers plug in a [`TraceSink`]:
 //!
 //! * [`NullSink`] — discard (the default; tracing costs nothing when off).
 //! * [`RecorderSink`] — collect in memory (figure modules, tests).
 //! * [`JsonlSink`] — one JSON object per line via `ibfs_util::json`
-//!   (`bfs --trace`).
+//!   (`bfs --trace`). Both event kinds carry `schema_version`
+//!   ([`TRACE_SCHEMA_VERSION`]) and a `kind` tag (`"level"` / `"span"`).
 //! * [`GroupStamp`] — adapter that stamps the group index before forwarding
 //!   (used by the service layer, which runs many groups per request).
+//! * [`BatchStamp`] — adapter that stamps the serve batch sequence number,
+//!   linking per-level events to the span stream.
+//! * [`MetricsSink`] — adapter that records per-level counters and
+//!   histograms into an [`ibfs_obs::Registry`] before forwarding.
+//! * [`TraceLog`] + [`TraceLogSink`] — a shared, thread-safe event log the
+//!   serve stack uses to merge spans and levels from many threads into one
+//!   ordered stream.
 //!
 //! Sinks observe the traversal; they never influence it. The engines charge
 //! the profiler identically whether a sink is attached or not, which is what
 //! keeps traced and untraced runs bit-identical.
 
 use crate::direction::Direction;
-use ibfs_util::json_struct;
-use ibfs_util::json::ToJson;
+use ibfs_obs::span::SpanEvent;
+use ibfs_obs::Registry;
+use ibfs_util::json::{field, FromJson, Json, JsonError, ToJson};
+use std::sync::{Arc, Mutex};
+
+pub use ibfs_obs::span::TRACE_SCHEMA_VERSION;
 
 /// One BFS level as observed by the level driver.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,6 +39,9 @@ pub struct TraversalEvent {
     /// Group index within the request (stamped by [`GroupStamp`]; 0 when the
     /// traversal runs outside the service layer).
     pub group: u64,
+    /// Serve batch sequence number (stamped by [`BatchStamp`]; batch numbers
+    /// are 1-based, so 0 means the traversal ran outside the serve stack).
+    pub batch: u64,
     /// Level number (depth assigned at this level).
     pub level: u32,
     /// Direction executed.
@@ -47,24 +64,97 @@ pub struct TraversalEvent {
     pub sim_seconds: f64,
 }
 
-json_struct!(TraversalEvent {
-    group,
-    level,
-    direction,
-    unique_frontiers,
-    instance_frontiers,
-    edges_inspected,
-    early_terminations,
-    load_transactions,
-    store_transactions,
-    atomic_transactions,
-    sim_seconds,
-});
+// The JSON codec is hand-written (not `json_struct!`) because the schema is
+// versioned: every encoded line carries `schema_version` and a `kind` tag,
+// and the decoder accepts v1 lines (no version, no `batch`) for old traces.
+impl ToJson for TraversalEvent {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::UInt(TRACE_SCHEMA_VERSION)),
+            ("kind".to_string(), Json::Str("level".to_string())),
+            ("group".to_string(), Json::UInt(self.group)),
+            ("batch".to_string(), Json::UInt(self.batch)),
+            ("level".to_string(), self.level.to_json()),
+            ("direction".to_string(), self.direction.to_json()),
+            ("unique_frontiers".to_string(), Json::UInt(self.unique_frontiers)),
+            ("instance_frontiers".to_string(), Json::UInt(self.instance_frontiers)),
+            ("edges_inspected".to_string(), Json::UInt(self.edges_inspected)),
+            ("early_terminations".to_string(), Json::UInt(self.early_terminations)),
+            ("load_transactions".to_string(), Json::UInt(self.load_transactions)),
+            ("store_transactions".to_string(), Json::UInt(self.store_transactions)),
+            ("atomic_transactions".to_string(), Json::UInt(self.atomic_transactions)),
+            ("sim_seconds".to_string(), self.sim_seconds.to_json()),
+        ])
+    }
+}
 
-/// Receiver of [`TraversalEvent`]s.
+impl FromJson for TraversalEvent {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let version = field::<u64>(j, "schema_version").unwrap_or(1);
+        if version > TRACE_SCHEMA_VERSION {
+            return Err(JsonError {
+                msg: format!(
+                    "trace version {version} is newer than supported {TRACE_SCHEMA_VERSION}"
+                ),
+                at: 0,
+            });
+        }
+        Ok(TraversalEvent {
+            group: field(j, "group")?,
+            batch: field(j, "batch").unwrap_or(0),
+            level: field(j, "level")?,
+            direction: field(j, "direction")?,
+            unique_frontiers: field(j, "unique_frontiers")?,
+            instance_frontiers: field(j, "instance_frontiers")?,
+            edges_inspected: field(j, "edges_inspected")?,
+            early_terminations: field(j, "early_terminations")?,
+            load_transactions: field(j, "load_transactions")?,
+            store_transactions: field(j, "store_transactions")?,
+            atomic_transactions: field(j, "atomic_transactions")?,
+            sim_seconds: field(j, "sim_seconds")?,
+        })
+    }
+}
+
+/// Either kind of trace line, tagged as the JSONL stream tags them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// A per-level traversal event.
+    Level(TraversalEvent),
+    /// A request lifecycle event.
+    Span(SpanEvent),
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceRecord::Level(e) => e.to_json(),
+            TraceRecord::Span(e) => e.to_json(),
+        }
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.get("kind").and_then(Json::as_str) {
+            Some("span") => Ok(TraceRecord::Span(SpanEvent::from_json(j)?)),
+            // v1 lines carry no `kind`; everything untagged is a level event.
+            Some("level") | None => Ok(TraceRecord::Level(TraversalEvent::from_json(j)?)),
+            Some(other) => {
+                Err(JsonError { msg: format!("unknown trace record kind `{other}`"), at: 0 })
+            }
+        }
+    }
+}
+
+/// Receiver of trace events.
 pub trait TraceSink {
     /// Observes one level.
     fn record(&mut self, event: &TraversalEvent);
+
+    /// Observes one request lifecycle stage. Default: ignored, so per-level
+    /// sinks (and all pre-span implementations) need no changes.
+    fn span(&mut self, _event: &SpanEvent) {}
 }
 
 /// Discards every event.
@@ -78,13 +168,19 @@ impl TraceSink for NullSink {
 /// Collects events in memory.
 #[derive(Clone, Debug, Default)]
 pub struct RecorderSink {
-    /// Recorded events, in emission order.
+    /// Recorded level events, in emission order.
     pub events: Vec<TraversalEvent>,
+    /// Recorded span events, in emission order.
+    pub spans: Vec<SpanEvent>,
 }
 
 impl TraceSink for RecorderSink {
     fn record(&mut self, event: &TraversalEvent) {
         self.events.push(*event);
+    }
+
+    fn span(&mut self, event: &SpanEvent) {
+        self.spans.push(event.clone());
     }
 }
 
@@ -112,6 +208,10 @@ impl<W: std::io::Write> TraceSink for JsonlSink<W> {
         // traversal itself.
         let _ = writeln!(self.writer, "{}", event.to_json().to_string());
     }
+
+    fn span(&mut self, event: &SpanEvent) {
+        let _ = writeln!(self.writer, "{}", event.to_json().to_string());
+    }
 }
 
 /// Adapter stamping a group index onto every forwarded event.
@@ -128,16 +228,158 @@ impl TraceSink for GroupStamp<'_> {
         stamped.group = self.group;
         self.inner.record(&stamped);
     }
+
+    fn span(&mut self, event: &SpanEvent) {
+        self.inner.span(event);
+    }
+}
+
+/// Adapter stamping a serve batch sequence number onto every forwarded
+/// level event, correlating it with the span stream.
+pub struct BatchStamp<'a> {
+    /// Batch sequence number to stamp (1-based).
+    pub batch: u64,
+    /// Downstream sink.
+    pub inner: &'a mut dyn TraceSink,
+}
+
+impl TraceSink for BatchStamp<'_> {
+    fn record(&mut self, event: &TraversalEvent) {
+        let mut stamped = *event;
+        stamped.batch = self.batch;
+        self.inner.record(&stamped);
+    }
+
+    fn span(&mut self, event: &SpanEvent) {
+        self.inner.span(event);
+    }
+}
+
+/// Adapter recording per-level counters and histograms into a metrics
+/// registry before forwarding. Counter names follow the workspace
+/// convention: `ibfs_core_levels_total`, `ibfs_core_edges_inspected_total`,
+/// `ibfs_core_early_terminations_total`, and the histograms
+/// `ibfs_core_frontier_size` / `ibfs_core_level_sim_seconds`.
+pub struct MetricsSink<'a> {
+    levels: Arc<ibfs_obs::Counter>,
+    edges: Arc<ibfs_obs::Counter>,
+    early: Arc<ibfs_obs::Counter>,
+    frontier: Arc<ibfs_obs::Histogram>,
+    sim_seconds: Arc<ibfs_obs::Histogram>,
+    /// Downstream sink.
+    pub inner: &'a mut dyn TraceSink,
+}
+
+impl<'a> MetricsSink<'a> {
+    /// A sink recording into `registry` and forwarding to `inner`.
+    pub fn new(registry: &Registry, inner: &'a mut dyn TraceSink) -> Self {
+        MetricsSink {
+            levels: registry.counter("ibfs_core_levels_total"),
+            edges: registry.counter("ibfs_core_edges_inspected_total"),
+            early: registry.counter("ibfs_core_early_terminations_total"),
+            frontier: registry.histogram("ibfs_core_frontier_size"),
+            sim_seconds: registry.histogram("ibfs_core_level_sim_seconds"),
+            inner,
+        }
+    }
+}
+
+impl TraceSink for MetricsSink<'_> {
+    fn record(&mut self, event: &TraversalEvent) {
+        self.levels.inc();
+        self.edges.add(event.edges_inspected);
+        self.early.add(event.early_terminations);
+        self.frontier.record(event.unique_frontiers as f64);
+        self.sim_seconds.record(event.sim_seconds);
+        self.inner.record(event);
+    }
+
+    fn span(&mut self, event: &SpanEvent) {
+        self.inner.span(event);
+    }
+}
+
+/// A shared, thread-safe trace log. The serve stack hands a clone to every
+/// layer that emits (admission spans from the serve thread, level events
+/// from the device workers); the merged stream comes back out in arrival
+/// order via [`TraceLog::drain`] or [`TraceLog::render_jsonl`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&self, record: TraceRecord) {
+        self.records.lock().unwrap().push(record);
+    }
+
+    /// Number of records logged so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the records logged so far, in arrival order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Removes and returns everything logged so far.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+
+    /// A [`TraceSink`] that appends to this log.
+    pub fn sink(&self) -> TraceLogSink {
+        TraceLogSink { log: self.clone() }
+    }
+
+    /// The whole log as JSONL text (one object per line, `kind`-tagged).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records.lock().unwrap().iter() {
+            out.push_str(&r.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// [`TraceSink`] writing into a [`TraceLog`].
+#[derive(Clone, Debug)]
+pub struct TraceLogSink {
+    log: TraceLog,
+}
+
+impl TraceSink for TraceLogSink {
+    fn record(&mut self, event: &TraversalEvent) {
+        self.log.push(TraceRecord::Level(*event));
+    }
+
+    fn span(&mut self, event: &SpanEvent) {
+        self.log.push(TraceRecord::Span(event.clone()));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibfs_util::json::{FromJson, Json};
+    use ibfs_obs::span::SpanStage;
 
     fn event(level: u32) -> TraversalEvent {
         TraversalEvent {
             group: 0,
+            batch: 0,
             level,
             direction: Direction::TopDown,
             unique_frontiers: 3,
@@ -151,13 +393,20 @@ mod tests {
         }
     }
 
+    fn span(request: u64) -> SpanEvent {
+        SpanEvent::admission(request, SpanStage::Admitted, 9, 0.25)
+    }
+
     #[test]
     fn recorder_collects_in_order() {
         let mut sink = RecorderSink::default();
         sink.record(&event(1));
+        sink.span(&span(7));
         sink.record(&event(2));
         assert_eq!(sink.events.len(), 2);
         assert_eq!(sink.events[1].level, 2);
+        assert_eq!(sink.spans.len(), 1);
+        assert_eq!(sink.spans[0].request, 7);
     }
 
     #[test]
@@ -165,8 +414,38 @@ mod tests {
         let mut rec = RecorderSink::default();
         let mut stamp = GroupStamp { group: 5, inner: &mut rec };
         stamp.record(&event(1));
+        stamp.span(&span(3));
         assert_eq!(rec.events[0].group, 5);
         assert_eq!(rec.events[0].level, 1);
+        // Spans pass through unchanged.
+        assert_eq!(rec.spans[0].request, 3);
+    }
+
+    #[test]
+    fn group_stamp_restamps_prestamped_events() {
+        // The service layer nests stamps; the innermost wins because each
+        // stamp overwrites before forwarding.
+        let mut rec = RecorderSink::default();
+        {
+            let mut outer = GroupStamp { group: 1, inner: &mut rec };
+            let mut inner = GroupStamp { group: 2, inner: &mut outer };
+            let mut pre = event(1);
+            pre.group = 9;
+            inner.record(&pre);
+        }
+        assert_eq!(rec.events[0].group, 1, "outermost stamp is authoritative");
+    }
+
+    #[test]
+    fn batch_stamp_sets_batch_and_keeps_group() {
+        let mut rec = RecorderSink::default();
+        {
+            let mut batch = BatchStamp { batch: 42, inner: &mut rec };
+            let mut group = GroupStamp { group: 3, inner: &mut batch };
+            group.record(&event(1));
+        }
+        assert_eq!(rec.events[0].batch, 42);
+        assert_eq!(rec.events[0].group, 3);
     }
 
     #[test]
@@ -179,5 +458,95 @@ mod tests {
         let parsed = Json::parse(line.trim()).unwrap();
         let back = TraversalEvent::from_json(&parsed).unwrap();
         assert_eq!(back, event(3));
+    }
+
+    #[test]
+    fn jsonl_frames_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&event(1));
+        sink.span(&span(4));
+        sink.record(&event(2));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Every line is a self-contained, kind-tagged JSON object.
+        let kinds: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                let j = Json::parse(l).unwrap();
+                j.get("kind").and_then(Json::as_str).unwrap().to_string()
+            })
+            .collect();
+        assert_eq!(kinds, ["level", "span", "level"]);
+    }
+
+    #[test]
+    fn level_events_carry_schema_version() {
+        let j = event(1).to_json();
+        assert_eq!(j.get("schema_version"), Some(&Json::UInt(TRACE_SCHEMA_VERSION)));
+    }
+
+    #[test]
+    fn v1_lines_without_version_or_batch_still_decode() {
+        let mut j = event(5).to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "schema_version" && k != "kind" && k != "batch");
+        }
+        let back = TraversalEvent::from_json(&j).unwrap();
+        assert_eq!(back, event(5));
+    }
+
+    #[test]
+    fn trace_record_decodes_by_kind_tag() {
+        let level = TraceRecord::Level(event(2));
+        let span = TraceRecord::Span(span(8));
+        for r in [&level, &span] {
+            let j = Json::parse(&r.to_json().to_string()).unwrap();
+            assert_eq!(&TraceRecord::from_json(&j).unwrap(), r);
+        }
+        let bad = Json::parse("{\"kind\":\"mystery\"}").unwrap();
+        assert!(TraceRecord::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn metrics_sink_records_and_forwards() {
+        let registry = Registry::new();
+        let mut rec = RecorderSink::default();
+        {
+            let mut metrics = MetricsSink::new(&registry, &mut rec);
+            metrics.record(&event(1));
+            metrics.record(&event(2));
+        }
+        assert_eq!(rec.events.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ibfs_core_levels_total"), Some(2));
+        assert_eq!(snap.counter("ibfs_core_edges_inspected_total"), Some(42));
+        assert_eq!(snap.counter("ibfs_core_early_terminations_total"), Some(2));
+        assert_eq!(snap.histogram("ibfs_core_level_sim_seconds").unwrap().count, 2);
+    }
+
+    #[test]
+    fn trace_log_merges_across_threads() {
+        let log = TraceLog::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let mut sink = log.sink();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        sink.record(&event(i));
+                        sink.span(&span(t * 100 + i as u64));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 80);
+        let jsonl = log.render_jsonl();
+        assert_eq!(jsonl.lines().count(), 80);
+        for line in jsonl.lines() {
+            TraceRecord::from_json(&Json::parse(line).unwrap()).unwrap();
+        }
+        let drained = log.drain();
+        assert_eq!(drained.len(), 80);
+        assert!(log.is_empty());
     }
 }

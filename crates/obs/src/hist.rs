@@ -1,0 +1,361 @@
+//! Log-linear latency/value histograms with a lock-free hot path.
+//!
+//! The value axis is covered by power-of-two octaves `[2^e, 2^(e+1))`, each
+//! split into [`SUB_BUCKETS`] equal-width linear sub-buckets (the classic
+//! HdrHistogram shape): relative resolution is bounded by `1/SUB_BUCKETS`
+//! everywhere, while 64 octaves span from sub-nanosecond latencies to
+//! billions of edges with a fixed, allocation-free bucket array.
+//!
+//! Recording is wait-free in the common case: one atomic add on a bucket,
+//! one on the count, a CAS loop each for the running sum and the exact
+//! min/max. Histograms merge by bucket addition, so per-thread instances
+//! can be combined in any order with an identical result (the property
+//! suite pins this: quantiles are merge-order invariant and always fall
+//! within `[min, max]`).
+
+use ibfs_util::json_struct;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 8;
+/// Smallest distinguishable exponent: values at or below `2^MIN_EXP` land
+/// in the underflow bucket (this covers zero and negatives too).
+pub const MIN_EXP: i32 = -30;
+/// One past the largest octave: values at or above `2^MAX_EXP` land in the
+/// overflow bucket.
+pub const MAX_EXP: i32 = 34;
+
+const OCTAVES: usize = (MAX_EXP - MIN_EXP) as usize;
+/// Underflow + log-linear grid + overflow.
+const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS + 2;
+
+fn bucket_index(v: f64) -> usize {
+    let floor = (MIN_EXP as f64).exp2();
+    if !(v > floor) {
+        // Zero, negatives, NaN, and anything below the grid floor.
+        return 0;
+    }
+    if v >= (MAX_EXP as f64).exp2() {
+        return NUM_BUCKETS - 1;
+    }
+    let e = (v.log2().floor() as i32).clamp(MIN_EXP, MAX_EXP - 1);
+    let lo = (e as f64).exp2();
+    let width = lo / SUB_BUCKETS as f64;
+    let sub = (((v - lo) / width) as usize).min(SUB_BUCKETS - 1);
+    1 + (e - MIN_EXP) as usize * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound reported for bucket `i` (the quantile estimate).
+fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        return (MIN_EXP as f64).exp2();
+    }
+    if i == NUM_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let j = i - 1;
+    let e = MIN_EXP + (j / SUB_BUCKETS) as i32;
+    let lo = (e as f64).exp2();
+    lo + (j % SUB_BUCKETS + 1) as f64 * lo / SUB_BUCKETS as f64
+}
+
+/// A mergeable log-linear histogram. Shareable across threads by reference;
+/// every operation is atomic.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Bit pattern of the running f64 sum (CAS-updated).
+    sum_bits: AtomicU64,
+    /// Bit pattern of the exact minimum (starts at +inf).
+    min_bits: AtomicU64,
+    /// Bit pattern of the exact maximum (starts at -inf).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, min={}, max={})", s.count, s.min, s.max)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one value. NaN is ignored; negatives count into the
+    /// underflow bucket but still update the exact min.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fold_bits(&self.sum_bits, |s| s + v);
+        fold_bits(&self.min_bits, |m| m.min(v));
+        fold_bits(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every recorded value of `other` into `self` (bucket-wise, so the
+    /// result is independent of merge order up to f64 summation of `sum`).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        let other_sum = f64::from_bits(other.sum_bits.load(Ordering::Relaxed));
+        fold_bits(&self.sum_bits, |s| s + other_sum);
+        let other_min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        fold_bits(&self.min_bits, |m| m.min(other_min));
+        let other_max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        fold_bits(&self.max_bits, |m| m.max(other_max));
+    }
+
+    /// Point-in-time summary with quantile estimates. An empty histogram
+    /// follows the workspace's zero conventions: every field is 0.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let q = |q: f64| quantile(&counts, count, q, min, max);
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min,
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// CAS-folds an f64 stored as bits.
+fn fold_bits(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        if next == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// The value at rank `ceil(q * count)`: the upper bound of the bucket the
+/// rank falls in, clamped into the exact `[min, max]` envelope (which also
+/// gives the under/overflow buckets a finite report).
+fn quantile(counts: &[u64], count: u64, q: f64, min: f64, max: f64) -> f64 {
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return bucket_upper(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// Frozen summary of a [`Histogram`], the form that snapshots, JSON, and
+/// the Prometheus rendering carry.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Exact minimum recorded value.
+    pub min: f64,
+    /// Exact maximum recorded value.
+    pub max: f64,
+    /// Estimated 50th percentile (within one sub-bucket of exact).
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+json_struct!(HistogramSnapshot { count, sum, min, max, p50, p90, p99 });
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty, by the zero conventions).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The invariants every well-formed summary satisfies: quantiles are
+    /// monotone and bracketed by the exact min/max.
+    pub fn is_well_formed(&self) -> bool {
+        if self.count == 0 {
+            return *self == HistogramSnapshot::default();
+        }
+        self.min <= self.p50
+            && self.p50 <= self.p90
+            && self.p90 <= self.p99
+            && self.p99 <= self.max
+            && self.min <= self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        assert!(h.snapshot().is_well_formed());
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_pins_every_statistic() {
+        let h = Histogram::new();
+        h.record(0.125);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 0.125);
+        assert_eq!(s.max, 0.125);
+        // All quantiles clamp onto the single value.
+        assert_eq!(s.p50, 0.125);
+        assert_eq!(s.p99, 0.125);
+        assert!((s.sum - 0.125).abs() < 1e-15);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // Log-linear resolution: within one sub-bucket (12.5%) of exact.
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.15, "p50 = {}", s.p50);
+        assert!((s.p90 - 900.0).abs() / 900.0 < 0.15, "p90 = {}", s.p90);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.15, "p99 = {}", s.p99);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn out_of_grid_values_stay_within_min_max() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(1e-12); // below the grid floor
+        h.record(1e12); // above the grid ceiling
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1e12);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().min, 2.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..100 {
+            let v = (i as f64) * 0.37 + 0.001;
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            all.record(v);
+        }
+        let merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        let (m, w) = (merged.snapshot(), all.snapshot());
+        assert_eq!(m.count, w.count);
+        assert_eq!(m.min, w.min);
+        assert_eq!(m.max, w.max);
+        assert_eq!(m.p50, w.p50);
+        assert_eq!(m.p90, w.p90);
+        assert_eq!(m.p99, w.p99);
+        assert!((m.sum - w.sum).abs() < 1e-9 * w.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 + 0.5);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 3999.5);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        use ibfs_util::{FromJson, Json, ToJson};
+        let h = Histogram::new();
+        for v in [0.001, 0.002, 0.5, 3.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let text = s.to_json().to_string();
+        let back = HistogramSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

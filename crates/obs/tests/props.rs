@@ -1,0 +1,99 @@
+//! Property tests for the histogram and exposition layers (seeded, in-tree
+//! harness; replay with `IBFS_PROP_SEED`/`IBFS_PROP_CASES`).
+
+use ibfs_obs::{Histogram, Registry, Snapshot};
+use ibfs_util::prop::Prop;
+use ibfs_util::rng::Rng;
+use ibfs_util::{FromJson, Json, ToJson};
+
+/// Draws a latency-like value spanning many octaves (µs to minutes).
+fn sample_value(rng: &mut Rng) -> f64 {
+    let exponent = rng.gen_range(-20.0f64..8.0);
+    2.0f64.powf(exponent)
+}
+
+fn in_order(order: &[usize], shards: &[Histogram]) -> Histogram {
+    let merged = Histogram::new();
+    for &i in order {
+        merged.merge(&shards[i]);
+    }
+    merged
+}
+
+fn shuffled(rng: &mut Rng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0usize..=i));
+    }
+    order
+}
+
+#[test]
+fn quantiles_bounded_and_merge_order_invariant() {
+    Prop::new("obs_merge_order_invariant").cases(64).run(|rng| {
+        // Record a random value set across several shards, as the per-device
+        // worker threads do, then merge the shards in two random orders.
+        let n_shards = rng.gen_range(1usize..=6);
+        let shards: Vec<Histogram> = (0..n_shards).map(|_| Histogram::new()).collect();
+        let n_values = rng.gen_range(1usize..=400);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..n_values {
+            let v = sample_value(rng);
+            min = min.min(v);
+            max = max.max(v);
+            shards[rng.gen_range(0usize..n_shards)].record(v);
+        }
+
+        let a = in_order(&shuffled(rng, n_shards), &shards).snapshot();
+        let b = in_order(&shuffled(rng, n_shards), &shards).snapshot();
+        // Bucket counts are integers, so everything derived from them is
+        // exactly merge-order invariant; only the f64 `sum` accumulates in a
+        // different order and may differ in its last bits.
+        assert_eq!(
+            (a.count, a.min, a.max, a.p50, a.p90, a.p99),
+            (b.count, b.min, b.max, b.p50, b.p90, b.p99),
+            "merge result depends on merge order"
+        );
+        assert!((a.sum - b.sum).abs() <= a.sum.abs() * 1e-9);
+
+        assert_eq!(a.count, n_values as u64);
+        assert_eq!(a.min, min);
+        assert_eq!(a.max, max);
+        // Quantiles are monotone and never leave the recorded range.
+        assert!(a.is_well_formed(), "malformed snapshot: {a:?}");
+        for q in [a.p50, a.p90, a.p99] {
+            assert!((min..=max).contains(&q), "quantile {q} outside [{min}, {max}]");
+        }
+    });
+}
+
+#[test]
+fn exposition_is_locale_stable_and_round_trips() {
+    Prop::new("obs_exposition_round_trip").cases(32).run(|rng| {
+        let registry = Registry::new();
+        registry.counter("ibfs_test_events_total").add(rng.gen_range(0u64..1_000_000));
+        registry.gauge("ibfs_test_depth").set(sample_value(rng));
+        let hist = registry.histogram("ibfs_test_latency_seconds");
+        for _ in 0..rng.gen_range(0usize..200) {
+            hist.record(sample_value(rng));
+        }
+
+        // JSON form decodes back to an identical snapshot.
+        let snap = registry.snapshot();
+        let text = snap.to_json().to_string();
+        let back = Snapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+
+        // Every Prometheus sample line ends in a machine-parseable number
+        // with a `.` decimal separator (never a locale-dependent comma).
+        for line in snap.render_prometheus().lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(!value.contains(','), "locale-tainted value: {line}");
+            assert!(
+                value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN"),
+                "unparseable sample value: {line}"
+            );
+        }
+    });
+}

@@ -195,6 +195,19 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of values queued right now. A sampling observation (the
+    /// queue-depth gauge), not a synchronization primitive: the value can
+    /// be stale by the time the caller acts on it.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// True when nothing is queued right now (same staleness caveat as
+    /// [`Receiver::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Dequeues a value if one is ready right now. `Ok(None)` means the
     /// queue is empty but senders remain.
     pub fn try_recv(&self) -> Result<Option<T>, RecvError> {

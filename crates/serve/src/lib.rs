@@ -30,8 +30,8 @@ pub mod server;
 
 pub use coalesce::{plan, BatchPlan, CoalescePolicy, SCORE_LEVELS};
 pub use error::ServeError;
-pub use metrics::{Collector, ServeReport, ServeStats};
+pub use metrics::{Collector, ServeReport, ServeStats, ServeTelemetry};
 pub use server::{
-    effective_max_batch, serve, BfsResponse, RouterKind, SchedulerKind, ServeConfig, ServeHandle,
-    Ticket,
+    effective_max_batch, serve, serve_with, BfsResponse, RouterKind, SchedulerKind, ServeConfig,
+    ServeHandle, Ticket,
 };

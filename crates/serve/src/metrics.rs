@@ -1,74 +1,198 @@
-//! Serve-side metrics: per-batch records and the end-of-run report.
+//! Serve-side metrics: the registry-backed collector, per-batch records,
+//! and the end-of-run report.
 //!
-//! Workers push one [`ibfs::metrics::BatchMetrics`] per dispatched batch;
-//! admission and resolution counters tick atomically as requests move
-//! through the pipeline. [`ServeReport`] is the aggregate view the server
-//! returns after drain, reusing the ratio conventions of `ibfs::metrics`
-//! (zero denominators yield `0.0`).
+//! All serve accounting lives in one [`ibfs_obs::Registry`] under
+//! `ibfs_serve_*` names: resolution counters, the admission-to-completion
+//! latency histogram, coalescing quality histograms (occupancy, sharing
+//! degree) and live gauges (queue depth, in-flight batches). The
+//! [`Collector`] holds pre-registered handles so the request hot path never
+//! touches the registry mutex, and captures each counter's value at
+//! construction so a registry shared across serve runs still yields
+//! per-run deltas in the [`ServeReport`].
+//!
+//! Request-scoped spans ride along: when [`ServeTelemetry::trace`] is set,
+//! every lifecycle stage pushes a [`SpanEvent`](ibfs_obs::span::SpanEvent)
+//! into the shared [`TraceLog`], merged with the batch-stamped per-level
+//! [`TraversalEvent`](ibfs::trace::TraversalEvent)s the workers emit.
 
 use ibfs::metrics::{mean_std, teps, BatchMetrics, MeanStd};
+use ibfs::trace::{TraceLog, TraceRecord};
+use ibfs_obs::span::{IdGen, SpanEvent};
+use ibfs_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
 use ibfs_util::json_struct;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-/// Atomic counters for every way a request can resolve.
-#[derive(Debug, Default)]
-pub struct Counts {
-    /// Requests accepted into the admission queue.
-    pub accepted: AtomicU64,
-    /// Requests answered with a depth array.
-    pub completed: AtomicU64,
-    /// Requests that missed their deadline before traversal.
-    pub timeouts: AtomicU64,
-    /// Requests bounced by `try_submit` on a full queue.
-    pub overloaded: AtomicU64,
-    /// Accepted requests abandoned with `Shutdown` by an aborting drain.
-    pub shutdown: AtomicU64,
-    /// Requests rejected with `Shutdown` at admission (never accepted).
-    pub rejected: AtomicU64,
-    /// Requests rejected by validation (never accepted).
-    pub invalid: AtomicU64,
+/// What the serve stack records into: a metrics registry (always) and an
+/// optional shared trace log for span + per-level events.
+///
+/// The registry may be shared across serve runs (and with the cluster
+/// router and core layers); the report still shows per-run deltas.
+#[derive(Clone, Debug)]
+pub struct ServeTelemetry {
+    /// Destination registry for all `ibfs_serve_*` instruments.
+    pub registry: Arc<Registry>,
+    /// When set, lifecycle spans and batch-stamped traversal events are
+    /// pushed here. `None` keeps the hot path span-free.
+    pub trace: Option<TraceLog>,
 }
 
-impl Counts {
-    pub(crate) fn bump(&self, which: &AtomicU64) {
-        which.fetch_add(1, Ordering::Relaxed);
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        ServeTelemetry { registry: Registry::shared(), trace: None }
     }
 }
 
-/// Shared collector the batcher and workers feed.
-#[derive(Debug, Default)]
+impl ServeTelemetry {
+    /// Telemetry recording into `registry`, without tracing.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        ServeTelemetry { registry, trace: None }
+    }
+
+    /// Enables span/level tracing into `trace`.
+    pub fn traced(mut self, trace: TraceLog) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// A registry counter plus its value at collector construction, so a
+/// shared (cross-run) registry still reports per-run deltas.
+#[derive(Debug)]
+pub(crate) struct DeltaCounter {
+    counter: Arc<Counter>,
+    base: u64,
+}
+
+impl DeltaCounter {
+    fn new(registry: &Registry, name: &str) -> Self {
+        let counter = registry.counter(name);
+        let base = counter.value();
+        DeltaCounter { counter, base }
+    }
+
+    pub(crate) fn inc(&self) {
+        self.counter.inc();
+    }
+
+    fn delta(&self) -> u64 {
+        self.counter.value().saturating_sub(self.base)
+    }
+}
+
+/// Shared collector the admission path, batcher and workers feed.
+#[derive(Debug)]
 pub struct Collector {
-    /// Resolution counters.
-    pub counts: Counts,
-    /// Per-batch records, in completion order.
-    pub batches: Mutex<Vec<BatchMetrics>>,
-    /// Batches whose membership came from the GroupBy arrangement.
-    pub groupby_batches: AtomicU64,
-    /// Batches whose membership kept arrival order.
-    pub arrival_batches: AtomicU64,
+    registry: Arc<Registry>,
+    trace: Option<TraceLog>,
+    epoch: Instant,
+    ids: IdGen,
+    // Resolution counters (per-run deltas over the registry).
+    pub(crate) accepted: DeltaCounter,
+    pub(crate) completed: DeltaCounter,
+    pub(crate) timeouts: DeltaCounter,
+    pub(crate) overloaded: DeltaCounter,
+    pub(crate) shutdown: DeltaCounter,
+    pub(crate) rejected: DeltaCounter,
+    pub(crate) invalid: DeltaCounter,
+    pub(crate) groupby_batches: DeltaCounter,
+    pub(crate) arrival_batches: DeltaCounter,
+    // Distribution instruments (cumulative; the report's own stats come
+    // from the per-batch records below, so sharing a registry is fine).
+    pub(crate) latency: Arc<Histogram>,
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) occupancy: Arc<Histogram>,
+    pub(crate) sharing_degree: Arc<Histogram>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) inflight_batches: Arc<Gauge>,
+    batches: Mutex<Vec<BatchMetrics>>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new(ServeTelemetry::default())
+    }
 }
 
 impl Collector {
+    /// A collector recording into `telemetry`, with the per-run counter
+    /// baseline captured now.
+    pub fn new(telemetry: ServeTelemetry) -> Self {
+        let r = &telemetry.registry;
+        Collector {
+            accepted: DeltaCounter::new(r, "ibfs_serve_accepted_total"),
+            completed: DeltaCounter::new(r, "ibfs_serve_completed_total"),
+            timeouts: DeltaCounter::new(r, "ibfs_serve_timeouts_total"),
+            overloaded: DeltaCounter::new(r, "ibfs_serve_overloaded_total"),
+            shutdown: DeltaCounter::new(r, "ibfs_serve_shutdown_total"),
+            rejected: DeltaCounter::new(r, "ibfs_serve_rejected_total"),
+            invalid: DeltaCounter::new(r, "ibfs_serve_invalid_total"),
+            groupby_batches: DeltaCounter::new(r, "ibfs_serve_groupby_batches_total"),
+            arrival_batches: DeltaCounter::new(r, "ibfs_serve_arrival_batches_total"),
+            latency: r.histogram("ibfs_serve_latency_seconds"),
+            queue_wait: r.histogram("ibfs_serve_queue_wait_seconds"),
+            occupancy: r.histogram("ibfs_serve_batch_occupancy"),
+            sharing_degree: r.histogram("ibfs_serve_batch_sharing_degree"),
+            queue_depth: r.gauge("ibfs_serve_queue_depth"),
+            inflight_batches: r.gauge("ibfs_serve_inflight_batches"),
+            registry: telemetry.registry,
+            trace: telemetry.trace,
+            epoch: Instant::now(),
+            ids: IdGen::new(),
+            batches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The registry this collector records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared trace log, when tracing is on.
+    pub(crate) fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Allocates the next request id (1-based).
+    pub(crate) fn next_request_id(&self) -> u64 {
+        self.ids.next_id()
+    }
+
+    /// Seconds since the collector (= the serve run) started.
+    pub(crate) fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Emits a lifecycle span when tracing is on.
+    pub(crate) fn span(&self, event: SpanEvent) {
+        if let Some(log) = &self.trace {
+            log.push(TraceRecord::Span(event));
+        }
+    }
+
     pub(crate) fn push_batch(&self, m: BatchMetrics) {
+        self.occupancy.record(m.occupancy);
+        self.sharing_degree.record(m.sharing_degree);
         self.batches.lock().unwrap().push(m);
     }
 
-    /// Freezes the collector into a report.
-    pub fn report(self) -> ServeReport {
-        let batches = self.batches.into_inner().unwrap();
+    /// Freezes the collector into a report (per-run counter deltas, batch
+    /// records, and a snapshot of the whole registry).
+    pub fn report(&self) -> ServeReport {
+        let batches = self.batches.lock().unwrap().clone();
         let stats = ServeStats::of(&batches);
         ServeReport {
-            accepted: self.counts.accepted.into_inner(),
-            completed: self.counts.completed.into_inner(),
-            timeouts: self.counts.timeouts.into_inner(),
-            overloaded: self.counts.overloaded.into_inner(),
-            shutdown: self.counts.shutdown.into_inner(),
-            rejected: self.counts.rejected.into_inner(),
-            invalid: self.counts.invalid.into_inner(),
-            groupby_batches: self.groupby_batches.into_inner(),
-            arrival_batches: self.arrival_batches.into_inner(),
+            accepted: self.accepted.delta(),
+            completed: self.completed.delta(),
+            timeouts: self.timeouts.delta(),
+            overloaded: self.overloaded.delta(),
+            shutdown: self.shutdown.delta(),
+            rejected: self.rejected.delta(),
+            invalid: self.invalid.delta(),
+            groupby_batches: self.groupby_batches.delta(),
+            arrival_batches: self.arrival_batches.delta(),
             stats,
+            snapshot: self.registry.snapshot(),
             batches,
         }
     }
@@ -128,7 +252,7 @@ impl ServeStats {
 }
 
 /// What the server hands back after drain: resolution accounting plus
-/// batch-level metrics.
+/// batch-level metrics and the registry snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct ServeReport {
     /// Requests accepted into the admission queue.
@@ -151,6 +275,9 @@ pub struct ServeReport {
     pub arrival_batches: u64,
     /// Aggregate statistics.
     pub stats: ServeStats,
+    /// Snapshot of the telemetry registry at drain (includes cluster and
+    /// core instruments when those layers share the registry).
+    pub snapshot: Snapshot,
     /// Every batch's record, in completion order.
     pub batches: Vec<BatchMetrics>,
 }
@@ -210,10 +337,10 @@ mod tests {
     #[test]
     fn collector_report_round_trip() {
         let c = Collector::default();
-        c.counts.bump(&c.counts.accepted);
-        c.counts.bump(&c.counts.accepted);
-        c.counts.bump(&c.counts.completed);
-        c.counts.bump(&c.counts.timeouts);
+        c.accepted.inc();
+        c.accepted.inc();
+        c.completed.inc();
+        c.timeouts.inc();
         c.push_batch(batch(1, 1.0, 0.5, 50));
         let r = c.report();
         assert_eq!(r.accepted, 2);
@@ -222,5 +349,41 @@ mod tests {
         assert_eq!(r.batches.len(), 1);
         assert_eq!(r.stats.requests, 1);
         assert!(r.is_conserved());
+        // The registry snapshot carries the same counts.
+        assert_eq!(r.snapshot.counter("ibfs_serve_accepted_total"), Some(2));
+        assert_eq!(r.snapshot.histogram("ibfs_serve_batch_occupancy").unwrap().count, 1);
+    }
+
+    #[test]
+    fn shared_registry_reports_per_run_deltas() {
+        let registry = Registry::shared();
+        let first = Collector::new(ServeTelemetry::with_registry(registry.clone()));
+        first.accepted.inc();
+        first.completed.inc();
+        assert_eq!(first.report().accepted, 1);
+
+        // A second run on the same registry starts from a fresh baseline.
+        let second = Collector::new(ServeTelemetry::with_registry(registry.clone()));
+        let r = second.report();
+        assert_eq!(r.accepted, 0);
+        assert!(r.is_conserved());
+        second.accepted.inc();
+        second.completed.inc();
+        assert_eq!(second.report().accepted, 1);
+        // The registry itself is cumulative across both runs.
+        assert_eq!(registry.snapshot().counter("ibfs_serve_accepted_total"), Some(2));
+    }
+
+    #[test]
+    fn spans_reach_the_trace_log() {
+        use ibfs_obs::span::{SpanEvent, SpanStage};
+        let log = TraceLog::new();
+        let c = Collector::new(ServeTelemetry::default().traced(log.clone()));
+        c.span(SpanEvent::admission(1, SpanStage::Admitted, 5, c.now_s()));
+        assert_eq!(log.len(), 1);
+        // Without a trace log, spans are dropped silently.
+        let quiet = Collector::default();
+        quiet.span(SpanEvent::admission(2, SpanStage::Admitted, 5, 0.0));
+        assert_eq!(log.len(), 1);
     }
 }

@@ -29,13 +29,14 @@
 use crate::channel::{bounded, oneshot, OneSender, Receiver, RecvTimeoutError, Sender, TrySendError};
 use crate::coalesce::{self, CoalescePolicy};
 use crate::error::ServeError;
-use crate::metrics::{Collector, ServeReport};
+use crate::metrics::{Collector, ServeReport, ServeTelemetry};
 use ibfs::groupby::{GroupByConfig, GroupingStrategy};
 use ibfs::metrics::{batch_occupancy, event_sharing_degree, teps, BatchMetrics};
 use ibfs::runner::{device_group_bound, RunConfig};
 use ibfs::service::{admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
-use ibfs::trace::RecorderSink;
-use ibfs_cluster::router::{batch_weight, BatchRouter, LeastLoaded, RoundRobin};
+use ibfs::trace::{BatchStamp, MetricsSink, RecorderSink, TraceRecord};
+use ibfs_cluster::router::{batch_weight, BatchRouter, InstrumentedRouter, LeastLoaded, RoundRobin};
+use ibfs_obs::span::{SpanEvent, SpanStage, NO_CORRELATION};
 use ibfs_graph::{Csr, Depth, VertexId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -144,6 +145,9 @@ pub fn effective_max_batch(graph: &Csr, config: &ServeConfig) -> usize {
 /// A successful reply: the depth array plus where and how it ran.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BfsResponse {
+    /// Correlation id the serve run assigned the request at admission;
+    /// matches the `request` field of the trace's span events.
+    pub request: u64,
     /// The requested source.
     pub source: VertexId,
     /// Depth of every vertex from `source` (`DEPTH_UNVISITED` when
@@ -160,6 +164,8 @@ pub struct BfsResponse {
 }
 
 struct Request {
+    /// Correlation id allocated at admission (1-based, per serve run).
+    id: u64,
     source: VertexId,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -227,17 +233,31 @@ impl ServeHandle<'_> {
         source: VertexId,
         deadline: Option<Duration>,
     ) -> Result<(Request, Ticket), ServeError> {
+        let id = self.collector.next_request_id();
         if self.abort.load(Ordering::Acquire) {
-            self.collector.counts.bump(&self.collector.counts.rejected);
+            self.collector.rejected.inc();
+            self.collector.span(SpanEvent::admission(
+                id,
+                SpanStage::Rejected,
+                source as u64,
+                self.collector.now_s(),
+            ));
             return Err(ServeError::Shutdown);
         }
         if let Err(e) = admit_sources(&[source], self.num_vertices) {
-            self.collector.counts.bump(&self.collector.counts.invalid);
+            self.collector.invalid.inc();
+            self.collector.span(SpanEvent::admission(
+                id,
+                SpanStage::Invalid,
+                source as u64,
+                self.collector.now_s(),
+            ));
             return Err(ServeError::Invalid(e));
         }
         let (otx, orx) = oneshot();
         let now = Instant::now();
         let req = Request {
+            id,
             source,
             submitted: now,
             deadline: deadline.map(|d| now + d),
@@ -247,6 +267,7 @@ impl ServeHandle<'_> {
     }
 
     fn enqueue(&self, req: Request, block: bool) -> Result<(), ServeError> {
+        let (id, source) = (req.id, req.source as u64);
         let res = if block {
             self.tx.send(req).map_err(|_| ServeError::Shutdown)
         } else {
@@ -255,20 +276,14 @@ impl ServeHandle<'_> {
                 TrySendError::Disconnected(_) => ServeError::Shutdown,
             })
         };
-        match res {
-            Ok(()) => {
-                self.collector.counts.bump(&self.collector.counts.accepted);
-                Ok(())
-            }
-            Err(ServeError::Overloaded) => {
-                self.collector.counts.bump(&self.collector.counts.overloaded);
-                Err(ServeError::Overloaded)
-            }
-            Err(e) => {
-                self.collector.counts.bump(&self.collector.counts.rejected);
-                Err(e)
-            }
-        }
+        let (counter, stage) = match &res {
+            Ok(()) => (&self.collector.accepted, SpanStage::Admitted),
+            Err(ServeError::Overloaded) => (&self.collector.overloaded, SpanStage::Overloaded),
+            Err(_) => (&self.collector.rejected, SpanStage::Rejected),
+        };
+        counter.inc();
+        self.collector.span(SpanEvent::admission(id, stage, source, self.collector.now_s()));
+        res
     }
 
     /// Submits a BFS request for `source` with the configured default
@@ -309,9 +324,22 @@ pub fn serve<R>(
     config: ServeConfig,
     body: impl FnOnce(&ServeHandle<'_>) -> R,
 ) -> (R, ServeReport) {
+    serve_with(graph, reverse, config, ServeTelemetry::default(), body)
+}
+
+/// [`serve`] with explicit telemetry: a (possibly shared) metrics registry
+/// and an optional trace log collecting request spans and batch-stamped
+/// per-level traversal events.
+pub fn serve_with<R>(
+    graph: &Csr,
+    reverse: &Csr,
+    config: ServeConfig,
+    telemetry: ServeTelemetry,
+    body: impl FnOnce(&ServeHandle<'_>) -> R,
+) -> (R, ServeReport) {
     let max_batch = effective_max_batch(graph, &config);
     let workers = config.workers.max(1);
-    let collector = Collector::default();
+    let collector = Collector::new(telemetry);
     let abort = AtomicBool::new(false);
     let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity.max(1));
 
@@ -347,14 +375,27 @@ pub fn serve<R>(
 }
 
 fn resolve(req: Request, outcome: Result<BfsResponse, ServeError>, collector: &Collector) {
-    let counter = match &outcome {
-        Ok(_) => &collector.counts.completed,
-        Err(ServeError::Timeout) => &collector.counts.timeouts,
-        Err(ServeError::Shutdown) => &collector.counts.shutdown,
-        Err(ServeError::Overloaded) => &collector.counts.overloaded,
-        Err(ServeError::Invalid(_)) => &collector.counts.invalid,
+    let (counter, stage) = match &outcome {
+        Ok(_) => (&collector.completed, SpanStage::Completed),
+        Err(ServeError::Timeout) => (&collector.timeouts, SpanStage::TimedOut),
+        Err(ServeError::Shutdown) => (&collector.shutdown, SpanStage::Shutdown),
+        Err(ServeError::Overloaded) => (&collector.overloaded, SpanStage::Overloaded),
+        Err(ServeError::Invalid(_)) => (&collector.invalid, SpanStage::Invalid),
     };
-    collector.counts.bump(counter);
+    counter.inc();
+    let (batch, device) = match &outcome {
+        Ok(resp) => (resp.batch, resp.device as u64),
+        Err(_) => (NO_CORRELATION, NO_CORRELATION),
+    };
+    if let Ok(resp) = &outcome {
+        collector.latency.record_duration(req.submitted.elapsed());
+        collector.queue_wait.record_duration(resp.queue_wait);
+    }
+    collector.span(
+        SpanEvent::admission(req.id, stage, req.source as u64, collector.now_s())
+            .with_batch(batch)
+            .with_device(device),
+    );
     req.reply.send(outcome);
 }
 
@@ -385,15 +426,20 @@ fn batcher_loop(
     collector: &Collector,
     abort: &AtomicBool,
 ) {
-    let mut router = config.router.build(batch_txs.len());
-    let mut seq = 0u64;
+    let mut router =
+        InstrumentedRouter::new(config.router.build(batch_txs.len()), collector.registry());
+    // Batch sequence numbers are 1-based: 0 on a traversal event means "ran
+    // outside the serve stack", so no real batch may claim it.
+    let mut seq = 1u64;
     // Collect up to one full wave (every worker's batch) per window.
     let wave_cap = max_batch.saturating_mul(batch_txs.len()).max(1);
     'serve: loop {
         // Park until the first request of a wave, waking on the poll tick
         // so an abort is observed even while clients hold the handle open
-        // without submitting.
+        // without submitting. Each wake doubles as the sampler tick for the
+        // queue-depth gauge.
         let first = loop {
+            collector.queue_depth.set(req_rx.len() as f64);
             match req_rx.recv_deadline(Instant::now() + config.poll_tick) {
                 Ok(req) => break req,
                 Err(RecvTimeoutError::Timeout) => continue,
@@ -413,7 +459,8 @@ fn batcher_loop(
                 }
             }
         }
-        dispatch_wave(window, graph, config, max_batch, router.as_mut(), &mut seq, &batch_txs, collector, abort);
+        collector.queue_depth.set(req_rx.len() as f64);
+        dispatch_wave(window, graph, config, max_batch, &mut router, &mut seq, &batch_txs, collector, abort);
         if disconnected {
             break;
         }
@@ -469,13 +516,31 @@ fn dispatch_wave(
     for req in live {
         let want = batch_of[&req.source];
         let batch = batches.iter_mut().find(|b| b.seq == want).unwrap();
+        collector.span(
+            SpanEvent::admission(req.id, SpanStage::Batched, req.source as u64, collector.now_s())
+                .with_batch(batch.seq),
+        );
         batch.requests.push(req);
     }
     for batch in batches {
-        chosen.fetch_add(1, Ordering::Relaxed);
+        chosen.inc();
         let device = router.route(batch_weight(graph, &batch.sources));
+        for req in &batch.requests {
+            collector.span(
+                SpanEvent::admission(
+                    req.id,
+                    SpanStage::Dispatched,
+                    req.source as u64,
+                    collector.now_s(),
+                )
+                .with_batch(batch.seq)
+                .with_device(device as u64),
+            );
+        }
+        collector.inflight_batches.add(1.0);
         if let Err(send_err) = batch_txs[device].send(batch) {
             // Worker gone (only possible under abort/panic): abandon.
+            collector.inflight_batches.add(-1.0);
             for req in send_err.0.requests {
                 resolve(req, Err(ServeError::Shutdown), collector);
             }
@@ -519,6 +584,7 @@ fn run_batch(
 ) {
     let live = prune(batch.requests, abort, collector);
     if live.is_empty() {
+        collector.inflight_batches.add(-1.0);
         return;
     }
     // Re-derive distinct sources: pruning may have dropped every request
@@ -531,17 +597,32 @@ fn run_batch(
         }
     }
     let started = Instant::now();
-    let mut sink = RecorderSink::default();
-    let run = match svc.try_run_traced(&sources, &mut sink) {
-        Ok(run) => run,
-        // Unreachable in practice: admission validated every source.
-        Err(e) => {
-            for req in live {
-                resolve(req, Err(ServeError::Invalid(e)), collector);
+    // Sink composition (outermost first): stamp the batch sequence number
+    // onto every level event, record core counters into the registry, then
+    // collect in memory for the sharing-degree calculation below.
+    let mut rec = RecorderSink::default();
+    let run = {
+        let mut metrics = MetricsSink::new(collector.registry(), &mut rec);
+        let mut sink = BatchStamp { batch: batch.seq, inner: &mut metrics };
+        match svc.try_run_traced(&sources, &mut sink) {
+            Ok(run) => run,
+            // Unreachable in practice: admission validated every source.
+            Err(e) => {
+                collector.inflight_batches.add(-1.0);
+                for req in live {
+                    resolve(req, Err(ServeError::Invalid(e)), collector);
+                }
+                return;
             }
-            return;
         }
     };
+    let sink = rec;
+    collector.inflight_batches.add(-1.0);
+    if let Some(log) = collector.trace() {
+        for event in &sink.events {
+            log.push(TraceRecord::Level(*event));
+        }
+    }
     // Map each source to its instance's depth slice via the service's own
     // grouping (deterministic, so it matches what ran).
     let grouping = svc.grouping().group(graph, &sources);
@@ -571,6 +652,7 @@ fn run_batch(
     for req in live {
         let (gi, j) = depths_of[&req.source];
         let response = BfsResponse {
+            request: req.id,
             source: req.source,
             depths: run.groups[gi].instance_depths(j).to_vec(),
             batch: batch.seq,

@@ -14,10 +14,38 @@
 use ibfs_graph::generators::{rmat, RmatParams};
 use ibfs_graph::validate::reference_bfs;
 use ibfs_graph::{Csr, Depth, VertexId};
-use ibfs_serve::{serve, CoalescePolicy, ServeConfig, ServeError};
+use ibfs_serve::{serve, CoalescePolicy, ServeConfig, ServeError, ServeReport};
 use ibfs_util::rng::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Extended conservation: the accepted-side identity holds, every
+/// admission outcome sums back to the number of submissions the clients
+/// made, and the registry snapshot agrees with the report counter for
+/// counter (the consolidated metrics path tells one story).
+fn assert_conservation(report: &ServeReport, submissions: u64) {
+    assert!(report.is_conserved(), "accepted != completed+timeouts+shutdown");
+    assert_eq!(
+        report.accepted + report.overloaded + report.rejected + report.invalid,
+        submissions,
+        "some submission resolved through no admission path"
+    );
+    for (name, want) in [
+        ("ibfs_serve_accepted_total", report.accepted),
+        ("ibfs_serve_completed_total", report.completed),
+        ("ibfs_serve_timeouts_total", report.timeouts),
+        ("ibfs_serve_overloaded_total", report.overloaded),
+        ("ibfs_serve_shutdown_total", report.shutdown),
+        ("ibfs_serve_rejected_total", report.rejected),
+        ("ibfs_serve_invalid_total", report.invalid),
+    ] {
+        assert_eq!(report.snapshot.counter(name), Some(want), "snapshot disagrees on {name}");
+    }
+    // Completion latencies were recorded exactly once per completion.
+    let latency = report.snapshot.histogram("ibfs_serve_latency_seconds").unwrap();
+    assert_eq!(latency.count, report.completed, "latency histogram count");
+    assert!(latency.is_well_formed());
+}
 
 fn stress_seed() -> u64 {
     std::env::var("IBFS_STRESS_SEED")
@@ -80,7 +108,7 @@ fn producers_on_bounded_queue_lose_and_duplicate_nothing() {
     assert_eq!(report.accepted, total);
     assert_eq!(report.completed, total);
     assert_eq!(report.timeouts + report.shutdown + report.overloaded + report.invalid, 0);
-    assert!(report.is_conserved());
+    assert_conservation(&report, total);
     // Every completion was carried by some batch, none counted twice.
     let carried: u64 = report.batches.iter().map(|b| b.requests).sum();
     assert_eq!(carried, total);
@@ -138,7 +166,7 @@ fn expired_deadlines_resolve_as_timeouts_not_losses() {
     assert_eq!(report.accepted, total);
     assert_eq!(report.completed, oks);
     assert_eq!(report.timeouts, timeouts);
-    assert!(report.is_conserved());
+    assert_conservation(&report, total);
 }
 
 #[test]
@@ -199,7 +227,7 @@ fn abort_resolves_every_ticket_exactly_once() {
     assert_eq!(report.shutdown, shutdowns);
     assert_eq!(report.rejected, rejected);
     assert_eq!(report.accepted, oks + shutdowns);
-    assert!(report.is_conserved());
+    assert_conservation(&report, total);
     // The plug was pulled, so at least the aborting producer's own later
     // submissions were rejected.
     assert!(rejected > 0, "abort never observed at admission");
@@ -254,7 +282,7 @@ fn try_submit_burst_on_tiny_queue_reports_overload() {
     assert_eq!(report.accepted, oks);
     assert_eq!(report.completed, oks);
     assert_eq!(report.overloaded, overloads);
-    assert!(report.is_conserved());
+    assert_conservation(&report, total);
     // Four tight-loop producers against a one-slot, one-request-per-batch
     // pipeline: the queue must have been full at least once.
     assert!(overloads > 0, "burst never tripped Overloaded");
@@ -286,7 +314,7 @@ fn graceful_drain_completes_all_inflight_requests() {
     });
     assert_eq!(report.accepted, 100);
     assert_eq!(report.completed, 100);
-    assert!(report.is_conserved());
+    assert_conservation(&report, 100);
     for (source, ticket) in tickets {
         let resp = ticket.wait().expect("drained requests resolve Ok");
         assert_eq!(resp.source, source);

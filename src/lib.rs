@@ -9,5 +9,6 @@ pub use ibfs_apps as apps;
 pub use ibfs_cluster as cluster;
 pub use ibfs_gpu_sim as gpu_sim;
 pub use ibfs_graph as graph;
+pub use ibfs_obs as obs;
 pub use ibfs_serve as serve;
 pub use ibfs_util as util;

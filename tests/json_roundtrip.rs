@@ -196,6 +196,106 @@ fn loadgen_summary_round_trips() {
     assert_eq!(round_trip_text(&s), s);
 }
 
+/// A copy of `j` with object field `key` replaced (or appended).
+fn set_field(j: &Json, key: &str, value: Json) -> Json {
+    let Json::Obj(fields) = j else { panic!("expected an object") };
+    let mut fields: Vec<(String, Json)> =
+        fields.iter().filter(|(k, _)| k != key).cloned().collect();
+    fields.push((key.to_string(), value));
+    Json::Obj(fields)
+}
+
+fn sample_level_event() -> ibfs_repro::ibfs::trace::TraversalEvent {
+    ibfs_repro::ibfs::trace::TraversalEvent {
+        group: 3,
+        batch: 17,
+        level: 4,
+        direction: Direction::BottomUp,
+        unique_frontiers: 1000,
+        instance_frontiers: 12_345,
+        edges_inspected: 1 << 33,
+        early_terminations: 99,
+        load_transactions: 1 << 20,
+        store_transactions: 1 << 19,
+        atomic_transactions: 512,
+        sim_seconds: 0.0015,
+    }
+}
+
+#[test]
+fn traversal_event_round_trips_with_schema_version() {
+    use ibfs_repro::ibfs::trace::{TraversalEvent, TRACE_SCHEMA_VERSION};
+
+    let e = sample_level_event();
+    assert_eq!(round_trip_text(&e), e);
+
+    // Every encoded line is self-describing: version + kind tag.
+    let json = e.to_json();
+    assert_eq!(json.get("schema_version").and_then(Json::as_u64), Some(TRACE_SCHEMA_VERSION));
+    assert_eq!(json.get("kind").and_then(Json::as_str), Some("level"));
+
+    // v1 lines (no version, no batch) still decode, defaulting batch to 0.
+    let v1 = r#"{"group":1,"level":2,"direction":"TopDown","unique_frontiers":5,
+        "instance_frontiers":6,"edges_inspected":7,"early_terminations":0,
+        "load_transactions":1,"store_transactions":2,"atomic_transactions":3,
+        "sim_seconds":0.5}"#;
+    let old = TraversalEvent::from_json(&Json::parse(v1).unwrap()).unwrap();
+    assert_eq!(old.batch, 0);
+    assert_eq!(old.level, 2);
+
+    // Lines from a future schema are rejected, not silently misread.
+    let future = set_field(&json, "schema_version", Json::UInt(TRACE_SCHEMA_VERSION + 1));
+    assert!(TraversalEvent::from_json(&future).is_err());
+}
+
+#[test]
+fn span_event_round_trips_and_omits_missing_correlation() {
+    use ibfs_repro::ibfs::trace::TraceRecord;
+    use ibfs_repro::obs::{SpanEvent, SpanStage, NO_CORRELATION};
+
+    let admitted = SpanEvent::admission(7, SpanStage::Admitted, 42, 0.001);
+    let back = round_trip_text(&admitted);
+    assert_eq!(back, admitted);
+    // Unset batch/device are omitted from the wire form, not encoded as MAX.
+    let text = admitted.to_json().to_string();
+    assert!(!text.contains("batch"), "unset batch leaked into {text}");
+    assert!(!text.contains("device"), "unset device leaked into {text}");
+    assert_eq!(back.batch, NO_CORRELATION);
+    assert_eq!(back.device, NO_CORRELATION);
+
+    let completed =
+        SpanEvent::admission(7, SpanStage::Completed, 42, 0.004).with_batch(3).with_device(1);
+    assert_eq!(round_trip_text(&completed), completed);
+
+    // The merged stream dispatches on the kind tag.
+    for record in [TraceRecord::Span(completed), TraceRecord::Level(sample_level_event())] {
+        assert_eq!(round_trip_text(&record), record);
+    }
+}
+
+#[test]
+fn metrics_snapshot_round_trips() {
+    use ibfs_repro::obs::{Histogram, Registry, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+
+    let registry = Registry::new();
+    registry.counter("ibfs_test_total").add(41);
+    registry.gauge("ibfs_test_depth").set(2.5);
+    let h: std::sync::Arc<Histogram> = registry.histogram("ibfs_test_seconds");
+    for v in [0.001, 0.002, 0.004, 0.008] {
+        h.record(v);
+    }
+    let snap = registry.snapshot();
+    let back = round_trip_text(&snap);
+    assert_eq!(back, snap);
+    assert_eq!(back.schema_version, SNAPSHOT_SCHEMA_VERSION);
+    assert_eq!(back.counter("ibfs_test_total"), Some(41));
+
+    // Future snapshot versions are rejected.
+    let future =
+        set_field(&snap.to_json(), "snapshot_version", Json::UInt(SNAPSHOT_SCHEMA_VERSION + 1));
+    assert!(Snapshot::from_json(&future).is_err());
+}
+
 #[test]
 fn direction_policy_round_trips_including_infinity() {
     let beamer = DirectionPolicy::beamer();
