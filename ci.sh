@@ -22,7 +22,17 @@ RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline
 # re-parses every Prometheus exposition value as a float, so a
 # locale-dependent formatter would fail here.
 SNAP="$(mktemp -t ibfs-metrics.XXXXXX.json)"
-trap 'rm -f "$SNAP"' EXIT
+BENCH="$(mktemp -t ibfs-cpubench.XXXXXX.json)"
+trap 'rm -f "$SNAP" "$BENCH"' EXIT
 cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
     --clients 4 --requests 8 --seed 7 --metrics-out "$SNAP"
 cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$SNAP"
+
+# CPU-engine gate: a seeded cpu-bench run with --check asserts the pooled
+# engine's depths are bit-identical to reference_bfs and to the frozen
+# pre-pool baseline, and validates the emitted BENCH_cpu.json schema
+# through the in-tree JSON codec before writing it.
+cargo run -q --release --offline -p ibfs-bench --bin bfs -- cpu-bench \
+    --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 --check \
+    --out "$BENCH"
+test -s "$BENCH"

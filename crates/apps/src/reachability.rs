@@ -10,6 +10,7 @@ use ibfs::bitwise::BitwiseEngine;
 use ibfs::cpu::{CpuIbfs, CpuMsBfs};
 use ibfs::engine::{Engine, GpuGraph};
 use ibfs::sequential::SequentialEngine;
+use ibfs::word::WordWidth;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_gpu_sim::{DeviceConfig, Profiler};
 
@@ -50,7 +51,9 @@ pub struct BuildOutcome {
 impl ReachabilityIndex {
     /// Builds the index for `sources` with hop bound `k` using the chosen
     /// implementation. `group_size` bounds the concurrent-BFS group (the
-    /// CPU engines cap at 64).
+    /// CPU engines cap at their word width, up to
+    /// [`ibfs::cpu::CPU_GROUP`]). Uses default threads and word width; see
+    /// [`ReachabilityIndex::build_with`].
     pub fn build(
         graph: &Csr,
         reverse: &Csr,
@@ -58,6 +61,24 @@ impl ReachabilityIndex {
         k: u32,
         builder: IndexBuilder,
         group_size: usize,
+    ) -> BuildOutcome {
+        Self::build_with(graph, reverse, sources, k, builder, group_size, 0, WordWidth::default())
+    }
+
+    /// [`ReachabilityIndex::build`] with explicit CPU `threads` (0 = all
+    /// available) and status-word `width`. The CPU builders construct one
+    /// resident [`ibfs::cpu::CpuService`] and reuse its pool and arena
+    /// across all groups. GPU builders ignore both knobs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with(
+        graph: &Csr,
+        reverse: &Csr,
+        sources: &[VertexId],
+        k: u32,
+        builder: IndexBuilder,
+        group_size: usize,
+        threads: usize,
+        width: WordWidth,
     ) -> BuildOutcome {
         assert!(k > 0, "hop bound must be positive");
         let n = graph.num_vertices();
@@ -86,21 +107,22 @@ impl ReachabilityIndex {
 
         match builder {
             IndexBuilder::CpuMsBfs | IndexBuilder::CpuIbfs => {
-                let group_size = group_size.min(ibfs::cpu::CPU_GROUP);
+                // One resident service: pool + arena spawned once, reused
+                // across every group of the build.
+                let mut svc = match builder {
+                    IndexBuilder::CpuMsBfs => {
+                        CpuMsBfs { max_levels: k, threads, width, ..Default::default() }
+                            .service(graph, reverse)
+                    }
+                    _ => CpuIbfs { max_levels: k, threads, width, ..Default::default() }
+                        .service(graph, reverse),
+                };
+                let group_size = group_size.min(svc.capacity());
                 let mut offset = 0;
                 for group in sources.chunks(group_size) {
-                    let run = match builder {
-                        IndexBuilder::CpuMsBfs => CpuMsBfs {
-                            max_levels: k,
-                            ..Default::default()
-                        }
-                        .run_group(graph, reverse, group),
-                        _ => CpuIbfs {
-                            max_levels: k,
-                            ..Default::default()
-                        }
-                        .run_group(graph, reverse, group),
-                    };
+                    let run = svc
+                        .run_group(group)
+                        .expect("reachability groups are sized to capacity");
                     seconds += run.wall_seconds;
                     absorb(&mut index, offset, &run.depths, group.len());
                     offset += group.len();

@@ -11,6 +11,9 @@
 //!             [--router rr|lpt] [--scheduler b2b|hyperq] [--engine ENGINE]
 //!             [--json] [--metrics-out PATH] [--metrics-text PATH]
 //!             [--trace PATH]
+//! bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
+//!             [--group-size N] [--threads N[,N...]] [--width 32|64|128|256]
+//!             [--check] [--out PATH]
 //!
 //! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
 //!          name prefixed with `suite:` (e.g. `suite:FB`)
@@ -49,6 +52,10 @@ fn main() -> ExitCode {
     if args[0] == "stats" {
         args.remove(0);
         return stats(args);
+    }
+    if args[0] == "cpu-bench" {
+        args.remove(0);
+        return cpu_bench(args);
     }
     let graph_arg = args.remove(0);
     let mut engine = EngineKind::Bitwise;
@@ -496,6 +503,111 @@ fn stats(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `bfs cpu-bench` — measure the pooled CPU engine against the frozen
+/// pre-pool baseline on a seeded R-MAT workload and write `BENCH_cpu.json`.
+fn cpu_bench(args: Vec<String>) -> ExitCode {
+    use ibfs_bench::cpubench::{
+        report_summary, report_to_json, run_cpu_bench, validate_report_json, CpuBenchConfig,
+    };
+    let mut cfg = CpuBenchConfig::default();
+    let mut out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--scale needs a number"),
+                }
+            }
+            "--edge-factor" => {
+                cfg.edge_factor = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--edge-factor needs a number"),
+                }
+            }
+            "--seed" => {
+                cfg.seed = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--seed needs a number"),
+                }
+            }
+            "--sources" => {
+                cfg.sources = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--sources needs a number"),
+                }
+            }
+            "--group-size" => {
+                cfg.group_size = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--group-size needs a number"),
+                }
+            }
+            "--threads" => {
+                let Some(list) = it.next() else {
+                    return usage("--threads needs a count or comma list (e.g. 1,2,4,8)");
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|x| x.trim().parse()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&t| t > 0) => cfg.threads = v,
+                    _ => return usage("bad --threads list"),
+                }
+            }
+            "--width" => {
+                let arg = it.next();
+                match arg.as_deref().and_then(ibfs::word::WordWidth::parse) {
+                    Some(w) => cfg.width = w,
+                    None => {
+                        return usage(&format!(
+                            "unknown width {} (expect 32|64|128|256)",
+                            arg.as_deref().unwrap_or("<missing>")
+                        ))
+                    }
+                }
+            }
+            "--check" => cfg.check = true,
+            "--out" => {
+                out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--out needs a path (or `-` for stdout)"),
+                }
+            }
+            other => return usage(&format!("cpu-bench: unknown option {other}")),
+        }
+    }
+
+    eprintln!(
+        "cpu-bench: rmat scale {} edge-factor {} seed {}; {} sources, groups of {}, \
+         width {}, threads {:?}{}",
+        cfg.scale,
+        cfg.edge_factor,
+        cfg.seed,
+        cfg.sources,
+        cfg.group_size,
+        cfg.width,
+        cfg.threads,
+        if cfg.check { " (checked against reference + baseline)" } else { "" },
+    );
+    let report = run_cpu_bench(&cfg);
+    let body = report_to_json(&report);
+    // Round-trip the exact bytes we are about to write through the schema
+    // validator, so a written file is a valid file.
+    if let Err(e) = validate_report_json(&body) {
+        eprintln!("error: emitted report fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &out {
+        if let Err(code) = write_output(path, &body, "cpu bench report") {
+            return code;
+        }
+    }
+    print!("{}", report_summary(&report));
+    ExitCode::SUCCESS
+}
+
 /// Writes `body` to `path`, with `-` meaning stdout. `what` names the
 /// payload in error messages.
 fn write_output(path: &str, body: &str, what: &str) -> Result<(), ExitCode> {
@@ -527,7 +639,10 @@ fn usage(msg: &str) -> ExitCode {
          [--max-batch N] [--window-us N] [--queue N] [--worker-queue N] [--deadline-ms N] \
          [--seed N] [--policy arrival|groupby|bestof] [--router rr|lpt] \
          [--scheduler b2b|hyperq] [--engine ENGINE] [--json] \
-         [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]"
+         [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]\n\
+       bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
+         [--group-size N] [--threads N[,N...]] [--width 32|64|128|256] [--check] \
+         [--out PATH|-]"
     );
     ExitCode::from(2)
 }

@@ -11,6 +11,8 @@
 //!   --shrink N      divide every graph's vertex count by 2^N (default 0)
 //!   --sources N     BFS sources per graph (default 256)
 //!   --group-size N  concurrent group size (default 64)
+//!   --threads N     CPU engine worker threads, 0 = all (default 0)
+//!   --width W       CPU status-word width: 32|64|128|256 (default 64)
 //!   --json PATH     also write all results as JSON
 //!   --csv DIR       also write one CSV per experiment into DIR
 //!   --list          list experiments and exit
@@ -33,6 +35,14 @@ fn main() -> ExitCode {
             "--shrink" => cfg.shrink = parse(it.next(), "--shrink"),
             "--sources" => cfg.sources = parse(it.next(), "--sources"),
             "--group-size" => cfg.group_size = parse(it.next(), "--group-size"),
+            "--threads" => cfg.threads = parse(it.next(), "--threads"),
+            "--width" => {
+                cfg.width = it
+                    .next()
+                    .as_deref()
+                    .and_then(ibfs::word::WordWidth::parse)
+                    .unwrap_or_else(|| usage("--width must be 32, 64, 128 or 256"))
+            }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage("--json needs a path"))),
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("--csv needs a directory"))),
             "--list" => {
@@ -44,7 +54,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [--shrink N] [--sources N] [--group-size N] \
-                     [--json PATH] [EXPERIMENT ...|all]"
+                     [--threads N] [--width 32|64|128|256] [--json PATH] [EXPERIMENT ...|all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -119,8 +129,8 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--shrink N] [--sources N] [--group-size N] [--json PATH] \
-         [EXPERIMENT ...|all]"
+        "usage: reproduce [--shrink N] [--sources N] [--group-size N] [--threads N] \
+         [--width 32|64|128|256] [--json PATH] [EXPERIMENT ...|all]"
     );
     std::process::exit(2)
 }

@@ -23,7 +23,7 @@ pub fn run(cfg: &HarnessConfig) -> FigureResult {
         "CPU vs GPU implementations (GTEPS; CPU wall-clock, GPU simulated)",
         &["graph", "MS-BFS", "CPU iBFS", "B40C", "SpMM-BC", "GPU iBFS"],
     );
-    let cpu_group = cfg.group_size.min(ibfs::cpu::CPU_GROUP);
+    let cpu_group = cfg.group_size.min(cfg.width.bits() as usize).min(ibfs::cpu::CPU_GROUP);
     let mut cpu_wins = 0usize;
     let mut gpu_wins = 0usize;
     let mut graphs = 0usize;
@@ -31,14 +31,18 @@ pub fn run(cfg: &HarnessConfig) -> FigureResult {
         let (g, r) = cfg.load(&spec);
         let sources = cfg.source_set(&g);
 
-        // CPU engines: wall-clock TEPS.
+        // CPU engines: wall-clock TEPS through a resident service (pool +
+        // arena reused across every group of the run).
         let cpu_teps = |msbfs: bool| {
+            let mut svc = if msbfs {
+                CpuMsBfs { threads: cfg.threads, width: cfg.width, ..Default::default() }
+                    .service(&g, &r)
+            } else {
+                CpuIbfs { threads: cfg.threads, width: cfg.width, ..Default::default() }
+                    .service(&g, &r)
+            };
             let runs = run_cpu_many(&sources, cpu_group, |group| {
-                if msbfs {
-                    CpuMsBfs::default().run_group(&g, &r, group)
-                } else {
-                    CpuIbfs::default().run_group(&g, &r, group)
-                }
+                svc.run_group(group).expect("fig22 groups are sized to capacity")
             });
             let edges: u64 = runs.iter().map(|x| x.traversed_edges).sum();
             let secs: f64 = runs.iter().map(|x| x.wall_seconds).sum();

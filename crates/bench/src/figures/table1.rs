@@ -27,7 +27,17 @@ pub fn run(cfg: &HarnessConfig) -> FigureResult {
         let (g, r) = cfg.load(&spec);
         let sources = cfg.source_set(&g);
         let build = |builder: IndexBuilder| {
-            ReachabilityIndex::build(&g, &r, &sources, K, builder, cfg.group_size).seconds
+            ReachabilityIndex::build_with(
+                &g,
+                &r,
+                &sources,
+                K,
+                builder,
+                cfg.group_size,
+                cfg.threads,
+                cfg.width,
+            )
+            .seconds
         };
         let msbfs = build(IndexBuilder::CpuMsBfs);
         let cpu_ibfs = build(IndexBuilder::CpuIbfs);

@@ -6,10 +6,12 @@
 //! them as JSON. Criterion micro-benches in `benches/` reuse the same
 //! modules at reduced scale.
 
+pub mod cpubench;
 pub mod figures;
 pub mod loadgen;
 pub mod result;
 
+use ibfs::word::WordWidth;
 use ibfs_graph::suite::GraphSpec;
 use ibfs_graph::Csr;
 use std::path::PathBuf;
@@ -27,6 +29,10 @@ pub struct HarnessConfig {
     pub sources: usize,
     /// Concurrent group size `N`.
     pub group_size: usize,
+    /// CPU worker threads; 0 = all available.
+    pub threads: usize,
+    /// CPU status-word width.
+    pub width: WordWidth,
     /// Cache directory for generated graphs (`None` = no caching).
     pub cache_dir: Option<PathBuf>,
 }
@@ -37,6 +43,8 @@ impl Default for HarnessConfig {
             shrink: 0,
             sources: 512,
             group_size: 64,
+            threads: 0,
+            width: WordWidth::default(),
             cache_dir: default_cache_dir(),
         }
     }
@@ -49,6 +57,8 @@ impl HarnessConfig {
             shrink: 4,
             sources: 64,
             group_size: 32,
+            threads: 0,
+            width: WordWidth::default(),
             cache_dir: default_cache_dir(),
         }
     }

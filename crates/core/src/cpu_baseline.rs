@@ -1,0 +1,300 @@
+//! The pre-pool CPU joint-BFS implementation, frozen as a baseline.
+//!
+//! This is the original `run_cpu` hot path before the persistent-pool
+//! rewrite in [`crate::cpu`]: it respawns scoped threads in 3–4 waves per
+//! BFS level, copies the entire status array (O(n)) every level, allocates
+//! its `Vec<AtomicU64>` scratch per group, partitions the frontier queue
+//! with static [`even_ranges`](ibfs_graph::partition::even_ranges), writes
+//! depths in `[vertex][instance]` layout, and transposes at the end. It is
+//! kept for two jobs:
+//!
+//! * the **differential oracle**: the pooled engine must produce bit-identical
+//!   depths and `traversed_edges` (`tests/cpu_differential.rs`);
+//! * the **measured old path** in `bfs cpu-bench`, so `BENCH_cpu.json`
+//!   records pooled-vs-baseline wall-clock on the same workload.
+//!
+//! Capacity is the historical 64 instances (one `u64` register word).
+
+use crate::cpu::CpuRun;
+use crate::direction::{Direction, DirectionPolicy};
+use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Maximum instances per baseline group (one `u64` register word).
+pub const BASELINE_GROUP: usize = 64;
+
+fn full_mask(ni: usize) -> u64 {
+    if ni >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ni) - 1
+    }
+}
+
+fn ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    ibfs_graph::partition::even_ranges(n, threads.max(1))
+}
+
+/// The frozen pre-pool level-synchronous implementation.
+///
+/// `early_termination` enables the iBFS bottom-up break; `per_level_reset`
+/// adds the MS-BFS `visit`-map maintenance (an extra full sweep per level),
+/// the cost difference the paper attributes to [26].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cpu_baseline(
+    csr: &Csr,
+    rev: &Csr,
+    sources: &[VertexId],
+    policy: DirectionPolicy,
+    threads: usize,
+    early_termination: bool,
+    per_level_reset: bool,
+    max_levels: u32,
+) -> CpuRun {
+    let ni = sources.len();
+    assert!(ni <= BASELINE_GROUP, "baseline group limited to {BASELINE_GROUP} instances");
+    let n = csr.num_vertices();
+    let total_edges = csr.num_edges() as u64;
+    let full = full_mask(ni);
+    let threads = if threads == 0 { crate::cpu::available_threads() } else { threads };
+
+    let start = Instant::now();
+    let mut level_seconds = Vec::new();
+    // Status words; `cur` is read-only within a level, `next` is written.
+    let cur: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    // Depths in `[vertex][instance]` order during the run so identification
+    // threads (which own vertex ranges) write disjoint slices.
+    let mut depths_vm = vec![DEPTH_UNVISITED; n * ni.max(1)];
+
+    for (j, &s) in sources.iter().enumerate() {
+        cur[s as usize].fetch_or(1 << j, Ordering::Relaxed);
+        if ni > 0 {
+            depths_vm[s as usize * ni + j] = 0;
+        }
+    }
+    for v in 0..n {
+        next[v].store(cur[v].load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    let mut queue: Vec<VertexId> = {
+        let mut q: Vec<VertexId> = sources.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        q
+    };
+    let mut direction = Direction::TopDown;
+    let mut frontier_edges: u64 = sources.iter().map(|&s| csr.out_degree(s) as u64).sum();
+    let mut visited_edges = frontier_edges;
+    let mut cur_ref: &[AtomicU64] = &cur;
+    let mut next_ref: &[AtomicU64] = &next;
+
+    let level_cap = if max_levels == 0 {
+        crate::sequential::MAX_LEVELS
+    } else {
+        max_levels.min(crate::sequential::MAX_LEVELS)
+    };
+    for level in 1..=level_cap {
+        if queue.is_empty() || ni == 0 {
+            break;
+        }
+        let level_start = Instant::now();
+        let depth = level as Depth;
+
+        // next <- cur (parallelized sweep).
+        std::thread::scope(|scope| {
+            for r in ranges(n, threads) {
+                let (cur_ref, next_ref) = (cur_ref, next_ref);
+                scope.spawn(move || {
+                    for v in r {
+                        next_ref[v].store(cur_ref[v].load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        if per_level_reset {
+            // MS-BFS maintains an extra visit map each level: model the
+            // cost with one more sweep over the words.
+            std::thread::scope(|scope| {
+                for r in ranges(n, threads) {
+                    let next_ref = next_ref;
+                    scope.spawn(move || {
+                        for v in r {
+                            // A load+store of the visit word.
+                            let w = next_ref[v].load(Ordering::Relaxed);
+                            next_ref[v].store(w, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Traversal.
+        match direction {
+            Direction::TopDown => {
+                std::thread::scope(|scope| {
+                    for r in ranges(queue.len(), threads) {
+                        let q = &queue[r];
+                        let (cur_ref, next_ref) = (cur_ref, next_ref);
+                        scope.spawn(move || {
+                            for &f in q {
+                                let mask = cur_ref[f as usize].load(Ordering::Relaxed);
+                                for &w in csr.neighbors(f) {
+                                    let old = next_ref[w as usize].load(Ordering::Relaxed);
+                                    if mask & !old != 0 {
+                                        next_ref[w as usize].fetch_or(mask, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            Direction::BottomUp => {
+                std::thread::scope(|scope| {
+                    for r in ranges(queue.len(), threads) {
+                        let q = &queue[r];
+                        let (cur_ref, next_ref) = (cur_ref, next_ref);
+                        scope.spawn(move || {
+                            for &f in q {
+                                // Only this thread writes f's word.
+                                let mut acc = next_ref[f as usize].load(Ordering::Relaxed);
+                                for &p in rev.neighbors(f) {
+                                    if early_termination && acc & full == full {
+                                        break;
+                                    }
+                                    acc |= cur_ref[p as usize].load(Ordering::Relaxed);
+                                }
+                                next_ref[f as usize].store(acc, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // Identification: diff words, record depths, build the next queue.
+        struct Part {
+            new_marked: u64,
+            new_edges: u64,
+            td_queue: Vec<VertexId>,
+            bu_queue: Vec<VertexId>,
+        }
+        let rs = ranges(n, threads);
+        let mut parts: Vec<Part> = Vec::with_capacity(rs.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest: &mut [Depth] = &mut depths_vm;
+            let mut offset = 0usize;
+            for r in rs {
+                let take = (r.end - r.start) * ni;
+                debug_assert_eq!(r.start * ni, offset);
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                offset += take;
+                let (cur_ref, next_ref) = (cur_ref, next_ref);
+                handles.push(scope.spawn(move || {
+                    let mut part = Part {
+                        new_marked: 0,
+                        new_edges: 0,
+                        td_queue: Vec::new(),
+                        bu_queue: Vec::new(),
+                    };
+                    for (i, v) in r.clone().enumerate() {
+                        let old = cur_ref[v].load(Ordering::Relaxed);
+                        let new = next_ref[v].load(Ordering::Relaxed);
+                        let diff = new & !old;
+                        if diff != 0 {
+                            let mut m = diff;
+                            while m != 0 {
+                                let j = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                mine[i * ni + j] = depth;
+                            }
+                            part.new_marked += diff.count_ones() as u64;
+                            part.new_edges +=
+                                diff.count_ones() as u64 * csr.out_degree(v as VertexId) as u64;
+                            part.td_queue.push(v as VertexId);
+                        }
+                        if new & full != full {
+                            part.bu_queue.push(v as VertexId);
+                        }
+                    }
+                    part
+                }));
+            }
+            for h in handles {
+                parts.push(h.join().unwrap());
+            }
+        });
+
+        let new_marked: u64 = parts.iter().map(|p| p.new_marked).sum();
+        let new_edges: u64 = parts.iter().map(|p| p.new_edges).sum();
+        visited_edges += new_edges;
+        frontier_edges = new_edges;
+
+        let next_direction = policy.next(
+            direction,
+            frontier_edges,
+            new_marked,
+            (total_edges * ni as u64).saturating_sub(visited_edges),
+            (n * ni) as u64,
+        );
+        queue = match next_direction {
+            Direction::TopDown => parts.into_iter().flat_map(|p| p.td_queue).collect(),
+            Direction::BottomUp => parts.into_iter().flat_map(|p| p.bu_queue).collect(),
+        };
+        direction = next_direction;
+        // Swap buffers.
+        std::mem::swap(&mut cur_ref, &mut next_ref);
+        level_seconds.push(level_start.elapsed().as_secs_f64());
+        if new_marked == 0 {
+            break;
+        }
+    }
+
+    // Transpose depths to `[instance][vertex]`.
+    let mut depths = vec![DEPTH_UNVISITED; ni * n];
+    for v in 0..n {
+        for j in 0..ni {
+            depths[j * n + v] = depths_vm[v * ni + j];
+        }
+    }
+    let traversed = crate::engine::traversed_edges_for(csr, &depths, ni);
+    CpuRun {
+        num_instances: ni,
+        num_vertices: n,
+        depths,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        traversed_edges: traversed,
+        level_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfs_graph::suite::{figure1, FIGURE1_SOURCES};
+    use ibfs_graph::validate::reference_bfs;
+
+    #[test]
+    fn baseline_matches_reference_figure1() {
+        let g = figure1();
+        let r = g.reverse();
+        let run = run_cpu_baseline(
+            &g,
+            &r,
+            &FIGURE1_SOURCES,
+            DirectionPolicy::default(),
+            2,
+            true,
+            false,
+            0,
+        );
+        for (j, &s) in FIGURE1_SOURCES.iter().enumerate() {
+            assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
+        }
+        assert!(!run.level_seconds.is_empty());
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod bitwise;
 pub mod cpu;
+pub mod cpu_baseline;
 pub mod direction;
 pub mod driver;
 pub mod engine;
@@ -43,6 +44,7 @@ pub mod groupby;
 pub mod joint;
 pub mod metrics;
 pub mod naive;
+pub mod pool;
 pub mod runner;
 pub mod sequential;
 pub mod service;
@@ -53,6 +55,7 @@ pub mod status;
 pub mod trace;
 pub mod word;
 
+pub use cpu::{CpuIbfs, CpuMsBfs, CpuOptions, CpuRun, CpuService, CPU_GROUP};
 pub use driver::{LevelDriver, LevelEngine};
 pub use engine::{Engine, EngineKind, GpuGraph, GroupRun};
 pub use groupby::{GroupByConfig, Grouping, GroupingStrategy};
@@ -61,4 +64,4 @@ pub use service::{
     admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService, RequestError,
 };
 pub use trace::{GroupStamp, JsonlSink, NullSink, RecorderSink, TraceSink, TraversalEvent};
-pub use word::StatusWord;
+pub use word::{StatusWord, WordWidth};

@@ -1,0 +1,307 @@
+//! A persistent worker pool for the CPU engines.
+//!
+//! The pre-pool CPU path spawned a fresh wave of scoped threads for every
+//! phase of every BFS level — three to four `std::thread::scope` blocks per
+//! level, each paying thread creation, stack allocation, and join latency.
+//! [`WorkerPool`] spawns its OS threads exactly once, when the owning engine
+//! is constructed, and reuses them for every phase of every level of every
+//! group served afterwards. Phases are dispatched with a generation-counted
+//! mutex/condvar handshake (workers block, they do not spin), and
+//! [`WorkerPool::run`] does not return until every worker has finished the
+//! phase — a barrier, which is what makes lending stack-borrowed closures to
+//! the workers sound.
+//!
+//! The caller participates as worker 0, so a pool of `threads` executes
+//! phases on `threads` lanes while owning only `threads - 1` OS threads; a
+//! single-threaded pool never synchronizes at all.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Total OS threads ever spawned by any [`WorkerPool`] in this process.
+///
+/// Tests use this to prove the engines create workers once per engine
+/// lifetime rather than once per level: the counter must not move across a
+/// multi-level, multi-group run.
+static POOL_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total OS threads ever spawned by any pool (monotone, process-wide).
+pub fn total_threads_spawned() -> u64 {
+    POOL_THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// The job pointer lent to workers for the duration of one phase.
+///
+/// `run` erases the closure's lifetime: the barrier at the end of the phase
+/// guarantees no worker holds the pointer after `run` returns, so the borrow
+/// it was created from is still live whenever it is dereferenced.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from many threads) and the
+// pool's barrier protocol bounds every dereference within the lifetime of
+// the borrow captured in `run`.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per phase; workers sleep until it moves.
+    generation: u64,
+    /// The phase body; `None` between phases.
+    job: Option<Job>,
+    /// Workers still executing the current phase.
+    active: usize,
+    /// Set by `Drop` to retire the workers.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The dispatching thread waits here for `active == 0`.
+    done_cv: Condvar,
+}
+
+/// A fixed set of worker threads executing barrier-synced phases.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    /// Phases dispatched over the pool's lifetime.
+    phases: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Creates a pool executing phases on `threads` lanes (the calling
+    /// thread is lane 0; `threads - 1` OS threads are spawned, once).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads - 1);
+        for lane in 1..threads {
+            let shared = Arc::clone(&shared);
+            POOL_THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ibfs-cpu-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn pool worker"),
+            );
+        }
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+            phases: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes (including the caller's lane 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// OS threads owned by the pool (`threads() - 1`).
+    pub fn spawned_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Phases dispatched so far.
+    pub fn phases_run(&self) -> u64 {
+        self.phases.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(lane)` on every lane and returns once all lanes finish.
+    ///
+    /// `f` runs on the calling thread as lane 0 concurrently with the pool
+    /// workers on lanes `1..threads`.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.phases.fetch_add(1, Ordering::Relaxed);
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY (lifetime erasure): the pointer is dereferenced only by
+        // workers between the generation bump below and the `active == 0`
+        // barrier we block on before returning, so it never outlives `f`.
+        let job = Job(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                wide as *const _,
+            )
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.active, 0);
+            st.job = Some(job);
+            st.active = self.handles.len();
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        f(0);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break st.job.expect("generation moved without a job");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // SAFETY: see `Job` — the dispatcher keeps the closure alive until
+        // every worker has decremented `active`.
+        (unsafe { &*job.0 })(lane);
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A shared claim cursor: lanes `fetch_add` to steal the next work chunk.
+///
+/// This is the work-stealing half of the CPU engine's load balancing: the
+/// level's work is pre-split into degree-balanced chunks, and lanes claim
+/// chunks until the cursor runs past the end — a lane stuck on a hub vertex
+/// simply claims fewer chunks.
+#[derive(Default)]
+pub struct ChunkCursor(AtomicUsize);
+
+impl ChunkCursor {
+    /// Resets the cursor for a new phase.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Claims the next chunk index, or `None` when `limit` is exhausted.
+    pub fn claim(&self, limit: usize) -> Option<usize> {
+        let i = self.0.fetch_add(1, Ordering::Relaxed);
+        (i < limit).then_some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_lane_exactly_once_per_phase() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.spawned_threads(), 3);
+        let hits: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(|lane| {
+                hits[lane].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+        assert_eq!(pool.phases_run(), 100);
+    }
+
+    #[test]
+    fn single_lane_pool_spawns_nothing() {
+        let before = total_threads_spawned();
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.spawned_threads(), 0);
+        let mut x = 0;
+        let cell = std::sync::Mutex::new(&mut x);
+        pool.run(|lane| {
+            assert_eq!(lane, 0);
+            **cell.lock().unwrap() += 1;
+        });
+        drop(cell);
+        assert_eq!(x, 1);
+        assert_eq!(total_threads_spawned(), before);
+    }
+
+    #[test]
+    fn phases_observe_prior_phase_writes() {
+        // The barrier between phases orders writes: phase 2 reads what
+        // phase 1 wrote, across lanes.
+        let pool = WorkerPool::new(3);
+        let data: Vec<AtomicU32> = (0..300).map(|_| AtomicU32::new(0)).collect();
+        pool.run(|lane| {
+            for i in (lane..300).step_by(3) {
+                data[i].store(i as u32 + 1, Ordering::Relaxed);
+            }
+        });
+        pool.run(|lane| {
+            // Read indices written by *other* lanes in phase 1.
+            for i in ((lane + 1) % 3..300).step_by(3) {
+                assert_eq!(data[i].load(Ordering::Relaxed), i as u32 + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn cursor_hands_out_each_chunk_once() {
+        let pool = WorkerPool::new(4);
+        let cursor = ChunkCursor::default();
+        let claims: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        pool.run(|_lane| {
+            while let Some(i) = cursor.claim(64) {
+                claims[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for c in &claims {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+        cursor.reset();
+        assert_eq!(cursor.claim(64), Some(0));
+    }
+
+    #[test]
+    fn pool_spawn_counter_is_constant_across_phases() {
+        let pool = WorkerPool::new(3);
+        let after_new = total_threads_spawned();
+        for _ in 0..50 {
+            pool.run(|_| {});
+        }
+        assert_eq!(total_threads_spawned(), after_new);
+    }
+}

@@ -48,6 +48,13 @@ pub enum RequestError {
         /// Vertex count of the resident graph.
         num_vertices: usize,
     },
+    /// The group holds more instances than the engine's status words can.
+    GroupTooLarge {
+        /// Instances requested.
+        size: usize,
+        /// Instances the engine's word width can hold.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for RequestError {
@@ -56,6 +63,9 @@ impl std::fmt::Display for RequestError {
             RequestError::EmptySources => write!(f, "request names no sources"),
             RequestError::SourceOutOfRange { source, num_vertices } => {
                 write!(f, "source {source} out of range (graph has {num_vertices} vertices)")
+            }
+            RequestError::GroupTooLarge { size, capacity } => {
+                write!(f, "group of {size} instances exceeds engine capacity {capacity}")
             }
         }
     }

@@ -49,9 +49,12 @@ pub trait StatusWord: Copy + Eq + std::fmt::Debug + Send + Sync + 'static {
     /// Number of set bits.
     fn count_ones(self) -> u32;
 
+    /// Index of the lowest set bit, or `BITS` when zero.
+    fn trailing_zeros(self) -> u32;
+
     /// Indices of the set bits, ascending.
     fn iter_ones(self) -> OnesIter<Self> {
-        OnesIter { word: self, next: 0 }
+        OnesIter { word: self }
     }
 
     /// Bytes occupied in the (simulated) device memory.
@@ -60,24 +63,22 @@ pub trait StatusWord: Copy + Eq + std::fmt::Debug + Send + Sync + 'static {
     }
 }
 
-/// Iterator over set-bit indices of a [`StatusWord`].
+/// Iterator over set-bit indices of a [`StatusWord`], skipping zero runs
+/// with [`StatusWord::trailing_zeros`] so cost is O(popcount), not O(BITS).
 pub struct OnesIter<W: StatusWord> {
     word: W,
-    next: u32,
 }
 
 impl<W: StatusWord> Iterator for OnesIter<W> {
     type Item = u32;
 
     fn next(&mut self) -> Option<u32> {
-        while self.next < W::BITS {
-            let i = self.next;
-            self.next += 1;
-            if self.word.has_bit(i) {
-                return Some(i);
-            }
+        if self.word.is_zero() {
+            return None;
         }
-        None
+        let i = self.word.trailing_zeros();
+        self.word = self.word.and(W::bit(i).not());
+        Some(i)
     }
 }
 
@@ -132,6 +133,11 @@ macro_rules! impl_word_for_uint {
             #[inline]
             fn count_ones(self) -> u32 {
                 <$t>::count_ones(self)
+            }
+
+            #[inline]
+            fn trailing_zeros(self) -> u32 {
+                <$t>::trailing_zeros(self)
             }
         }
     };
@@ -215,6 +221,222 @@ impl StatusWord for W256 {
     fn count_ones(self) -> u32 {
         self.0.iter().map(|x| x.count_ones()).sum()
     }
+
+    #[inline]
+    fn trailing_zeros(self) -> u32 {
+        for (lane, &x) in self.0.iter().enumerate() {
+            if x != 0 {
+                return lane as u32 * 64 + x.trailing_zeros();
+            }
+        }
+        256
+    }
+}
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A [`StatusWord`] width selectable at run time (CLI `--width`, bench
+/// configs). Each variant names the register type §6 maps it to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WordWidth {
+    /// 32-bit word (`int`).
+    W32,
+    /// 64-bit word (`long`) — the MS-BFS register width and the default.
+    #[default]
+    W64,
+    /// 128-bit word (`int4`).
+    W128,
+    /// 256-bit word (`long4`).
+    W256,
+}
+
+impl WordWidth {
+    /// Instances one status word of this width can hold.
+    pub fn bits(self) -> u32 {
+        match self {
+            WordWidth::W32 => 32,
+            WordWidth::W64 => 64,
+            WordWidth::W128 => 128,
+            WordWidth::W256 => 256,
+        }
+    }
+
+    /// Parses `32`/`64`/`128`/`256`.
+    pub fn parse(s: &str) -> Option<WordWidth> {
+        match s {
+            "32" => Some(WordWidth::W32),
+            "64" => Some(WordWidth::W64),
+            "128" => Some(WordWidth::W128),
+            "256" => Some(WordWidth::W256),
+            _ => None,
+        }
+    }
+
+    /// All widths, narrowest first.
+    pub fn all() -> [WordWidth; 4] {
+        [WordWidth::W32, WordWidth::W64, WordWidth::W128, WordWidth::W256]
+    }
+}
+
+impl std::fmt::Display for WordWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A shared-memory cell holding one [`StatusWord`], updatable concurrently.
+///
+/// `u32`/`u64` map to native atomics; `u128`/[`W256`] are stored as 2/4
+/// `AtomicU64` lanes updated lane-by-lane. A multi-lane [`AtomicStatus::load`]
+/// may observe lanes from different moments ("torn" across lanes), and a
+/// multi-lane [`AtomicStatus::fetch_or`] is atomic per lane only. Both are
+/// sound for the BFS status arrays because status bits are *monotone* — they
+/// are only ever set, never cleared, within a level — so any torn view is a
+/// valid earlier state, exactly like the GPU engines' non-atomic wide-word
+/// reads. Cross-lane snapshots are only taken between barrier-synced phases,
+/// where no writer is live.
+pub trait AtomicStatus: Send + Sync + 'static {
+    /// The word value this cell holds.
+    type Word: StatusWord;
+
+    /// A zeroed cell.
+    fn zeroed() -> Self;
+
+    /// Loads the word (per-lane atomic; see the trait docs on tearing).
+    fn load(&self) -> Self::Word;
+
+    /// Stores the word (per-lane atomic).
+    fn store(&self, w: Self::Word);
+
+    /// ORs `w` in and returns the *previous* word (per-lane atomic; for a
+    /// multi-lane word, each lane's previous value is from the instant that
+    /// lane's RMW committed).
+    fn fetch_or(&self, w: Self::Word) -> Self::Word;
+}
+
+/// One `AtomicU32` — the native cell for `u32` status words.
+pub struct AtomicW32(AtomicU32);
+
+impl AtomicStatus for AtomicW32 {
+    type Word = u32;
+
+    fn zeroed() -> Self {
+        AtomicW32(AtomicU32::new(0))
+    }
+
+    #[inline]
+    fn load(&self) -> u32 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store(&self, w: u32) {
+        self.0.store(w, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn fetch_or(&self, w: u32) -> u32 {
+        self.0.fetch_or(w, Ordering::Relaxed)
+    }
+}
+
+/// One `AtomicU64` — the native cell for `u64` status words.
+pub struct AtomicW64(AtomicU64);
+
+impl AtomicStatus for AtomicW64 {
+    type Word = u64;
+
+    fn zeroed() -> Self {
+        AtomicW64(AtomicU64::new(0))
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store(&self, w: u64) {
+        self.0.store(w, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn fetch_or(&self, w: u64) -> u64 {
+        self.0.fetch_or(w, Ordering::Relaxed)
+    }
+}
+
+/// Two `AtomicU64` lanes backing a `u128` status word.
+pub struct AtomicW128([AtomicU64; 2]);
+
+impl AtomicStatus for AtomicW128 {
+    type Word = u128;
+
+    fn zeroed() -> Self {
+        AtomicW128([AtomicU64::new(0), AtomicU64::new(0)])
+    }
+
+    #[inline]
+    fn load(&self) -> u128 {
+        let lo = self.0[0].load(Ordering::Relaxed) as u128;
+        let hi = self.0[1].load(Ordering::Relaxed) as u128;
+        lo | (hi << 64)
+    }
+
+    #[inline]
+    fn store(&self, w: u128) {
+        self.0[0].store(w as u64, Ordering::Relaxed);
+        self.0[1].store((w >> 64) as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn fetch_or(&self, w: u128) -> u128 {
+        let lo = if w as u64 != 0 {
+            self.0[0].fetch_or(w as u64, Ordering::Relaxed)
+        } else {
+            self.0[0].load(Ordering::Relaxed)
+        };
+        let hi = if (w >> 64) as u64 != 0 {
+            self.0[1].fetch_or((w >> 64) as u64, Ordering::Relaxed)
+        } else {
+            self.0[1].load(Ordering::Relaxed)
+        };
+        lo as u128 | ((hi as u128) << 64)
+    }
+}
+
+/// Four `AtomicU64` lanes backing a [`W256`] status word.
+pub struct AtomicW256([AtomicU64; 4]);
+
+impl AtomicStatus for AtomicW256 {
+    type Word = W256;
+
+    fn zeroed() -> Self {
+        AtomicW256(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+
+    #[inline]
+    fn load(&self) -> W256 {
+        W256(std::array::from_fn(|i| self.0[i].load(Ordering::Relaxed)))
+    }
+
+    #[inline]
+    fn store(&self, w: W256) {
+        for (lane, &v) in self.0.iter().zip(&w.0) {
+            lane.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn fetch_or(&self, w: W256) -> W256 {
+        W256(std::array::from_fn(|i| {
+            if w.0[i] != 0 {
+                self.0[i].fetch_or(w.0[i], Ordering::Relaxed)
+            } else {
+                self.0[i].load(Ordering::Relaxed)
+            }
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +495,52 @@ mod tests {
         let m = W256::low_mask(130);
         assert_eq!(m.0, [u64::MAX, u64::MAX, 0b11, 0]);
         assert_eq!(m.count_ones(), 130);
+    }
+
+    fn exercise_atomic<A: AtomicStatus>() {
+        let cell = A::zeroed();
+        assert!(cell.load().is_zero());
+        let b0 = A::Word::bit(0);
+        let bl = A::Word::bit(A::Word::BITS - 1);
+        assert!(cell.fetch_or(b0).is_zero());
+        assert_eq!(cell.fetch_or(bl), b0);
+        assert_eq!(cell.load(), b0.or(bl));
+        let m = A::Word::low_mask(A::Word::BITS / 2 + 1);
+        cell.store(m);
+        assert_eq!(cell.load(), m);
+        // OR of an already-set mask is a no-op on the value.
+        assert_eq!(cell.fetch_or(b0), m);
+        assert_eq!(cell.load(), m);
+    }
+
+    #[test]
+    fn atomic_cells_match_word_semantics() {
+        exercise_atomic::<AtomicW32>();
+        exercise_atomic::<AtomicW64>();
+        exercise_atomic::<AtomicW128>();
+        exercise_atomic::<AtomicW256>();
+    }
+
+    #[test]
+    fn atomic_wide_words_cross_lane_boundaries() {
+        let c = AtomicW128::zeroed();
+        c.fetch_or(1u128 << 100);
+        c.fetch_or(1u128);
+        assert_eq!(c.load(), (1u128 << 100) | 1);
+
+        let c = AtomicW256::zeroed();
+        c.fetch_or(W256::bit(200));
+        c.fetch_or(W256::bit(3));
+        assert_eq!(c.load(), W256::bit(200).or(W256::bit(3)));
+    }
+
+    #[test]
+    fn word_width_parses_and_reports_bits() {
+        for w in WordWidth::all() {
+            assert_eq!(WordWidth::parse(&w.to_string()), Some(w));
+        }
+        assert_eq!(WordWidth::parse("48"), None);
+        assert_eq!(WordWidth::default().bits(), 64);
     }
 
     #[test]

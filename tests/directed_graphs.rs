@@ -54,8 +54,8 @@ fn check_all_engines(g: &Csr, sources: &[VertexId]) {
         }
     }
     // CPU engines too.
-    let cpu = CpuIbfs::default().run_group(g, &r, sources);
-    let ms = CpuMsBfs::default().run_group(g, &r, sources);
+    let cpu = CpuIbfs::default().run_group(g, &r, sources).unwrap();
+    let ms = CpuMsBfs::default().run_group(g, &r, sources).unwrap();
     for (j, &s) in sources.iter().enumerate() {
         let want = reference_bfs(g, s);
         assert_eq!(cpu.instance_depths(j), &want[..]);

@@ -65,8 +65,8 @@ fn cpu_engines_match_reference_on_every_suite_graph() {
     for (name, g) in suite_graphs() {
         let r = g.reverse();
         let sources = sources_for(&g);
-        let ibfs_run = CpuIbfs::default().run_group(&g, &r, &sources);
-        let msbfs_run = CpuMsBfs::default().run_group(&g, &r, &sources);
+        let ibfs_run = CpuIbfs::default().run_group(&g, &r, &sources).unwrap();
+        let msbfs_run = CpuMsBfs::default().run_group(&g, &r, &sources).unwrap();
         for (j, &s) in sources.iter().enumerate() {
             let want = reference_bfs(&g, s);
             assert_eq!(
@@ -112,8 +112,8 @@ fn all_engines_produce_identical_level_arrays_across_generators() {
                 .collect();
             runs.push((format!("{kind:?}"), levels));
         }
-        let cpu = CpuIbfs::default().run_group(&g, &r, &sources);
-        let ms = CpuMsBfs::default().run_group(&g, &r, &sources);
+        let cpu = CpuIbfs::default().run_group(&g, &r, &sources).unwrap();
+        let ms = CpuMsBfs::default().run_group(&g, &r, &sources).unwrap();
         for (name, run) in [("CpuIbfs", cpu), ("CpuMsBfs", ms)] {
             let levels = (0..sources.len())
                 .map(|j| run.instance_depths(j).to_vec())

@@ -72,7 +72,7 @@ fn cpu_engine_matches_reference_on_arbitrary_graphs() {
             let r = g.reverse();
             let n = g.num_vertices();
             let sources: Vec<VertexId> = (0..n.min(8) as VertexId).collect();
-            let run = CpuIbfs { threads, ..Default::default() }.run_group(&g, &r, &sources);
+            let run = CpuIbfs { threads, ..Default::default() }.run_group(&g, &r, &sources).unwrap();
             for (j, &s) in sources.iter().enumerate() {
                 assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..]);
             }
