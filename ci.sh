@@ -22,11 +22,24 @@ RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline
 # re-parses every Prometheus exposition value as a float, so a
 # locale-dependent formatter would fail here.
 SNAP="$(mktemp -t ibfs-metrics.XXXXXX.json)"
+QOS_SNAP="$(mktemp -t ibfs-qos-metrics.XXXXXX.json)"
 BENCH="$(mktemp -t ibfs-cpubench.XXXXXX.json)"
-trap 'rm -f "$SNAP" "$BENCH"' EXIT
+trap 'rm -f "$SNAP" "$QOS_SNAP" "$BENCH"' EXIT
 cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
     --clients 4 --requests 8 --seed 7 --metrics-out "$SNAP"
 cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$SNAP"
+
+# QoS gate: a seeded overload burst (three bulk clients storming in deep
+# bursts against three closed-loop interactive clients, heavy-tailed
+# sources) through the standard QoS policy. --check fails unless
+# interactive p99 beats bulk p99 and the power-law profile finds the
+# result cache; metrics-check then validates the cache and per-class
+# latency families in the same snapshot.
+cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
+    --qos --profile powerlaw --clients 6 --bulk-clients 3 --burst 24 \
+    --requests 24 --seed 42 --workers 2 --max-batch 8 --check \
+    --metrics-out "$QOS_SNAP"
+cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$QOS_SNAP"
 
 # CPU-engine gate: a seeded cpu-bench run with --check asserts the pooled
 # engine's depths are bit-identical to reference_bfs and to the frozen

@@ -9,6 +9,8 @@
 //!             [--max-batch N] [--window-us N] [--queue N] [--worker-queue N]
 //!             [--deadline-ms N] [--seed N] [--policy arrival|groupby|bestof]
 //!             [--router rr|lpt] [--scheduler b2b|hyperq] [--engine ENGINE]
+//!             [--qos] [--profile uniform|powerlaw] [--bulk-clients N]
+//!             [--burst N] [--cache N] [--bulk-quota N] [--check]
 //!             [--json] [--metrics-out PATH] [--metrics-text PATH]
 //!             [--trace PATH]
 //! bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
@@ -24,7 +26,13 @@
 //! (Prometheus text, or a versioned JSON snapshot with `--json`).
 //! `serve-bench --metrics-out` writes the end-of-run JSON snapshot,
 //! `--metrics-text` the Prometheus rendering, and `--trace` the merged
-//! request-span + per-level JSONL stream.
+//! request-span + per-level JSONL stream. `--qos` enables the standard
+//! QoS policy (weighted-fair lanes, in-flight dedup, result cache);
+//! `--profile powerlaw` draws heavy-tailed sources; `--bulk-clients` and
+//! `--burst` turn the first clients into a bursting bulk tenant;
+//! `--cache`/`--bulk-quota` size the cache and the bulk tenant's quota;
+//! `--check` fails the run unless interactive p99 beats bulk p99 and a
+//! power-law run with a cache records at least one hit.
 //! ```
 
 use ibfs::engine::EngineKind;
@@ -32,10 +40,10 @@ use ibfs::groupby::GroupingStrategy;
 use ibfs::runner::RunConfig;
 use ibfs::service::IbfsService;
 use ibfs::trace::{JsonlSink, MetricsSink, NullSink, TraceLog};
-use ibfs_bench::loadgen::{run_loadgen_with, LoadGenConfig};
+use ibfs_bench::loadgen::{run_loadgen_with, LoadGenConfig, SourceProfile, BULK_TENANT};
 use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
 use ibfs_obs::Registry;
-use ibfs_serve::{CoalescePolicy, RouterKind, SchedulerKind, ServeTelemetry};
+use ibfs_serve::{CoalescePolicy, QosPolicy, RouterKind, SchedulerKind, ServeTelemetry};
 use ibfs_util::ToJson;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -237,6 +245,10 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut metrics_text: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut qos = false;
+    let mut cache: Option<u64> = None;
+    let mut bulk_quota: Option<u64> = None;
+    let mut check = false;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -317,6 +329,31 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
                     other => return usage(&format!("unknown engine {other:?}")),
                 }
             }
+            "--qos" => qos = true,
+            "--profile" => {
+                cfg.profile = match it.next().as_deref() {
+                    Some("uniform") => SourceProfile::Uniform,
+                    Some("powerlaw") => SourceProfile::PowerLaw { exponent: 1.2 },
+                    other => return usage(&format!("unknown profile {other:?}")),
+                }
+            }
+            "--bulk-clients" => match num("--bulk-clients", &mut it) {
+                Some(n) => cfg.bulk_clients = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--burst" => match num("--burst", &mut it) {
+                Some(n) => cfg.burst = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--cache" => match num("--cache", &mut it) {
+                Some(n) => cache = Some(n),
+                None => return ExitCode::from(2),
+            },
+            "--bulk-quota" => match num("--bulk-quota", &mut it) {
+                Some(n) => bulk_quota = Some(n),
+                None => return ExitCode::from(2),
+            },
+            "--check" => check = true,
             "--json" => json = true,
             "--metrics-out" => {
                 metrics_out = match it.next() {
@@ -339,6 +376,21 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
             other => return usage(&format!("serve-bench: unknown option {other}")),
         }
     }
+
+    // Compose the QoS policy from the flags: `--qos` is the standard
+    // dedup + cache policy; `--cache` and `--bulk-quota` refine it (and
+    // enable QoS on their own).
+    if qos || cache.is_some() || bulk_quota.is_some() {
+        let mut policy = if qos { QosPolicy::standard() } else { QosPolicy::default() };
+        if let Some(cap) = cache {
+            policy = policy.with_cache(cap as usize);
+        }
+        if let Some(q) = bulk_quota {
+            policy = policy.with_quota(BULK_TENANT, q);
+        }
+        cfg.serve.qos = policy;
+    }
+    let qos_on = qos || cache.is_some() || bulk_quota.is_some();
 
     let graph = match load_graph(&graph_arg) {
         Ok(g) => g,
@@ -382,12 +434,12 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
         }
     }
 
-    if json {
-        println!("{}", res.summary.to_json().to_string_pretty());
-        return ExitCode::SUCCESS;
-    }
     let s = &res.summary;
     let r = &res.report;
+    if json {
+        println!("{}", s.to_json().to_string_pretty());
+        return serve_bench_check(check, qos_on, cfg.profile, s, r);
+    }
     println!("issued:             {}", s.issued);
     println!(
         "completed:          {} (timeouts {}, overloaded {}, shutdown {})",
@@ -410,11 +462,69 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
         "simulated rate:     {}",
         ibfs::metrics::format_teps(s.sim_teps)
     );
+    if qos_on {
+        println!(
+            "qos p99:            interactive {:.3} ms, bulk {:.3} ms",
+            s.interactive_p99_s * 1e3,
+            s.bulk_p99_s * 1e3
+        );
+        println!(
+            "qos reuse:          cache hits {} ({:.1}% of lookups, {} stale), dedup joined {}",
+            s.cache_hits,
+            s.cache_hit_rate * 1e2,
+            r.cache_stale,
+            s.dedup_joined
+        );
+        println!("quota rejected:     {}", s.quota_rejected);
+    }
+    serve_bench_check(check, qos_on, cfg.profile, s, r)
+}
+
+/// End-of-run acceptance for `serve-bench`: request conservation always,
+/// plus the QoS invariants under `--check` — interactive p99 must beat
+/// bulk p99 when both classes completed work, and a heavy-tailed profile
+/// with a result cache must actually hit it.
+fn serve_bench_check(
+    check: bool,
+    qos_on: bool,
+    profile: SourceProfile,
+    s: &ibfs_bench::loadgen::LoadGenSummary,
+    r: &ibfs_serve::ServeReport,
+) -> ExitCode {
     if !r.is_conserved() {
         eprintln!("error: request accounting not conserved");
         return ExitCode::FAILURE;
     }
-    ExitCode::SUCCESS
+    if qos_on && !r.is_conserved_per_class() {
+        eprintln!("error: per-class request accounting not conserved");
+        return ExitCode::FAILURE;
+    }
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let mut failed = false;
+    if s.interactive_p99_s > 0.0 && s.bulk_p99_s > 0.0 && s.interactive_p99_s >= s.bulk_p99_s {
+        eprintln!(
+            "check failed: interactive p99 {:.3} ms >= bulk p99 {:.3} ms",
+            s.interactive_p99_s * 1e3,
+            s.bulk_p99_s * 1e3
+        );
+        failed = true;
+    }
+    // Lookups happen iff a cache is configured, so hits+misses > 0 is
+    // the "cache on and exercised" signal.
+    if matches!(profile, SourceProfile::PowerLaw { .. })
+        && s.cache_hits == 0
+        && s.cache_hits + r.cache_misses > 0
+    {
+        eprintln!("check failed: power-law profile with a result cache never hit it");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `bfs stats` — run one traversal with the metrics sink attached and
@@ -638,7 +748,9 @@ fn usage(msg: &str) -> ExitCode {
        bfs serve-bench <GRAPH|suite:NAME> [--clients N] [--requests N] [--workers N] \
          [--max-batch N] [--window-us N] [--queue N] [--worker-queue N] [--deadline-ms N] \
          [--seed N] [--policy arrival|groupby|bestof] [--router rr|lpt] \
-         [--scheduler b2b|hyperq] [--engine ENGINE] [--json] \
+         [--scheduler b2b|hyperq] [--engine ENGINE] [--qos] \
+         [--profile uniform|powerlaw] [--bulk-clients N] [--burst N] [--cache N] \
+         [--bulk-quota N] [--check] [--json] \
          [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]\n\
        bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
          [--group-size N] [--threads N[,N...]] [--width 32|64|128|256] [--check] \

@@ -24,8 +24,13 @@ const DEFAULT_REQUIRED: &[&str] = &[
     "ibfs_serve_accepted_total",
     "ibfs_serve_completed_total",
     "ibfs_serve_latency_seconds",
+    "ibfs_serve_latency_seconds{class=\"interactive\"}",
+    "ibfs_serve_latency_seconds{class=\"bulk\"}",
     "ibfs_serve_queue_wait_seconds",
     "ibfs_serve_batch_occupancy",
+    "ibfs_serve_quota_rejected_total",
+    "ibfs_serve_dedup_joined_total",
+    "ibfs_serve_cache_*",
     "ibfs_cluster_routed_total*",
     "ibfs_cluster_batch_weight",
     "ibfs_core_levels_total",

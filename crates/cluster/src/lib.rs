@@ -12,5 +12,5 @@
 pub mod router;
 pub mod scaling;
 
-pub use router::{batch_weight, BatchRouter, LeastLoaded, RoundRobin};
+pub use router::{batch_weight, fanout_weight, BatchRouter, LeastLoaded, RoundRobin};
 pub use scaling::{run_cluster, ClusterConfig, ClusterRun, DeviceRun};

@@ -26,6 +26,18 @@ pub fn batch_weight(graph: &Csr, sources: &[VertexId]) -> u64 {
     sources.len() as u64 * 1_000 + deg_sum
 }
 
+/// [`batch_weight`] over the *distinct* sources of a possibly fanned-out
+/// batch. A deduplicated fan-out (N requests sharing one in-flight
+/// traversal) costs the device one instance, so the router must weigh it
+/// once — weighing per request would split load estimates along request
+/// count instead of actual traversal work and unbalance placement.
+pub fn fanout_weight(graph: &Csr, sources: &[VertexId]) -> u64 {
+    let mut distinct: Vec<VertexId> = sources.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    batch_weight(graph, &distinct)
+}
+
 /// An online policy assigning each arriving batch to one of `devices()`
 /// simulated devices.
 pub trait BatchRouter: Send {
@@ -216,6 +228,21 @@ mod tests {
         let large = batch_weight(&g, &[0, 1, 2, 3]);
         assert!(large > small);
         assert_eq!(batch_weight(&g, &[]), 0);
+    }
+
+    #[test]
+    fn fanout_weight_does_not_split_a_dedup_fanout() {
+        // Ten requests for one hot source traverse once: the router must
+        // see one instance of weight, not ten.
+        let g = ibfs_graph::generators::uniform_random(64, 4, 1);
+        assert_eq!(fanout_weight(&g, &[7; 10]), batch_weight(&g, &[7]));
+        assert_eq!(
+            fanout_weight(&g, &[3, 7, 3, 7, 3]),
+            batch_weight(&g, &[3, 7])
+        );
+        // Already-distinct batches are weighed identically.
+        assert_eq!(fanout_weight(&g, &[1, 2, 3]), batch_weight(&g, &[1, 2, 3]));
+        assert_eq!(fanout_weight(&g, &[]), 0);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub enum SpanStage {
     Rejected,
     /// Request was rejected at admission: invalid sources.
     Invalid,
+    /// Request was rejected at admission: tenant at its in-flight quota.
+    QuotaExceeded,
+    /// Request was answered from the result cache without traversal.
+    CacheHit,
 }
 
 json_enum!(SpanStage {
@@ -84,6 +88,8 @@ json_enum!(SpanStage {
     Shutdown,
     Rejected,
     Invalid,
+    QuotaExceeded,
+    CacheHit,
 });
 
 impl SpanStage {
@@ -245,6 +251,8 @@ mod tests {
             SpanStage::Shutdown,
             SpanStage::Rejected,
             SpanStage::Invalid,
+            SpanStage::QuotaExceeded,
+            SpanStage::CacheHit,
         ] {
             assert!(s.is_terminal());
         }

@@ -1,5 +1,6 @@
 //! The serve-path error taxonomy.
 
+use crate::qos::TenantId;
 use ibfs::service::RequestError;
 
 /// Why a request did not come back with a depth array. Every admitted
@@ -9,8 +10,16 @@ pub enum ServeError {
     /// The request's deadline passed before its batch started traversal.
     Timeout,
     /// The admission queue was full (`try_submit` only; blocking `submit`
-    /// waits instead).
+    /// waits instead). Class-scoped: only the submitting class's lane was
+    /// full, never another tenant's quota.
     Overloaded,
+    /// The submitting tenant is at its in-flight quota. Distinct from
+    /// [`ServeError::Overloaded`]: the server had room, *this tenant* did
+    /// not, so callers can back off per tenant instead of globally.
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: TenantId,
+    },
     /// The server is shutting down: the request was rejected at admission
     /// or abandoned by an aborting drain.
     Shutdown,
@@ -23,6 +32,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Timeout => write!(f, "request deadline passed before dispatch"),
             ServeError::Overloaded => write!(f, "admission queue full"),
+            ServeError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant} exceeded its in-flight quota")
+            }
             ServeError::Shutdown => write!(f, "server shutting down"),
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
         }
@@ -48,5 +60,17 @@ mod tests {
         assert!(ServeError::Shutdown.to_string().contains("shutting down"));
         let e = ServeError::from(RequestError::EmptySources);
         assert!(e.to_string().contains("no sources"));
+    }
+
+    #[test]
+    fn quota_exceeded_names_the_tenant_and_is_not_overloaded() {
+        // Regression for the satellite fix: quota rejection must be a
+        // distinct, tenant-carrying variant, not an overload.
+        let e = ServeError::QuotaExceeded { tenant: TenantId(7) };
+        assert_ne!(e, ServeError::Overloaded);
+        assert!(e.to_string().contains("tenant 7"), "{e}");
+        assert!(e.to_string().contains("quota"), "{e}");
+        assert_eq!(e, ServeError::QuotaExceeded { tenant: TenantId(7) });
+        assert_ne!(e, ServeError::QuotaExceeded { tenant: TenantId(8) });
     }
 }

@@ -16,7 +16,10 @@
 //! * [`channel`] — in-tree bounded MPMC + oneshot primitives (hermetic
 //!   policy: no external crates).
 //! * [`error`] — the [`ServeError`] taxonomy
-//!   (Timeout/Overloaded/Shutdown/Invalid).
+//!   (Timeout/Overloaded/QuotaExceeded/Shutdown/Invalid).
+//! * [`qos`] — the multi-tenant front door: priority classes, the
+//!   weighted-fair admission queue, per-tenant quotas, in-flight dedup,
+//!   and the epoch-tagged LRU result cache.
 //! * [`coalesce`] — window → batches planning, including the
 //!   early-level-sharing score that arbitrates GroupBy vs arrival order.
 //! * [`server`] — admission, batching, routing, workers, lifecycle.
@@ -26,11 +29,16 @@ pub mod channel;
 pub mod coalesce;
 pub mod error;
 pub mod metrics;
+pub mod qos;
 pub mod server;
 
 pub use coalesce::{plan, BatchPlan, CoalescePolicy, SCORE_LEVELS};
 pub use error::ServeError;
-pub use metrics::{Collector, ServeReport, ServeStats, ServeTelemetry};
+pub use metrics::{class_metric, Collector, ServeReport, ServeStats, ServeTelemetry};
+pub use qos::{
+    CacheStats, Class, DedupTable, Lookup, QosPolicy, QuotaGuard, QuotaTable, ResultCache,
+    TenantId, NUM_CLASSES,
+};
 pub use server::{
     effective_max_batch, serve, serve_with, BfsResponse, RouterKind, SchedulerKind, ServeConfig,
     ServeHandle, Ticket,

@@ -15,13 +15,21 @@
 //! into the shared [`TraceLog`], merged with the batch-stamped per-level
 //! [`TraversalEvent`](ibfs::trace::TraversalEvent)s the workers emit.
 
+use crate::qos::{Class, NUM_CLASSES};
 use ibfs::metrics::{mean_std, teps, BatchMetrics, MeanStd};
 use ibfs::trace::{TraceLog, TraceRecord};
 use ibfs_obs::span::{IdGen, SpanEvent};
-use ibfs_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
+use ibfs_obs::{labeled, Counter, Gauge, Histogram, Registry, Snapshot};
 use ibfs_util::json_struct;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The registry name of a per-class instrument:
+/// `class_metric("ibfs_serve_latency_seconds", Class::Bulk)` →
+/// `ibfs_serve_latency_seconds{class="bulk"}`.
+pub fn class_metric(name: &str, class: Class) -> String {
+    labeled(name, &[("class", class.label())])
+}
 
 /// What the serve stack records into: a metrics registry (always) and an
 /// optional shared trace log for span + per-level events.
@@ -97,6 +105,21 @@ pub struct Collector {
     pub(crate) invalid: DeltaCounter,
     pub(crate) groupby_batches: DeltaCounter,
     pub(crate) arrival_batches: DeltaCounter,
+    // QoS accounting: quota rejections, dedup fan-out joins, result-cache
+    // traffic.
+    pub(crate) quota_rejected: DeltaCounter,
+    pub(crate) dedup_joined: DeltaCounter,
+    pub(crate) cache_hits: DeltaCounter,
+    pub(crate) cache_misses: DeltaCounter,
+    pub(crate) cache_stale: DeltaCounter,
+    pub(crate) cache_entries: Arc<Gauge>,
+    // Per-class resolution counters and latency (indexed by `Class::idx`).
+    pub(crate) accepted_by_class: [DeltaCounter; NUM_CLASSES],
+    pub(crate) completed_by_class: [DeltaCounter; NUM_CLASSES],
+    pub(crate) timeouts_by_class: [DeltaCounter; NUM_CLASSES],
+    pub(crate) overloaded_by_class: [DeltaCounter; NUM_CLASSES],
+    pub(crate) shutdown_by_class: [DeltaCounter; NUM_CLASSES],
+    pub(crate) latency_by_class: [Arc<Histogram>; NUM_CLASSES],
     // Distribution instruments (cumulative; the report's own stats come
     // from the per-batch records below, so sharing a registry is fine).
     pub(crate) latency: Arc<Histogram>,
@@ -119,6 +142,10 @@ impl Collector {
     /// baseline captured now.
     pub fn new(telemetry: ServeTelemetry) -> Self {
         let r = &telemetry.registry;
+        // Per-class families are registered eagerly so every serve snapshot
+        // carries them (metrics-check validates presence, not activity).
+        let class_counters =
+            |name: &str| Class::ALL.map(|c| DeltaCounter::new(r, &class_metric(name, c)));
         Collector {
             accepted: DeltaCounter::new(r, "ibfs_serve_accepted_total"),
             completed: DeltaCounter::new(r, "ibfs_serve_completed_total"),
@@ -129,6 +156,19 @@ impl Collector {
             invalid: DeltaCounter::new(r, "ibfs_serve_invalid_total"),
             groupby_batches: DeltaCounter::new(r, "ibfs_serve_groupby_batches_total"),
             arrival_batches: DeltaCounter::new(r, "ibfs_serve_arrival_batches_total"),
+            quota_rejected: DeltaCounter::new(r, "ibfs_serve_quota_rejected_total"),
+            dedup_joined: DeltaCounter::new(r, "ibfs_serve_dedup_joined_total"),
+            cache_hits: DeltaCounter::new(r, "ibfs_serve_cache_hits_total"),
+            cache_misses: DeltaCounter::new(r, "ibfs_serve_cache_misses_total"),
+            cache_stale: DeltaCounter::new(r, "ibfs_serve_cache_stale_total"),
+            cache_entries: r.gauge("ibfs_serve_cache_entries"),
+            accepted_by_class: class_counters("ibfs_serve_accepted_total"),
+            completed_by_class: class_counters("ibfs_serve_completed_total"),
+            timeouts_by_class: class_counters("ibfs_serve_timeouts_total"),
+            overloaded_by_class: class_counters("ibfs_serve_overloaded_total"),
+            shutdown_by_class: class_counters("ibfs_serve_shutdown_total"),
+            latency_by_class: Class::ALL
+                .map(|c| r.histogram(&class_metric("ibfs_serve_latency_seconds", c))),
             latency: r.histogram("ibfs_serve_latency_seconds"),
             queue_wait: r.histogram("ibfs_serve_queue_wait_seconds"),
             occupancy: r.histogram("ibfs_serve_batch_occupancy"),
@@ -191,6 +231,16 @@ impl Collector {
             invalid: self.invalid.delta(),
             groupby_batches: self.groupby_batches.delta(),
             arrival_batches: self.arrival_batches.delta(),
+            quota_rejected: self.quota_rejected.delta(),
+            dedup_joined: self.dedup_joined.delta(),
+            cache_hits: self.cache_hits.delta(),
+            cache_misses: self.cache_misses.delta(),
+            cache_stale: self.cache_stale.delta(),
+            accepted_by_class: self.accepted_by_class.each_ref().map(DeltaCounter::delta),
+            completed_by_class: self.completed_by_class.each_ref().map(DeltaCounter::delta),
+            timeouts_by_class: self.timeouts_by_class.each_ref().map(DeltaCounter::delta),
+            overloaded_by_class: self.overloaded_by_class.each_ref().map(DeltaCounter::delta),
+            shutdown_by_class: self.shutdown_by_class.each_ref().map(DeltaCounter::delta),
             stats,
             snapshot: self.registry.snapshot(),
             batches,
@@ -273,6 +323,28 @@ pub struct ServeReport {
     pub groupby_batches: u64,
     /// Batches planned in arrival order.
     pub arrival_batches: u64,
+    /// Requests rejected at admission by a per-tenant quota (never
+    /// accepted).
+    pub quota_rejected: u64,
+    /// Requests that joined an identical in-flight request instead of
+    /// queueing their own traversal.
+    pub dedup_joined: u64,
+    /// Requests answered from the result cache without traversal.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing usable (includes stale discards).
+    pub cache_misses: u64,
+    /// Cache lookups that discarded an entry from another graph epoch.
+    pub cache_stale: u64,
+    /// Per-class accepted counts (indexed by [`Class::idx`]).
+    pub accepted_by_class: [u64; NUM_CLASSES],
+    /// Per-class completed counts.
+    pub completed_by_class: [u64; NUM_CLASSES],
+    /// Per-class timeout counts.
+    pub timeouts_by_class: [u64; NUM_CLASSES],
+    /// Per-class overload bounces.
+    pub overloaded_by_class: [u64; NUM_CLASSES],
+    /// Per-class shutdown abandonments.
+    pub shutdown_by_class: [u64; NUM_CLASSES],
     /// Aggregate statistics.
     pub stats: ServeStats,
     /// Snapshot of the telemetry registry at drain (includes cluster and
@@ -287,6 +359,25 @@ impl ServeReport {
     /// and shutdown abandonments add up to admissions.
     pub fn is_conserved(&self) -> bool {
         self.completed + self.timeouts + self.shutdown == self.accepted
+    }
+
+    /// [`ServeReport::is_conserved`] holding *within every class*: no
+    /// resolution ever slips from one class's accounting into another's.
+    pub fn is_conserved_per_class(&self) -> bool {
+        (0..NUM_CLASSES).all(|c| {
+            self.completed_by_class[c] + self.timeouts_by_class[c] + self.shutdown_by_class[c]
+                == self.accepted_by_class[c]
+        })
+    }
+
+    /// Cache hit-rate over all cache lookups, or 0 when the cache was off.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
     }
 }
 
@@ -372,6 +463,59 @@ mod tests {
         assert_eq!(second.report().accepted, 1);
         // The registry itself is cumulative across both runs.
         assert_eq!(registry.snapshot().counter("ibfs_serve_accepted_total"), Some(2));
+    }
+
+    #[test]
+    fn qos_families_are_registered_eagerly() {
+        // metrics-check validates presence in every serve snapshot, so the
+        // QoS instruments must exist even when no QoS feature fired.
+        let c = Collector::default();
+        let snap = c.report().snapshot;
+        for name in [
+            "ibfs_serve_quota_rejected_total",
+            "ibfs_serve_dedup_joined_total",
+            "ibfs_serve_cache_hits_total",
+            "ibfs_serve_cache_misses_total",
+            "ibfs_serve_cache_stale_total",
+        ] {
+            assert_eq!(snap.counter(name), Some(0), "{name} missing");
+        }
+        for class in Class::ALL {
+            assert_eq!(
+                snap.counter(&class_metric("ibfs_serve_accepted_total", class)),
+                Some(0)
+            );
+            assert!(snap
+                .histogram(&class_metric("ibfs_serve_latency_seconds", class))
+                .is_some());
+        }
+        assert!(snap.gauge("ibfs_serve_cache_entries").is_some());
+    }
+
+    #[test]
+    fn per_class_conservation_check() {
+        let mut r = ServeReport {
+            accepted: 3,
+            completed: 3,
+            accepted_by_class: [2, 1],
+            completed_by_class: [2, 1],
+            ..Default::default()
+        };
+        assert!(r.is_conserved());
+        assert!(r.is_conserved_per_class());
+        // Globally conserved but leaked across classes: per-class catches it.
+        r.completed_by_class = [1, 2];
+        assert!(r.is_conserved());
+        assert!(!r.is_conserved_per_class());
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_no_lookups() {
+        let mut r = ServeReport::default();
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        r.cache_hits = 3;
+        r.cache_misses = 1;
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,16 +1,35 @@
-//! The batching server: admission queue → batcher → router → per-device
-//! workers, each owning a resident [`IbfsService`].
+//! The batching server: QoS front door → weighted-fair admission queue →
+//! batcher → router → per-device workers, each owning a resident
+//! [`IbfsService`].
 //!
 //! ```text
-//!  clients ──submit──▶ [bounded queue] ──▶ batcher ──plan──▶ router
-//!                                                             │
-//!                                   ┌─────────────────────────┤
-//!                                   ▼                         ▼
-//!                             worker 0                   worker D-1
-//!                          (IbfsService)               (IbfsService)
-//!                                   │                         │
-//!                                   └────── oneshot reply ────┘
+//!  clients ──submit(tenant, class)──▶ cache? ─hit─▶ resolve
+//!                                      │miss
+//!                                    quota? ─over─▶ QuotaExceeded
+//!                                      │ok
+//!                                    dedup? ─join─▶ park as waiter
+//!                                      │lead
+//!                         [weighted-fair queue] ──▶ batcher ──plan──▶ router
+//!                                                                      │
+//!                                            ┌─────────────────────────┤
+//!                                            ▼                         ▼
+//!                                      worker 0                   worker D-1
+//!                                   (IbfsService)               (IbfsService)
+//!                                            │                         │
+//!                                            └────── oneshot reply ────┘
 //! ```
+//!
+//! The front door runs in admission order: **cache → quota → dedup →
+//! queue**. A cache hit is admitted and resolved in one stroke, consuming
+//! neither quota nor queue space; a quota rejection costs the tenant
+//! nothing downstream; a dedup join parks the request on the in-flight
+//! leader's `(graph epoch, source)` key, to be resolved — each waiter
+//! exactly once, against its own deadline — when the leader's traversal
+//! completes. Only blocking submits may *create* a dedup key (lead):
+//! `try_submit`'s bounce path would otherwise leave an orphaned key
+//! behind. Epoch rules: dedup keys and cache entries are tagged with
+//! [`QosPolicy::graph_epoch`]; a cache entry from another epoch is
+//! discarded at lookup (counted `stale`), never served.
 //!
 //! Lifecycle is ownership-driven: [`serve`] runs the caller's closure
 //! against a [`ServeHandle`]; when the closure returns, the handle (the
@@ -30,16 +49,21 @@ use crate::channel::{bounded, oneshot, OneSender, Receiver, RecvTimeoutError, Se
 use crate::coalesce::{self, CoalescePolicy};
 use crate::error::ServeError;
 use crate::metrics::{Collector, ServeReport, ServeTelemetry};
+use crate::qos::{
+    fair_bounded, Attach, Class, DedupTable, FairReceiver, FairSender, Lookup, QosPolicy,
+    QuotaGuard, QuotaTable, ResultCache, TenantId,
+};
 use ibfs::groupby::{GroupByConfig, GroupingStrategy};
 use ibfs::metrics::{batch_occupancy, event_sharing_degree, teps, BatchMetrics};
 use ibfs::runner::{device_group_bound, RunConfig};
 use ibfs::service::{admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
 use ibfs::trace::{BatchStamp, MetricsSink, RecorderSink, TraceRecord};
-use ibfs_cluster::router::{batch_weight, BatchRouter, InstrumentedRouter, LeastLoaded, RoundRobin};
+use ibfs_cluster::router::{fanout_weight, BatchRouter, InstrumentedRouter, LeastLoaded, RoundRobin};
 use ibfs_obs::span::{SpanEvent, SpanStage, NO_CORRELATION};
 use ibfs_graph::{Csr, Depth, VertexId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which [`DeviceScheduler`] each worker's service uses.
@@ -87,7 +111,9 @@ pub struct ServeConfig {
     /// Worker (simulated device) count; each worker owns one resident
     /// [`IbfsService`]. Zero is treated as one.
     pub workers: usize,
-    /// Admission queue capacity — the backpressure bound on `submit`.
+    /// Admission queue capacity *per class lane* — the backpressure bound
+    /// on `submit`. Lanes are bounded independently, so one class's
+    /// backlog never consumes another's admission room.
     pub queue_capacity: usize,
     /// Per-worker batch queue capacity.
     pub worker_queue_capacity: usize,
@@ -111,6 +137,9 @@ pub struct ServeConfig {
     pub router: RouterKind,
     /// How each worker's groups share its device.
     pub scheduler: SchedulerKind,
+    /// Multi-tenant QoS knobs (class weights, quotas, dedup, result
+    /// cache). The default preserves single-tenant behaviour.
+    pub qos: QosPolicy,
     /// Engine/device template for every worker; the grouping field is
     /// overridden per worker (one batch = one traversal group).
     pub run: RunConfig,
@@ -130,6 +159,7 @@ impl Default for ServeConfig {
             groupby: GroupByConfig::default(),
             router: RouterKind::default(),
             scheduler: SchedulerKind::default(),
+            qos: QosPolicy::default(),
             run: RunConfig::default(),
         }
     }
@@ -153,23 +183,60 @@ pub struct BfsResponse {
     /// Depth of every vertex from `source` (`DEPTH_UNVISITED` when
     /// unreached).
     pub depths: Vec<Depth>,
-    /// Sequence number of the batch that carried the request.
+    /// The tenant the request was submitted under.
+    pub tenant: TenantId,
+    /// The priority class the request was submitted under.
+    pub class: Class,
+    /// Sequence number of the batch that carried the request; 0 when the
+    /// request never reached a batch (cache hit).
     pub batch: u64,
-    /// Worker (device) index that ran the batch.
+    /// Worker (device) index that ran the batch (0 for cache hits).
     pub device: usize,
-    /// Distinct sources traversed by that batch.
+    /// Distinct sources traversed by that batch (0 for cache hits).
     pub batch_sources: usize,
     /// Admission-to-dispatch wall-clock wait.
     pub queue_wait: Duration,
+    /// True when the depths came from the result cache, skipping
+    /// traversal entirely.
+    pub from_cache: bool,
+    /// True when the request joined an identical in-flight request and
+    /// was answered by the leader's traversal.
+    pub deduped: bool,
 }
 
 struct Request {
     /// Correlation id allocated at admission (1-based, per serve run).
     id: u64,
     source: VertexId,
+    tenant: TenantId,
+    class: Class,
+    /// True when the request was parked as a dedup waiter (possibly later
+    /// promoted back into the pipeline after its leader died).
+    joined: bool,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// The tenant's in-flight quota slot; released at resolution.
+    quota: Option<QuotaGuard>,
     reply: OneSender<Result<BfsResponse, ServeError>>,
+}
+
+/// Per-run QoS state shared by the admission path, batcher and workers.
+struct QosRuntime {
+    epoch: u64,
+    quota: Arc<QuotaTable>,
+    dedup: Option<DedupTable<Request>>,
+    cache: Option<Arc<ResultCache>>,
+}
+
+impl QosRuntime {
+    fn new(policy: &QosPolicy) -> Self {
+        QosRuntime {
+            epoch: policy.graph_epoch,
+            quota: policy.build_quota_table(),
+            dedup: policy.dedup.then(DedupTable::new),
+            cache: policy.build_cache(),
+        }
+    }
 }
 
 struct Batch {
@@ -209,11 +276,12 @@ impl Ticket {
 /// The client side of a running server: submit requests, get [`Ticket`]s.
 /// Share it across client threads by reference.
 pub struct ServeHandle<'s> {
-    tx: Sender<Request>,
+    tx: FairSender<Request>,
     num_vertices: usize,
     default_deadline: Option<Duration>,
     abort: &'s AtomicBool,
     collector: &'s Collector,
+    qos: &'s QosRuntime,
 }
 
 impl ServeHandle<'_> {
@@ -228,11 +296,27 @@ impl ServeHandle<'_> {
         self.abort.store(true, Ordering::Release);
     }
 
-    fn admit(
+    fn count_accepted(&self, id: u64, source: VertexId, class: Class) {
+        self.collector.accepted.inc();
+        self.collector.accepted_by_class[class.idx()].inc();
+        self.collector.span(SpanEvent::admission(
+            id,
+            SpanStage::Admitted,
+            source as u64,
+            self.collector.now_s(),
+        ));
+    }
+
+    /// The whole front door, in admission order: abort check → validation
+    /// → cache → quota → dedup → fair queue.
+    fn submit_inner(
         &self,
         source: VertexId,
+        tenant: TenantId,
+        class: Class,
         deadline: Option<Duration>,
-    ) -> Result<(Request, Ticket), ServeError> {
+        block: bool,
+    ) -> Result<Ticket, ServeError> {
         let id = self.collector.next_request_id();
         if self.abort.load(Ordering::Acquire) {
             self.collector.rejected.inc();
@@ -256,39 +340,144 @@ impl ServeHandle<'_> {
         }
         let (otx, orx) = oneshot();
         let now = Instant::now();
-        let req = Request {
+        let mut req = Request {
             id,
             source,
+            tenant,
+            class,
+            joined: false,
             submitted: now,
             deadline: deadline.map(|d| now + d),
+            quota: None,
             reply: otx,
         };
-        Ok((req, Ticket { rx: orx }))
-    }
+        let ticket = Ticket { rx: orx };
 
-    fn enqueue(&self, req: Request, block: bool) -> Result<(), ServeError> {
-        let (id, source) = (req.id, req.source as u64);
+        // Result cache: a hit is admitted and resolved in one stroke,
+        // consuming neither quota nor queue space.
+        if let Some(cache) = &self.qos.cache {
+            match cache.get(self.qos.epoch, source) {
+                Lookup::Hit(depths) => {
+                    self.collector.cache_hits.inc();
+                    self.count_accepted(id, source, class);
+                    let response = BfsResponse {
+                        request: id,
+                        source,
+                        depths: depths.as_ref().clone(),
+                        tenant,
+                        class,
+                        batch: 0,
+                        device: 0,
+                        batch_sources: 0,
+                        queue_wait: Duration::ZERO,
+                        from_cache: true,
+                        deduped: false,
+                    };
+                    resolve(req, Ok(response), self.collector);
+                    return Ok(ticket);
+                }
+                Lookup::Stale => {
+                    self.collector.cache_stale.inc();
+                    self.collector.cache_misses.inc();
+                }
+                Lookup::Miss => self.collector.cache_misses.inc(),
+            }
+        }
+
+        // Per-tenant quota: waiters and leaders alike hold a slot until
+        // they resolve.
+        match self.qos.quota.try_acquire(tenant) {
+            Some(guard) => req.quota = Some(guard),
+            None => {
+                self.collector.quota_rejected.inc();
+                self.collector.span(SpanEvent::admission(
+                    id,
+                    SpanStage::QuotaExceeded,
+                    source as u64,
+                    self.collector.now_s(),
+                ));
+                return Err(ServeError::QuotaExceeded { tenant });
+            }
+        }
+
+        // In-flight dedup. Only the blocking path may *create* a key
+        // (lead): its enqueue cannot bounce on a full lane, so the key is
+        // guaranteed a ride through the pipeline. `try_submit` joins an
+        // existing leader or proceeds keyless.
+        if let Some(dedup) = &self.qos.dedup {
+            req.joined = true;
+            let back = if block {
+                match dedup.attach(self.qos.epoch, source, req) {
+                    Attach::Leader(r) => Some(r),
+                    Attach::Joined => None,
+                }
+            } else {
+                dedup.join_if_inflight(self.qos.epoch, source, req)
+            };
+            match back {
+                Some(mut r) => {
+                    r.joined = false;
+                    req = r;
+                }
+                None => {
+                    self.collector.dedup_joined.inc();
+                    self.count_accepted(id, source, class);
+                    return Ok(ticket);
+                }
+            }
+        }
+
         let res = if block {
-            self.tx.send(req).map_err(|_| ServeError::Shutdown)
+            self.tx.send(class, req).map_err(|e| (ServeError::Shutdown, e.0))
         } else {
-            self.tx.try_send(req).map_err(|e| match e {
-                TrySendError::Full(_) => ServeError::Overloaded,
-                TrySendError::Disconnected(_) => ServeError::Shutdown,
+            self.tx.try_send(class, req).map_err(|e| match e {
+                TrySendError::Full(r) => (ServeError::Overloaded, r),
+                TrySendError::Disconnected(r) => (ServeError::Shutdown, r),
             })
         };
-        let (counter, stage) = match &res {
-            Ok(()) => (&self.collector.accepted, SpanStage::Admitted),
-            Err(ServeError::Overloaded) => (&self.collector.overloaded, SpanStage::Overloaded),
-            Err(_) => (&self.collector.rejected, SpanStage::Rejected),
-        };
-        counter.inc();
-        self.collector.span(SpanEvent::admission(id, stage, source, self.collector.now_s()));
-        res
+        match res {
+            Ok(()) => {
+                self.count_accepted(id, source, class);
+                Ok(ticket)
+            }
+            Err((err, bounced)) => {
+                let stage = match err {
+                    ServeError::Overloaded => {
+                        self.collector.overloaded.inc();
+                        self.collector.overloaded_by_class[class.idx()].inc();
+                        SpanStage::Overloaded
+                    }
+                    _ => {
+                        self.collector.rejected.inc();
+                        SpanStage::Rejected
+                    }
+                };
+                self.collector.span(SpanEvent::admission(
+                    id,
+                    stage,
+                    source as u64,
+                    self.collector.now_s(),
+                ));
+                // A bounced blocking request led a dedup key (disconnect is
+                // the only way send fails): the key dies with it, and every
+                // waiter parked meanwhile resolves as shutdown. The try
+                // path never leads, so its bounce owns no key.
+                if block {
+                    if let Some(dedup) = &self.qos.dedup {
+                        for w in dedup.complete(self.qos.epoch, source) {
+                            resolve(w, Err(ServeError::Shutdown), self.collector);
+                        }
+                    }
+                }
+                drop(bounced);
+                Err(err)
+            }
+        }
     }
 
     /// Submits a BFS request for `source` with the configured default
     /// deadline, blocking while the admission queue is full
-    /// (backpressure).
+    /// (backpressure). Untagged: default tenant, interactive class.
     pub fn submit(&self, source: VertexId) -> Result<Ticket, ServeError> {
         self.submit_with_deadline(source, self.default_deadline)
     }
@@ -300,17 +489,44 @@ impl ServeHandle<'_> {
         source: VertexId,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
-        let (req, ticket) = self.admit(source, deadline)?;
-        self.enqueue(req, true)?;
-        Ok(ticket)
+        self.submit_inner(source, TenantId::DEFAULT, Class::default(), deadline, true)
     }
 
-    /// Non-blocking submit: a full admission queue is
+    /// Non-blocking submit: a full admission lane is
     /// [`ServeError::Overloaded`] instead of backpressure.
     pub fn try_submit(&self, source: VertexId) -> Result<Ticket, ServeError> {
-        let (req, ticket) = self.admit(source, self.default_deadline)?;
-        self.enqueue(req, false)?;
-        Ok(ticket)
+        self.submit_inner(source, TenantId::DEFAULT, Class::default(), self.default_deadline, false)
+    }
+
+    /// [`ServeHandle::submit`] under an explicit tenant and class.
+    pub fn submit_tagged(
+        &self,
+        source: VertexId,
+        tenant: TenantId,
+        class: Class,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(source, tenant, class, self.default_deadline, true)
+    }
+
+    /// [`ServeHandle::submit_tagged`] with an explicit deadline.
+    pub fn submit_tagged_with_deadline(
+        &self,
+        source: VertexId,
+        tenant: TenantId,
+        class: Class,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(source, tenant, class, deadline, true)
+    }
+
+    /// [`ServeHandle::try_submit`] under an explicit tenant and class.
+    pub fn try_submit_tagged(
+        &self,
+        source: VertexId,
+        tenant: TenantId,
+        class: Class,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(source, tenant, class, self.default_deadline, false)
     }
 }
 
@@ -341,22 +557,24 @@ pub fn serve_with<R>(
     let workers = config.workers.max(1);
     let collector = Collector::new(telemetry);
     let abort = AtomicBool::new(false);
-    let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity.max(1));
+    let qos = QosRuntime::new(&config.qos);
+    let (req_tx, req_rx) =
+        fair_bounded::<Request>(config.queue_capacity.max(1), config.qos.weights);
 
     let result = std::thread::scope(|s| {
         let mut batch_txs = Vec::with_capacity(workers);
         for device in 0..workers {
             let (btx, brx) = bounded::<Batch>(config.worker_queue_capacity.max(1));
             batch_txs.push(btx);
-            let (collector, abort, config) = (&collector, &abort, &config);
+            let (collector, abort, config, qos) = (&collector, &abort, &config, &qos);
             s.spawn(move || {
-                worker_loop(device, brx, graph, reverse, config, max_batch, collector, abort)
+                worker_loop(device, brx, graph, reverse, config, max_batch, collector, abort, qos)
             });
         }
         {
-            let (collector, abort, config) = (&collector, &abort, &config);
+            let (collector, abort, config, qos) = (&collector, &abort, &config, &qos);
             s.spawn(move || {
-                batcher_loop(req_rx, batch_txs, graph, config, max_batch, collector, abort)
+                batcher_loop(req_rx, batch_txs, graph, config, max_batch, collector, abort, qos)
             });
         }
         let handle = ServeHandle {
@@ -365,6 +583,7 @@ pub fn serve_with<R>(
             default_deadline: config.default_deadline,
             abort: &abort,
             collector: &collector,
+            qos: &qos,
         };
         body(&handle)
         // `handle` drops here: the request channel disconnects, the batcher
@@ -374,21 +593,35 @@ pub fn serve_with<R>(
     (result, collector.report())
 }
 
-fn resolve(req: Request, outcome: Result<BfsResponse, ServeError>, collector: &Collector) {
+fn resolve(mut req: Request, outcome: Result<BfsResponse, ServeError>, collector: &Collector) {
+    let idx = req.class.idx();
     let (counter, stage) = match &outcome {
+        Ok(resp) if resp.from_cache => (&collector.completed, SpanStage::CacheHit),
         Ok(_) => (&collector.completed, SpanStage::Completed),
         Err(ServeError::Timeout) => (&collector.timeouts, SpanStage::TimedOut),
         Err(ServeError::Shutdown) => (&collector.shutdown, SpanStage::Shutdown),
         Err(ServeError::Overloaded) => (&collector.overloaded, SpanStage::Overloaded),
+        Err(ServeError::QuotaExceeded { .. }) => {
+            (&collector.quota_rejected, SpanStage::QuotaExceeded)
+        }
         Err(ServeError::Invalid(_)) => (&collector.invalid, SpanStage::Invalid),
     };
     counter.inc();
+    match &outcome {
+        Ok(_) => collector.completed_by_class[idx].inc(),
+        Err(ServeError::Timeout) => collector.timeouts_by_class[idx].inc(),
+        Err(ServeError::Shutdown) => collector.shutdown_by_class[idx].inc(),
+        Err(ServeError::Overloaded) => collector.overloaded_by_class[idx].inc(),
+        Err(_) => {}
+    }
     let (batch, device) = match &outcome {
         Ok(resp) => (resp.batch, resp.device as u64),
         Err(_) => (NO_CORRELATION, NO_CORRELATION),
     };
     if let Ok(resp) = &outcome {
-        collector.latency.record_duration(req.submitted.elapsed());
+        let latency = req.submitted.elapsed();
+        collector.latency.record_duration(latency);
+        collector.latency_by_class[idx].record_duration(latency);
         collector.queue_wait.record_duration(resp.queue_wait);
     }
     collector.span(
@@ -396,35 +629,64 @@ fn resolve(req: Request, outcome: Result<BfsResponse, ServeError>, collector: &C
             .with_batch(batch)
             .with_device(device),
     );
+    // Release the tenant's quota slot before waking the client, so a
+    // resubmission racing the reply never sees a phantom in-flight slot.
+    drop(req.quota.take());
     req.reply.send(outcome);
 }
 
 /// Splits `window` into requests still worth running and resolves the
 /// rest: aborted requests with `Shutdown`, expired ones with `Timeout`.
-fn prune(window: Vec<Request>, abort: &AtomicBool, collector: &Collector) -> Vec<Request> {
-    let aborting = abort.load(Ordering::Acquire);
-    let now = Instant::now();
-    let mut live = Vec::with_capacity(window.len());
-    for req in window {
-        if aborting {
-            resolve(req, Err(ServeError::Shutdown), collector);
+///
+/// A dying request may be a dedup leader with waiters parked on its
+/// `(epoch, source)` key; those waiters are reclaimed and re-examined by
+/// the same rules — each against its *own* deadline — with survivors
+/// promoted into the live set (they ride keyless from here on) instead of
+/// being orphaned in the table.
+fn prune(
+    window: Vec<Request>,
+    qos: &QosRuntime,
+    abort: &AtomicBool,
+    collector: &Collector,
+) -> Vec<Request> {
+    let mut pending: VecDeque<Request> = window.into();
+    let mut live = Vec::with_capacity(pending.len());
+    while let Some(req) = pending.pop_front() {
+        let aborting = abort.load(Ordering::Acquire);
+        let now = Instant::now();
+        let err = if aborting {
+            Some(ServeError::Shutdown)
         } else if req.deadline.is_some_and(|d| now >= d) {
-            resolve(req, Err(ServeError::Timeout), collector);
+            Some(ServeError::Timeout)
         } else {
-            live.push(req);
+            None
+        };
+        match err {
+            Some(err) => {
+                if let Some(dedup) = &qos.dedup {
+                    // Completing a key the dying request did not lead is
+                    // sound: reclaimed waiters re-enter the pipeline here
+                    // and any same-epoch traversal answers them correctly.
+                    pending.extend(dedup.complete(qos.epoch, req.source));
+                }
+                resolve(req, Err(err), collector);
+            }
+            None => live.push(req),
         }
     }
     live
 }
 
+#[allow(clippy::too_many_arguments)]
 fn batcher_loop(
-    req_rx: Receiver<Request>,
+    req_rx: FairReceiver<Request>,
     batch_txs: Vec<Sender<Batch>>,
     graph: &Csr,
     config: &ServeConfig,
     max_batch: usize,
     collector: &Collector,
     abort: &AtomicBool,
+    qos: &QosRuntime,
 ) {
     let mut router =
         InstrumentedRouter::new(config.router.build(batch_txs.len()), collector.registry());
@@ -460,7 +722,7 @@ fn batcher_loop(
             }
         }
         collector.queue_depth.set(req_rx.len() as f64);
-        dispatch_wave(window, graph, config, max_batch, &mut router, &mut seq, &batch_txs, collector, abort);
+        dispatch_wave(window, graph, config, max_batch, &mut router, &mut seq, &batch_txs, collector, abort, qos);
         if disconnected {
             break;
         }
@@ -480,8 +742,9 @@ fn dispatch_wave(
     batch_txs: &[Sender<Batch>],
     collector: &Collector,
     abort: &AtomicBool,
+    qos: &QosRuntime,
 ) {
-    let live = prune(window, abort, collector);
+    let live = prune(window, qos, abort, collector);
     if live.is_empty() {
         return;
     }
@@ -524,7 +787,9 @@ fn dispatch_wave(
     }
     for batch in batches {
         chosen.inc();
-        let device = router.route(batch_weight(graph, &batch.sources));
+        // `fanout_weight`: a deduplicated fan-out traverses once, so the
+        // router weighs its distinct sources, never its request count.
+        let device = router.route(fanout_weight(graph, &batch.sources));
         for req in &batch.requests {
             collector.span(
                 SpanEvent::admission(
@@ -539,9 +804,15 @@ fn dispatch_wave(
         }
         collector.inflight_batches.add(1.0);
         if let Err(send_err) = batch_txs[device].send(batch) {
-            // Worker gone (only possible under abort/panic): abandon.
+            // Worker gone (only possible under abort/panic): abandon the
+            // batch, its dedup keys, and every waiter parked on them.
             collector.inflight_batches.add(-1.0);
             for req in send_err.0.requests {
+                if let Some(dedup) = &qos.dedup {
+                    for w in dedup.complete(qos.epoch, req.source) {
+                        resolve(w, Err(ServeError::Shutdown), collector);
+                    }
+                }
                 resolve(req, Err(ServeError::Shutdown), collector);
             }
         }
@@ -558,6 +829,7 @@ fn worker_loop(
     max_batch: usize,
     collector: &Collector,
     abort: &AtomicBool,
+    qos: &QosRuntime,
 ) {
     // One batch = one traversal group: the per-worker service groups with
     // a cap of `max_batch`, which the batcher never exceeds, so every
@@ -569,10 +841,11 @@ fn worker_loop(
     let mut svc =
         IbfsService::new(graph, reverse, run_cfg).with_scheduler(config.scheduler.build());
     while let Ok(batch) = brx.recv() {
-        run_batch(batch, &mut svc, graph, device, max_batch, collector, abort);
+        run_batch(batch, &mut svc, graph, device, max_batch, collector, abort, qos);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     batch: Batch,
     svc: &mut IbfsService<'_>,
@@ -581,8 +854,9 @@ fn run_batch(
     max_batch: usize,
     collector: &Collector,
     abort: &AtomicBool,
+    qos: &QosRuntime,
 ) {
-    let live = prune(batch.requests, abort, collector);
+    let live = prune(batch.requests, qos, abort, collector);
     if live.is_empty() {
         collector.inflight_batches.add(-1.0);
         return;
@@ -632,15 +906,39 @@ fn run_batch(
             depths_of.insert(s, (gi, j));
         }
     }
+    // One shared depth array per source: responses clone from it, the
+    // result cache keeps the `Arc` itself.
+    let mut depth_arcs: HashMap<VertexId, Arc<Vec<Depth>>> = HashMap::with_capacity(sources.len());
+    for &s in &sources {
+        let (gi, j) = depths_of[&s];
+        let depths = Arc::new(run.groups[gi].instance_depths(j).to_vec());
+        if let Some(cache) = &qos.cache {
+            cache.insert(qos.epoch, s, depths.clone());
+        }
+        depth_arcs.insert(s, depths);
+    }
+    if let Some(cache) = &qos.cache {
+        collector.cache_entries.set(cache.len() as f64);
+    }
+    // Reclaim every waiter parked on this batch's sources: the traversal
+    // that just ran is their answer (same epoch ⇒ identical depths).
+    let mut waiters = Vec::new();
+    if let Some(dedup) = &qos.dedup {
+        for &s in &sources {
+            waiters.extend(dedup.complete(qos.epoch, s));
+        }
+    }
+    let carried = live.len() + waiters.len();
     let mean_wait = live
         .iter()
+        .chain(waiters.iter())
         .map(|r| started.saturating_duration_since(r.submitted).as_secs_f64())
         .sum::<f64>()
-        / live.len() as f64;
+        / carried as f64;
     collector.push_batch(BatchMetrics {
         batch: batch.seq,
         device: device as u64,
-        requests: live.len() as u64,
+        requests: carried as u64,
         occupancy: batch_occupancy(sources.len(), max_batch),
         queue_wait_s: mean_wait,
         sharing_degree: event_sharing_degree(&sink.events),
@@ -649,18 +947,34 @@ fn run_batch(
         teps: teps(run.traversed_edges, run.sim_seconds),
     });
     let batch_sources = sources.len();
-    for req in live {
-        let (gi, j) = depths_of[&req.source];
+    let respond = |req: Request| {
         let response = BfsResponse {
             request: req.id,
             source: req.source,
-            depths: run.groups[gi].instance_depths(j).to_vec(),
+            depths: depth_arcs[&req.source].as_ref().clone(),
+            tenant: req.tenant,
+            class: req.class,
             batch: batch.seq,
             device,
             batch_sources,
             queue_wait: started.saturating_duration_since(req.submitted),
+            from_cache: false,
+            deduped: req.joined,
         };
         resolve(req, Ok(response), collector);
+    };
+    for req in live {
+        respond(req);
+    }
+    // Waiters carry their own deadlines: one that expired while its
+    // leader traversed resolves as a timeout, not a late success.
+    let now = Instant::now();
+    for req in waiters {
+        if req.deadline.is_some_and(|d| now >= d) {
+            resolve(req, Err(ServeError::Timeout), collector);
+        } else {
+            respond(req);
+        }
     }
 }
 
@@ -762,6 +1076,128 @@ mod tests {
         assert_eq!(effective_max_batch(&g, &config), 1);
         config.max_batch = 4;
         assert_eq!(effective_max_batch(&g, &config), 4.min(bound));
+    }
+
+    #[test]
+    fn zero_quota_rejects_with_typed_error_not_overload() {
+        // Regression (satellite fix): quota rejection must surface as
+        // `QuotaExceeded { tenant }`, distinct from global overload.
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig {
+            qos: QosPolicy::default().with_quota(TenantId(9), 0),
+            ..quick_config()
+        };
+        let (outcomes, report) = serve(&g, &r, config, |h| {
+            let starved = h.submit_tagged(1, TenantId(9), Class::Bulk).unwrap_err();
+            // Another tenant (and the default tenant) are unaffected.
+            let ok = h.submit_tagged(1, TenantId(2), Class::Bulk).unwrap().wait().unwrap();
+            (starved, ok)
+        });
+        assert_eq!(outcomes.0, ServeError::QuotaExceeded { tenant: TenantId(9) });
+        assert_ne!(outcomes.0, ServeError::Overloaded);
+        assert_eq!(outcomes.1.tenant, TenantId(2));
+        assert_eq!(outcomes.1.class, Class::Bulk);
+        assert_eq!(report.quota_rejected, 1);
+        assert_eq!(report.overloaded, 0);
+        assert_eq!(report.accepted, 1);
+        assert!(report.is_conserved());
+        assert!(report.is_conserved_per_class());
+    }
+
+    #[test]
+    fn quota_slot_frees_after_resolution() {
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig {
+            qos: QosPolicy::default().with_quota(TenantId(1), 1),
+            ..quick_config()
+        };
+        let (_, report) = serve(&g, &r, config, |h| {
+            // Sequential submissions under a quota of one: each waits for
+            // the previous resolution, so every one is admitted.
+            for _ in 0..3 {
+                h.submit_tagged(4, TenantId(1), Class::Interactive).unwrap().wait().unwrap();
+            }
+        });
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.quota_rejected, 0);
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn cache_hit_skips_traversal_and_is_bit_identical() {
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig { qos: QosPolicy::default().with_cache(8), ..quick_config() };
+        let ((first, second), report) = serve(&g, &r, config, |h| {
+            let a = h.submit(6).unwrap().wait().unwrap();
+            let b = h.submit(6).unwrap().wait().unwrap();
+            (a, b)
+        });
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(second.batch, 0, "cache hits never ride a batch");
+        assert_eq!(first.depths, second.depths);
+        assert_eq!(second.depths, reference_bfs(&g, 6));
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.batches.len(), 1, "second request must not traverse");
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn dedup_joins_identical_inflight_request() {
+        let g = graph();
+        let r = g.reverse();
+        // A long window keeps the leader in flight while the joiner
+        // arrives; the join itself is decided at admission (the key exists
+        // from the leader's submit), so this is deterministic.
+        let config = ServeConfig {
+            batch_window: Duration::from_millis(100),
+            qos: QosPolicy::default().with_dedup(),
+            ..Default::default()
+        };
+        let ((leader, joiner), report) = serve(&g, &r, config, |h| {
+            let ta = h.submit(7).unwrap();
+            let tb = h.submit(7).unwrap();
+            (ta.wait().unwrap(), tb.wait().unwrap())
+        });
+        assert!(!leader.deduped);
+        assert!(joiner.deduped, "second identical request must join the leader");
+        assert_eq!(leader.depths, joiner.depths);
+        assert_eq!(leader.depths, reference_bfs(&g, 7));
+        assert_eq!((leader.batch, leader.device), (joiner.batch, joiner.device));
+        assert_eq!(report.dedup_joined, 1);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.completed, 2);
+        assert!(report.is_conserved());
+        // The fan-out rode one batch carrying both requests.
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].requests, 2);
+    }
+
+    #[test]
+    fn tagged_submissions_account_per_class() {
+        let g = graph();
+        let r = g.reverse();
+        let (_, report) = serve(&g, &r, quick_config(), |h| {
+            let ti = h.submit_tagged(1, TenantId(0), Class::Interactive).unwrap();
+            let tb1 = h.submit_tagged(2, TenantId(1), Class::Bulk).unwrap();
+            let tb2 = h.submit_tagged(3, TenantId(1), Class::Bulk).unwrap();
+            for t in [ti, tb1, tb2] {
+                t.wait().unwrap();
+            }
+        });
+        assert_eq!(report.accepted_by_class, [1, 2]);
+        assert_eq!(report.completed_by_class, [1, 2]);
+        assert!(report.is_conserved_per_class());
+        // Per-class latency histograms recorded each completion.
+        let interactive = crate::metrics::class_metric("ibfs_serve_latency_seconds", Class::Interactive);
+        let bulk = crate::metrics::class_metric("ibfs_serve_latency_seconds", Class::Bulk);
+        assert_eq!(report.snapshot.histogram(&interactive).unwrap().count, 1);
+        assert_eq!(report.snapshot.histogram(&bulk).unwrap().count, 2);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 use ibfs_graph::generators::{rmat, RmatParams};
 use ibfs_graph::validate::reference_bfs;
 use ibfs_graph::{Csr, Depth, VertexId};
-use ibfs_serve::{serve, CoalescePolicy, ServeConfig, ServeError, ServeReport};
+use ibfs_serve::{
+    serve, Class, CoalescePolicy, QosPolicy, ServeConfig, ServeError, ServeReport, TenantId,
+};
 use ibfs_util::rng::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -25,8 +27,10 @@ use std::time::Duration;
 /// counter (the consolidated metrics path tells one story).
 fn assert_conservation(report: &ServeReport, submissions: u64) {
     assert!(report.is_conserved(), "accepted != completed+timeouts+shutdown");
+    assert!(report.is_conserved_per_class(), "per-class accounting diverged");
     assert_eq!(
-        report.accepted + report.overloaded + report.rejected + report.invalid,
+        report.accepted + report.overloaded + report.rejected + report.invalid
+            + report.quota_rejected,
         submissions,
         "some submission resolved through no admission path"
     );
@@ -38,6 +42,8 @@ fn assert_conservation(report: &ServeReport, submissions: u64) {
         ("ibfs_serve_shutdown_total", report.shutdown),
         ("ibfs_serve_rejected_total", report.rejected),
         ("ibfs_serve_invalid_total", report.invalid),
+        ("ibfs_serve_quota_rejected_total", report.quota_rejected),
+        ("ibfs_serve_dedup_joined_total", report.dedup_joined),
     ] {
         assert_eq!(report.snapshot.counter(name), Some(want), "snapshot disagrees on {name}");
     }
@@ -319,4 +325,137 @@ fn graceful_drain_completes_all_inflight_requests() {
         let resp = ticket.wait().expect("drained requests resolve Ok");
         assert_eq!(resp.source, source);
     }
+}
+
+#[test]
+fn bulk_storm_cannot_overload_the_interactive_class() {
+    // Per-class lanes make this structural, not probabilistic: bulk
+    // traffic fills only the bulk lane, so however hard the bulk tenant
+    // storms, an interactive try-submit can only bounce off *interactive*
+    // backlog — and two closed-loop interactive clients can never fill a
+    // four-slot lane on their own.
+    let g = graph();
+    let r = g.reverse();
+    let want = expected(&g);
+    let n = g.num_vertices() as u32;
+    let bulk_producers = 4usize;
+    let bulk_per_producer = 200usize;
+    let interactive_clients = 2usize;
+    let interactive_per_client = 30usize;
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 4, // per class lane
+        worker_queue_capacity: 1,
+        max_batch: 2, // slow pipeline: the bulk lane must overflow
+        batch_window: Duration::ZERO,
+        qos: QosPolicy::default(),
+        ..Default::default()
+    };
+    let ((bulk_oks, bulk_overloads, interactive_oks), report) = serve(&g, &r, config, |h| {
+        let (bok, bov, iok) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for p in 0..bulk_producers {
+                let (bok, bov, want) = (&bok, &bov, &want);
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(stress_seed() ^ (p as u64 + 100));
+                    let mut tickets = Vec::new();
+                    for _ in 0..bulk_per_producer {
+                        let source = rng.gen_range(0..n);
+                        match h.try_submit_tagged(source, TenantId(1), Class::Bulk) {
+                            Ok(t) => tickets.push((source, t)),
+                            Err(ServeError::Overloaded) => {
+                                bov.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected bulk admission error: {other}"),
+                        }
+                    }
+                    for (source, t) in tickets {
+                        let resp = t.wait().expect("accepted bulk requests complete");
+                        assert_eq!(resp.depths, want[source as usize]);
+                        bok.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for c in 0..interactive_clients {
+                let (iok, want) = (&iok, &want);
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(stress_seed() ^ (c as u64 + 900));
+                    for _ in 0..interactive_per_client {
+                        let source = rng.gen_range(0..n);
+                        // Closed loop on a non-blocking submit: the bulk
+                        // storm must never make this bounce.
+                        let ticket = h
+                            .try_submit_tagged(source, TenantId::DEFAULT, Class::Interactive)
+                            .expect("interactive lane overloaded by a bulk storm");
+                        let resp = ticket.wait().expect("interactive requests complete");
+                        assert_eq!(resp.depths, want[source as usize]);
+                        iok.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        (bok.into_inner(), bov.into_inner(), iok.into_inner())
+    });
+    let bulk_total = (bulk_producers * bulk_per_producer) as u64;
+    let interactive_total = (interactive_clients * interactive_per_client) as u64;
+    assert_eq!(bulk_oks + bulk_overloads, bulk_total);
+    assert_eq!(interactive_oks, interactive_total);
+    assert!(bulk_overloads > 0, "storm never tripped bulk Overloaded");
+    assert_eq!(
+        report.overloaded_by_class[Class::Interactive.idx()],
+        0,
+        "bulk storm produced an interactive Overloaded"
+    );
+    assert_eq!(report.overloaded_by_class[Class::Bulk.idx()], bulk_overloads);
+    assert_eq!(report.completed_by_class[Class::Interactive.idx()], interactive_total);
+    assert_eq!(report.completed_by_class[Class::Bulk.idx()], bulk_oks);
+    assert_conservation(&report, bulk_total + interactive_total);
+}
+
+#[test]
+fn dedup_storm_on_hot_sources_conserves_and_matches_reference() {
+    // Eight closed-loop producers hammer two hot sources with dedup on:
+    // whatever the interleaving, every ticket resolves with the reference
+    // depths, every completion is carried by exactly one batch (waiters
+    // counted with the traversal they joined), and accounting balances.
+    let g = graph();
+    let r = g.reverse();
+    let want = expected(&g);
+    let producers = 8usize;
+    let per_producer = 30usize;
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        batch_window: Duration::from_millis(2), // wide window: joins certain
+        qos: QosPolicy::default().with_dedup(),
+        ..Default::default()
+    };
+    let (oks, report) = serve(&g, &r, config, |h| {
+        let ok = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let (ok, want) = (&ok, &want);
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(stress_seed() ^ (p as u64 + 500));
+                    for _ in 0..per_producer {
+                        let source = rng.gen_range(0..2u32); // two hot sources
+                        let resp = h.submit(source).unwrap().wait().unwrap();
+                        assert_eq!(resp.source, source);
+                        assert_eq!(resp.depths, want[source as usize]);
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        ok.into_inner()
+    });
+    let total = (producers * per_producer) as u64;
+    assert_eq!(oks, total);
+    assert_eq!(report.completed, total);
+    assert!(report.dedup_joined > 0, "hot sources never joined an in-flight leader");
+    assert_conservation(&report, total);
+    // Waiters are accounted to the batch that carried their traversal:
+    // nothing lost, nothing double-counted.
+    let carried: u64 = report.batches.iter().map(|b| b.requests).sum();
+    assert_eq!(carried, total);
 }

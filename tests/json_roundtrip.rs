@@ -192,6 +192,12 @@ fn loadgen_summary_round_trips() {
         occupancy: 0.9,
         sharing_degree: 4.2,
         sim_teps: 1.0e10,
+        quota_rejected: 3,
+        cache_hits: 40,
+        cache_hit_rate: 0.16,
+        dedup_joined: 12,
+        interactive_p99_s: 0.008,
+        bulk_p99_s: 0.02,
     };
     assert_eq!(round_trip_text(&s), s);
 }

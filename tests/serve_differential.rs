@@ -12,9 +12,10 @@
 use ibfs::runner::{run_ibfs, RunConfig};
 use ibfs_graph::generators::{rmat, RmatParams};
 use ibfs_graph::{Csr, Depth, VertexId};
-use ibfs_serve::{serve, CoalescePolicy, ServeConfig};
+use ibfs_serve::{serve, CoalescePolicy, QosPolicy, ResultCache, ServeConfig};
 use ibfs_util::rng::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// 64-bit FNV-1a over depth bytes — same machinery as the golden
@@ -128,4 +129,139 @@ fn serve_matches_one_shot_runner_groupby() {
 #[test]
 fn serve_matches_one_shot_runner_best_of() {
     check_stream(CoalescePolicy::BestOf, 4, 30);
+}
+
+#[test]
+fn deduped_fanout_is_bit_identical_for_every_waiter() {
+    // Nine concurrent clients ask for the same source while dedup is on:
+    // one leads, eight join the in-flight traversal, and every one of the
+    // nine answers must be bit-identical to the one-shot runner.
+    let g = golden_graph();
+    let r = g.reverse();
+    let source: VertexId = 7;
+    let want = one_shot_depths(&g, &r, source);
+    let clients = 9usize;
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        // A long window so all nine submissions land while the leader is
+        // still in flight — the join is then deterministic.
+        batch_window: Duration::from_millis(100),
+        qos: QosPolicy::default().with_dedup(),
+        ..Default::default()
+    };
+    let (responses, report) = serve(&g, &r, config, |h| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| s.spawn(move || h.submit(source).unwrap().wait().unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        })
+    });
+    assert_eq!(report.completed, clients as u64);
+    assert_eq!(report.dedup_joined, clients as u64 - 1, "exactly one leader");
+    assert!(report.is_conserved());
+    let leader = responses.iter().find(|r| !r.deduped).expect("a leader response");
+    for resp in &responses {
+        assert_eq!(resp.source, source);
+        assert!(!resp.from_cache);
+        assert_eq!(resp.depths, want, "fan-out diverged from one-shot");
+        assert_eq!(fnv1a(&resp.depths), fnv1a(&want), "fan-out hash diverged");
+        // Waiters ride the leader's traversal: same batch, same device.
+        assert_eq!((resp.batch, resp.device), (leader.batch, leader.device));
+    }
+    assert_eq!(responses.iter().filter(|r| r.deduped).count(), clients - 1);
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_fresh_traversals() {
+    // Ten distinct sources traversed twice in sequence: the first pass
+    // fills the cache, the second pass must be answered from it with the
+    // exact same bytes (and without riding any batch).
+    let g = golden_graph();
+    let r = g.reverse();
+    let sources: Vec<VertexId> = (0..10).collect();
+    let want: HashMap<VertexId, Vec<Depth>> =
+        sources.iter().map(|&s| (s, one_shot_depths(&g, &r, s))).collect();
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        batch_window: Duration::from_micros(200),
+        qos: QosPolicy::default().with_cache(64),
+        ..Default::default()
+    };
+    let ((first, second), report) = serve(&g, &r, config, |h| {
+        let run = |sources: &[VertexId]| {
+            sources
+                .iter()
+                .map(|&s| h.submit(s).unwrap().wait().unwrap())
+                .collect::<Vec<_>>()
+        };
+        (run(&sources), run(&sources))
+    });
+    assert_eq!(report.completed, 20);
+    assert_eq!(report.cache_hits, 10);
+    assert_eq!(report.cache_misses, 10);
+    assert!(report.is_conserved());
+    for (pass, resps) in [(&first, false), (&second, true)] {
+        for resp in pass.iter() {
+            assert_eq!(resp.from_cache, resps);
+            assert_eq!(resp.depths, want[&resp.source], "cache diverged from one-shot");
+            assert_eq!(fnv1a(&resp.depths), fnv1a(&want[&resp.source]));
+        }
+    }
+    for resp in &second {
+        assert_eq!(resp.batch, 0, "cache hits never ride a batch");
+    }
+}
+
+#[test]
+fn shared_cache_across_epochs_discards_stale_entries() {
+    // Two serve runs on *different* graphs share one cache. The second
+    // run's epoch tag must make every first-run entry stale: lookups
+    // discard them (counted, never served) and re-traverse on the new
+    // graph, after which the refilled entries hit.
+    let g0 = golden_graph();
+    let r0 = g0.reverse();
+    let g1 = rmat(9, 16, RmatParams::graph500(), 7);
+    let r1 = g1.reverse();
+    let sources: Vec<VertexId> = (0..10).collect();
+    let cache = Arc::new(ResultCache::new(64));
+    let config = |epoch: u64| ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        batch_window: Duration::from_micros(200),
+        qos: QosPolicy::default().with_shared_cache(cache.clone()).with_epoch(epoch),
+        ..Default::default()
+    };
+
+    let (_, report0) = serve(&g0, &r0, config(0), |h| {
+        sources.iter().map(|&s| h.submit(s).unwrap().wait().unwrap()).collect::<Vec<_>>()
+    });
+    assert_eq!(report0.completed, 10);
+    assert_eq!(report0.cache_stale, 0);
+
+    let want1: HashMap<VertexId, Vec<Depth>> =
+        sources.iter().map(|&s| (s, one_shot_depths(&g1, &r1, s))).collect();
+    let ((fresh, hits), report1) = serve(&g1, &r1, config(1), |h| {
+        let run = |sources: &[VertexId]| {
+            sources
+                .iter()
+                .map(|&s| h.submit(s).unwrap().wait().unwrap())
+                .collect::<Vec<_>>()
+        };
+        (run(&sources), run(&sources))
+    });
+    assert_eq!(report1.completed, 20);
+    assert_eq!(report1.cache_stale, 10, "every epoch-0 entry must be discarded");
+    assert_eq!(report1.cache_hits, 10, "epoch-1 refill must then hit");
+    for resp in fresh.iter().chain(hits.iter()) {
+        assert_eq!(
+            resp.depths, want1[&resp.source],
+            "epoch crossover served stale depths for source {}",
+            resp.source
+        );
+    }
+    assert!(fresh.iter().all(|r| !r.from_cache));
+    assert!(hits.iter().all(|r| r.from_cache));
 }

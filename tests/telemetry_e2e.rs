@@ -23,6 +23,7 @@ fn traced_run() -> (ibfs_bench::loadgen::LoadGenResult, Vec<TraceRecord>) {
             batch_window: Duration::from_micros(100),
             ..Default::default()
         },
+        ..Default::default()
     };
     let log = TraceLog::new();
     let telemetry = ServeTelemetry::with_registry(Registry::shared()).traced(log.clone());
