@@ -10,7 +10,10 @@
 //!   smallest `served/weight` virtual time, so a bulk backlog cannot delay
 //!   interactive requests beyond their weighted share, and a full bulk
 //!   lane cannot make an interactive `try_submit` report `Overloaded`
-//!   (capacity is per class).
+//!   (capacity is per class). A lane that goes idle is re-synced to the
+//!   backlogged minimum virtual time when traffic returns, so idle time
+//!   never banks credit a later burst could spend starving the other
+//!   classes.
 //! * [`QuotaTable`] — per-tenant in-flight admission quotas. Admission
 //!   acquires an RAII [`QuotaGuard`]; the guard travels with the request
 //!   and releases the slot exactly when the request resolves, whatever
@@ -198,7 +201,11 @@ impl QosPolicy {
 
 struct FairState<T> {
     lanes: [VecDeque<T>; NUM_CLASSES],
-    /// Items popped per lane since construction (the virtual clock).
+    /// Items popped per lane this busy period (the virtual clock). A lane
+    /// is re-synced to the backlogged minimum on its empty→non-empty
+    /// transition and the whole clock resets when the queue drains, so an
+    /// idle lane never banks credit it could later spend starving the
+    /// others.
     served: [u64; NUM_CLASSES],
     cap: usize,
     senders: usize,
@@ -212,8 +219,8 @@ impl<T> FairState<T> {
 
     /// The lane weighted fair queuing drains next: among non-empty lanes,
     /// the one with the smallest `served/weight` virtual time (compared by
-    /// cross-multiplication so everything stays in integers), ties to the
-    /// lower lane index (interactive first).
+    /// u128 cross-multiplication so arbitrary configured weights cannot
+    /// overflow), ties to the lower lane index (interactive first).
     fn pick(&self, weights: &[u64; NUM_CLASSES]) -> Option<usize> {
         let mut best: Option<usize> = None;
         for c in 0..NUM_CLASSES {
@@ -223,11 +230,40 @@ impl<T> FairState<T> {
             best = Some(match best {
                 None => c,
                 // served[c]/w[c] < served[b]/w[b]  ⇔  served[c]*w[b] < served[b]*w[c]
-                Some(b) if self.served[c] * weights[b] < self.served[b] * weights[c] => c,
+                Some(b)
+                    if (self.served[c] as u128) * (weights[b] as u128)
+                        < (self.served[b] as u128) * (weights[c] as u128) =>
+                {
+                    c
+                }
                 Some(b) => b,
             });
         }
         best
+    }
+
+    /// WFQ re-sync, called before enqueueing into an empty `lane`: advance
+    /// the lane's virtual time `served/weight` to the minimum virtual time
+    /// among currently backlogged lanes. Without this an idle lane keeps a
+    /// frozen (small) clock while busy lanes advance, and on its next
+    /// burst it would win every pick until it caught up — unbounded
+    /// priority inversion against the lanes that never went idle.
+    fn sync_idle_lane(&mut self, lane: usize, weights: &[u64; NUM_CLASSES]) {
+        debug_assert!(self.lanes[lane].is_empty());
+        let min_vt = (0..NUM_CLASSES)
+            .filter(|&b| b != lane && !self.lanes[b].is_empty())
+            // served[b]/weights[b] as a rational, compared by u128
+            // cross-multiplication.
+            .min_by(|&x, &y| {
+                ((self.served[x] as u128) * (weights[y] as u128))
+                    .cmp(&((self.served[y] as u128) * (weights[x] as u128)))
+            });
+        if let Some(b) = min_vt {
+            // served[lane] := floor(min_vt * weights[lane]), never rewound.
+            let synced = (self.served[b] as u128) * (weights[lane] as u128)
+                / (weights[b] as u128);
+            self.served[lane] = self.served[lane].max(synced.min(u64::MAX as u128) as u64);
+        }
     }
 }
 
@@ -288,6 +324,9 @@ impl<T> FairSender<T> {
                 return Err(SendError(value));
             }
             if st.lanes[lane].len() < st.cap {
+                if st.lanes[lane].is_empty() {
+                    st.sync_idle_lane(lane, &self.chan.weights);
+                }
                 st.lanes[lane].push_back(value);
                 drop(st);
                 self.chan.not_empty.notify_one();
@@ -307,6 +346,9 @@ impl<T> FairSender<T> {
         }
         if st.lanes[lane].len() >= st.cap {
             return Err(TrySendError::Full(value));
+        }
+        if st.lanes[lane].is_empty() {
+            st.sync_idle_lane(lane, &self.chan.weights);
         }
         st.lanes[lane].push_back(value);
         drop(st);
@@ -338,7 +380,12 @@ impl<T> FairReceiver<T> {
         let lane = st.pick(&self.chan.weights)?;
         let v = st.lanes[lane].pop_front();
         debug_assert!(v.is_some());
-        st.served[lane] += 1;
+        st.served[lane] = st.served[lane].saturating_add(1);
+        // End of a busy period: the relative clocks only matter while
+        // something is backlogged, so restart them from zero.
+        if st.len() == 0 {
+            st.served = [0; NUM_CLASSES];
+        }
         v
     }
 
@@ -798,6 +845,67 @@ mod tests {
         assert_eq!(counts[0] + counts[1], 16);
         // 16 pops at weights [3,1]: 12 interactive, 4 bulk exactly.
         assert_eq!(counts, [12, 4], "weighted fairness drifted");
+    }
+
+    #[test]
+    fn idle_lane_banks_no_credit() {
+        // Regression: a long interactive-only period must not let a later
+        // bulk burst win every pick while it "catches up" on virtual time.
+        let (tx, rx) = fair_bounded(64, [3, 1]);
+        for i in 0..40 {
+            tx.send(Class::Interactive, (0usize, i)).unwrap();
+        }
+        // Serve a long stretch with bulk idle (the lane stays non-empty so
+        // the busy period never ends).
+        for _ in 0..36 {
+            assert_eq!(rx.recv().unwrap().0, 0);
+        }
+        // Bulk wakes up into a backlog; both lanes now stay backlogged.
+        for i in 0..24 {
+            tx.send(Class::Interactive, (0usize, 100 + i)).unwrap();
+            tx.send(Class::Bulk, (1usize, i)).unwrap();
+        }
+        let mut counts = [0usize; NUM_CLASSES];
+        for _ in 0..16 {
+            counts[rx.recv().unwrap().0] += 1;
+        }
+        // Without the empty→non-empty re-sync, bulk would win the first 12
+        // pops straight (served[0]=36, weights 3:1) and this reads [4, 12].
+        assert_eq!(counts, [12, 4], "idle bulk lane spent banked credit");
+    }
+
+    #[test]
+    fn clock_resets_between_busy_periods() {
+        let (tx, rx) = fair_bounded(8, [4, 1]);
+        for i in 0..5 {
+            tx.send(Class::Interactive, (0usize, i)).unwrap();
+        }
+        for _ in 0..5 {
+            rx.recv().unwrap();
+        }
+        // Queue fully drained: the next busy period starts from zero, so a
+        // lone bulk item is served immediately, then interactive resumes
+        // FIFO with no debt from the previous period.
+        tx.send(Class::Bulk, (1usize, 0)).unwrap();
+        assert_eq!(rx.recv().unwrap().0, 1);
+        tx.send(Class::Interactive, (0usize, 9)).unwrap();
+        assert_eq!(rx.recv().unwrap(), (0, 9));
+    }
+
+    #[test]
+    fn huge_weights_do_not_overflow_the_pick() {
+        // `weights` is a public knob: the comparison must survive
+        // adversarial values times a long-running served counter.
+        let (tx, rx) = fair_bounded(8, [u64::MAX, u64::MAX - 1]);
+        for i in 0..4 {
+            tx.send(Class::Interactive, (0usize, i)).unwrap();
+            tx.send(Class::Bulk, (1usize, i)).unwrap();
+        }
+        // Would overflow u64 cross-multiplication (panic in debug) once
+        // served counters pass 1.
+        for _ in 0..8 {
+            rx.recv().unwrap();
+        }
     }
 
     #[test]

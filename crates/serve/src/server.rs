@@ -213,6 +213,12 @@ struct Request {
     /// True when the request was parked as a dedup waiter (possibly later
     /// promoted back into the pipeline after its leader died).
     joined: bool,
+    /// True when the request *created* its `(epoch, source)` dedup key
+    /// (an [`Attach::Leader`] outcome). Death paths may only tear down
+    /// keys their own requests lead: a keyless rider's source can be led
+    /// by a live leader in another batch whose waiters must not be
+    /// resolved on its behalf.
+    leader: bool,
     submitted: Instant,
     deadline: Option<Instant>,
     /// The tenant's in-flight quota slot; released at resolution.
@@ -346,6 +352,7 @@ impl ServeHandle<'_> {
             tenant,
             class,
             joined: false,
+            leader: false,
             submitted: now,
             deadline: deadline.map(|d| now + d),
             quota: None,
@@ -360,20 +367,27 @@ impl ServeHandle<'_> {
                 Lookup::Hit(depths) => {
                     self.collector.cache_hits.inc();
                     self.count_accepted(id, source, class);
-                    let response = BfsResponse {
-                        request: id,
-                        source,
-                        depths: depths.as_ref().clone(),
-                        tenant,
-                        class,
-                        batch: 0,
-                        device: 0,
-                        batch_sources: 0,
-                        queue_wait: Duration::ZERO,
-                        from_cache: true,
-                        deduped: false,
+                    // Deadlines bind the cache path too: a request admitted
+                    // with an already-expired deadline times out exactly
+                    // like its uncached twin would in `prune`.
+                    let outcome = if req.deadline.is_some_and(|d| Instant::now() >= d) {
+                        Err(ServeError::Timeout)
+                    } else {
+                        Ok(BfsResponse {
+                            request: id,
+                            source,
+                            depths: depths.as_ref().clone(),
+                            tenant,
+                            class,
+                            batch: 0,
+                            device: 0,
+                            batch_sources: 0,
+                            queue_wait: Duration::ZERO,
+                            from_cache: true,
+                            deduped: false,
+                        })
                     };
-                    resolve(req, Ok(response), self.collector);
+                    resolve(req, outcome, self.collector);
                     return Ok(ticket);
                 }
                 Lookup::Stale => {
@@ -408,10 +422,15 @@ impl ServeHandle<'_> {
             req.joined = true;
             let back = if block {
                 match dedup.attach(self.qos.epoch, source, req) {
-                    Attach::Leader(r) => Some(r),
+                    Attach::Leader(mut r) => {
+                        r.leader = true;
+                        Some(r)
+                    }
                     Attach::Joined => None,
                 }
             } else {
+                // A keyless rider: no leader was in flight and the try
+                // path must not create a key, so `leader` stays false.
                 dedup.join_if_inflight(self.qos.epoch, source, req)
             };
             match back {
@@ -458,11 +477,12 @@ impl ServeHandle<'_> {
                     source as u64,
                     self.collector.now_s(),
                 ));
-                // A bounced blocking request led a dedup key (disconnect is
-                // the only way send fails): the key dies with it, and every
-                // waiter parked meanwhile resolves as shutdown. The try
-                // path never leads, so its bounce owns no key.
-                if block {
+                // A bounced request that led a dedup key takes the key
+                // down with it: every waiter parked meanwhile resolves as
+                // shutdown. A keyless bounce owns no key — its source may
+                // be led by a live leader elsewhere, whose waiters are not
+                // ours to resolve.
+                if bounced.leader {
                     if let Some(dedup) = &self.qos.dedup {
                         for w in dedup.complete(self.qos.epoch, source) {
                             resolve(w, Err(ServeError::Shutdown), self.collector);
@@ -638,11 +658,12 @@ fn resolve(mut req: Request, outcome: Result<BfsResponse, ServeError>, collector
 /// Splits `window` into requests still worth running and resolves the
 /// rest: aborted requests with `Shutdown`, expired ones with `Timeout`.
 ///
-/// A dying request may be a dedup leader with waiters parked on its
+/// A dying request may be a dedup *leader* with waiters parked on its
 /// `(epoch, source)` key; those waiters are reclaimed and re-examined by
 /// the same rules — each against its *own* deadline — with survivors
 /// promoted into the live set (they ride keyless from here on) instead of
-/// being orphaned in the table.
+/// being orphaned in the table. A dying non-leader tears nothing down:
+/// its source's key, if any, belongs to a live leader elsewhere.
 fn prune(
     window: Vec<Request>,
     qos: &QosRuntime,
@@ -663,11 +684,10 @@ fn prune(
         };
         match err {
             Some(err) => {
-                if let Some(dedup) = &qos.dedup {
-                    // Completing a key the dying request did not lead is
-                    // sound: reclaimed waiters re-enter the pipeline here
-                    // and any same-epoch traversal answers them correctly.
-                    pending.extend(dedup.complete(qos.epoch, req.source));
+                if req.leader {
+                    if let Some(dedup) = &qos.dedup {
+                        pending.extend(dedup.complete(qos.epoch, req.source));
+                    }
                 }
                 resolve(req, Err(err), collector);
             }
@@ -805,12 +825,17 @@ fn dispatch_wave(
         collector.inflight_batches.add(1.0);
         if let Err(send_err) = batch_txs[device].send(batch) {
             // Worker gone (only possible under abort/panic): abandon the
-            // batch, its dedup keys, and every waiter parked on them.
+            // batch, the dedup keys *its requests lead*, and every waiter
+            // parked on those keys. Keys this batch merely rides keylessly
+            // belong to a live leader in another batch, which will answer
+            // their waiters itself.
             collector.inflight_batches.add(-1.0);
             for req in send_err.0.requests {
-                if let Some(dedup) = &qos.dedup {
-                    for w in dedup.complete(qos.epoch, req.source) {
-                        resolve(w, Err(ServeError::Shutdown), collector);
+                if req.leader {
+                    if let Some(dedup) = &qos.dedup {
+                        for w in dedup.complete(qos.epoch, req.source) {
+                            resolve(w, Err(ServeError::Shutdown), collector);
+                        }
                     }
                 }
                 resolve(req, Err(ServeError::Shutdown), collector);
@@ -881,10 +906,23 @@ fn run_batch(
         match svc.try_run_traced(&sources, &mut sink) {
             Ok(run) => run,
             // Unreachable in practice: admission validated every source.
+            // Resolve as Shutdown, not Invalid — the conservation identity
+            // (accepted = completed + timeouts + shutdown) has no slot for
+            // invalid-after-admission, and a surprise accounting failure
+            // would mask the real cause. Leaders take their dedup keys
+            // (and parked waiters) down with them.
             Err(e) => {
+                debug_assert!(false, "admitted source failed traversal admission: {e:?}");
                 collector.inflight_batches.add(-1.0);
                 for req in live {
-                    resolve(req, Err(ServeError::Invalid(e)), collector);
+                    if req.leader {
+                        if let Some(dedup) = &qos.dedup {
+                            for w in dedup.complete(qos.epoch, req.source) {
+                                resolve(w, Err(ServeError::Shutdown), collector);
+                            }
+                        }
+                    }
+                    resolve(req, Err(ServeError::Shutdown), collector);
                 }
                 return;
             }
@@ -1144,6 +1182,24 @@ mod tests {
         assert_eq!(report.cache_misses, 1);
         assert_eq!(report.completed, 2);
         assert_eq!(report.batches.len(), 1, "second request must not traverse");
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn expired_deadline_times_out_even_on_cache_hit() {
+        // Regression: the cache path must honour deadlines exactly like
+        // the batch path — an already-expired request never succeeds just
+        // because its source happens to be warm.
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig { qos: QosPolicy::default().with_cache(8), ..quick_config() };
+        let (outcome, report) = serve(&g, &r, config, |h| {
+            h.submit(6).unwrap().wait().unwrap(); // warm the cache
+            h.submit_with_deadline(6, Some(Duration::ZERO)).unwrap().wait()
+        });
+        assert_eq!(outcome, Err(ServeError::Timeout));
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.completed, 1);
         assert!(report.is_conserved());
     }
 

@@ -207,6 +207,46 @@ fn fair_queue_split_tracks_weights_and_stays_fifo() {
 }
 
 #[test]
+fn idle_lane_rejoins_at_its_weighted_share() {
+    // Regression for the WFQ idle-credit bug: serve one lane alone for a
+    // random warm-up stretch (the other lane idle the whole time, the
+    // busy lane never empty), then burst the idle lane. From that point
+    // the split must track the weights immediately — the woken lane must
+    // not monopolize the drain while its frozen virtual clock catches up.
+    Prop::new("serve::fair_idle_resync").cases(60).run(|rng| {
+        let weights = [rng.gen_range(1..=8u64), rng.gen_range(1..=8u64)];
+        let (tx, rx) = fair_bounded::<(usize, usize)>(128, weights);
+        for seq in 0..96 {
+            tx.try_send(Class::Interactive, (0, seq)).unwrap();
+        }
+        let warm = rng.gen_range(32..=64usize);
+        for _ in 0..warm {
+            assert_eq!(rx.recv().unwrap().0, 0, "bulk lane is empty");
+        }
+        // Bulk wakes up; both lanes now stay backlogged for all `m` pops.
+        for seq in 0..64 {
+            tx.try_send(Class::Bulk, (1, seq)).unwrap();
+            tx.try_send(Class::Interactive, (0, 96 + seq)).unwrap();
+        }
+        let m = rng.gen_range(8..=32usize);
+        let mut served = [0usize; 2];
+        for _ in 0..m {
+            served[rx.recv().unwrap().0] += 1;
+        }
+        let total_w = (weights[0] + weights[1]) as f64;
+        for c in 0..2 {
+            let ideal = m as f64 * weights[c] as f64 / total_w;
+            assert!(
+                (served[c] as f64 - ideal).abs() <= 3.0,
+                "after {warm} warm-up pops lane {c} served {} of {m}, \
+                 ideal {ideal:.2} (weights {weights:?})",
+                served[c]
+            );
+        }
+    });
+}
+
+#[test]
 fn dedup_attach_resolves_each_waiter_exactly_once() {
     Prop::new("serve::dedup_exactly_once").cases(60).run(|rng| {
         let table: DedupTable<u64> = DedupTable::new();
