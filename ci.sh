@@ -49,3 +49,12 @@ cargo run -q --release --offline -p ibfs-bench --bin bfs -- cpu-bench \
     --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 --check \
     --out "$BENCH"
 test -s "$BENCH"
+
+# Sharded-traversal gate: the seeded shard-bench --check fails unless the
+# 4-shard sharded depths are bit-identical to reference_bfs on the
+# scale-12 R-MAT and the Butterfly exchange puts strictly fewer messages
+# on the wire than AllToAll; the differential suite then pins run_sharded
+# to run_ibfs across shard counts, layouts and patterns under -O.
+cargo run -q --release --offline -p ibfs-bench --bin bfs -- shard-bench \
+    --shards 4 --check
+cargo test -q --release --offline --test sharded_differential

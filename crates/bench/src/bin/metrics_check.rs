@@ -33,6 +33,7 @@ const DEFAULT_REQUIRED: &[&str] = &[
     "ibfs_serve_cache_*",
     "ibfs_cluster_routed_total*",
     "ibfs_cluster_batch_weight",
+    "ibfs_cluster_comm_*",
     "ibfs_core_levels_total",
     "ibfs_core_frontier_size",
 ];

@@ -10,6 +10,7 @@ pub mod cpubench;
 pub mod figures;
 pub mod loadgen;
 pub mod result;
+pub mod shardbench;
 
 use ibfs::word::WordWidth;
 use ibfs_graph::suite::GraphSpec;

@@ -55,7 +55,6 @@ use crate::service::{admit_sources, RequestError};
 use crate::word::{
     AtomicStatus, AtomicW128, AtomicW256, AtomicW32, AtomicW64, StatusWord, WordWidth,
 };
-use ibfs_graph::partition::even_ranges;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -582,11 +581,15 @@ fn run_width<A: AtomicStatus>(
             // cost with one more full sweep over the words, on the pool
             // (the baseline paid a thread-spawn wave on top of this sweep;
             // the modeled cost is the sweep alone).
-            let rs = even_ranges(n, threads);
-            pool.run(|lane| {
-                for v in rs[lane].clone() {
-                    let w = next[v].load();
-                    next[v].store(w);
+            scratch.cursor.reset();
+            let chunks = n.div_ceil(CHUNK);
+            let cursor = &scratch.cursor;
+            pool.run(|_lane| {
+                while let Some(c) = cursor.claim(chunks) {
+                    for v in chunk_range(c, n) {
+                        let w = next[v].load();
+                        next[v].store(w);
+                    }
                 }
             });
             stats.full_sweeps += 1;
@@ -765,13 +768,16 @@ fn run_width<A: AtomicStatus>(
                         st.queue.clear();
                         st.unfinished.clear();
                     }
-                    let rs = even_ranges(n, threads);
-                    let lanes = &scratch.lanes;
+                    scratch.cursor.reset();
+                    let chunks = n.div_ceil(CHUNK);
+                    let (lanes, cursor) = (&scratch.lanes, &scratch.cursor);
                     pool.run(|lane| {
                         let mut st = lanes[lane].lock().unwrap();
-                        for v in rs[lane].clone() {
-                            if next[v].load().and(full) != full {
-                                st.unfinished.push(v as VertexId);
+                        while let Some(c) = cursor.claim(chunks) {
+                            for v in chunk_range(c, n) {
+                                if next[v].load().and(full) != full {
+                                    st.unfinished.push(v as VertexId);
+                                }
                             }
                         }
                     });

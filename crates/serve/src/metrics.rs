@@ -144,6 +144,9 @@ impl Collector {
         let r = &telemetry.registry;
         // Per-class families are registered eagerly so every serve snapshot
         // carries them (metrics-check validates presence, not activity).
+        // Likewise the cluster comm families: a serve run that never shards
+        // (or shards but never crosses a boundary) still snapshots them.
+        ibfs_cluster::register_comm_metrics(r);
         let class_counters =
             |name: &str| Class::ALL.map(|c| DeltaCounter::new(r, &class_metric(name, c)));
         Collector {

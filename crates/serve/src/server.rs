@@ -59,6 +59,7 @@ use ibfs::runner::{device_group_bound, RunConfig};
 use ibfs::service::{admit_sources, BackToBack, DeviceScheduler, HyperQOverlap, IbfsService};
 use ibfs::trace::{BatchStamp, MetricsSink, RecorderSink, TraceRecord};
 use ibfs_cluster::router::{fanout_weight, BatchRouter, InstrumentedRouter, LeastLoaded, RoundRobin};
+use ibfs_cluster::shard::{ShardedConfig, ShardedService, WAVE_WIDTH};
 use ibfs_obs::span::{SpanEvent, SpanStage, NO_CORRELATION};
 use ibfs_graph::{Csr, Depth, VertexId};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -143,6 +144,15 @@ pub struct ServeConfig {
     /// Engine/device template for every worker; the grouping field is
     /// overridden per worker (one batch = one traversal group).
     pub run: RunConfig,
+    /// When set, every worker serves batches through a resident
+    /// [`ShardedService`] over this partition/comm spec instead of a
+    /// single-device [`IbfsService`]: the batch fans out to all shards in
+    /// lockstep and the depths are reduced back to global order exactly
+    /// once, inside the sharded run. Depths are bit-identical either way;
+    /// only the simulated time and the `ibfs_cluster_comm_*` metrics
+    /// change. The spec's own `grouping` field is overridden per worker
+    /// (one batch = one wave, capped at [`WAVE_WIDTH`]).
+    pub sharding: Option<ShardedConfig>,
 }
 
 impl Default for ServeConfig {
@@ -161,6 +171,7 @@ impl Default for ServeConfig {
             scheduler: SchedulerKind::default(),
             qos: QosPolicy::default(),
             run: RunConfig::default(),
+            sharding: None,
         }
     }
 }
@@ -168,7 +179,11 @@ impl Default for ServeConfig {
 /// The batch-size cap actually in force: the configured `max_batch`
 /// clamped into `[1, §3 device-memory bound]`.
 pub fn effective_max_batch(graph: &Csr, config: &ServeConfig) -> usize {
-    let bound = device_group_bound(graph, &config.run.device, 1 << 20) as usize;
+    let mut bound = device_group_bound(graph, &config.run.device, 1 << 20) as usize;
+    if config.sharding.is_some() {
+        // Sharded waves share one u64 status word per vertex.
+        bound = bound.min(WAVE_WIDTH);
+    }
     config.max_batch.clamp(1, bound.max(1))
 }
 
@@ -192,6 +207,10 @@ pub struct BfsResponse {
     pub batch: u64,
     /// Worker (device) index that ran the batch (0 for cache hits).
     pub device: usize,
+    /// Shards the batch's traversal fanned out over: 1 on a single-device
+    /// worker, the partition width under [`ServeConfig::sharding`], 0 when
+    /// no traversal ran (cache hit).
+    pub shards: usize,
     /// Distinct sources traversed by that batch (0 for cache hits).
     pub batch_sources: usize,
     /// Admission-to-dispatch wall-clock wait.
@@ -381,6 +400,7 @@ impl ServeHandle<'_> {
                             class,
                             batch: 0,
                             device: 0,
+                            shards: 0,
                             batch_sources: 0,
                             queue_wait: Duration::ZERO,
                             from_cache: true,
@@ -844,6 +864,62 @@ fn dispatch_wave(
     }
 }
 
+/// What a worker runs batches through: one resident single-device service,
+/// or one resident sharded service fanning each batch over all shards.
+/// Either way a batch traverses exactly once and its depths come back in
+/// global vertex order, so the response path below is shared.
+enum WorkerBackend<'g> {
+    Single(IbfsService<'g>),
+    Sharded(ShardedService<'g>),
+}
+
+/// The slice of a run the response path needs, identical across backends.
+struct BatchRun {
+    groups: Vec<ibfs::engine::GroupRun>,
+    sim_seconds: f64,
+    traversed_edges: u64,
+    /// Shards the traversal fanned out over (1 on a single device).
+    shards: usize,
+}
+
+impl WorkerBackend<'_> {
+    fn grouping(&self) -> &GroupingStrategy {
+        match self {
+            WorkerBackend::Single(svc) => svc.grouping(),
+            WorkerBackend::Sharded(svc) => svc.grouping(),
+        }
+    }
+
+    fn try_run_traced(
+        &mut self,
+        sources: &[VertexId],
+        sink: &mut dyn ibfs::trace::TraceSink,
+        collector: &Collector,
+    ) -> Result<BatchRun, ibfs::service::RequestError> {
+        match self {
+            WorkerBackend::Single(svc) => {
+                let run = svc.try_run_traced(sources, sink)?;
+                Ok(BatchRun {
+                    groups: run.groups,
+                    sim_seconds: run.sim_seconds,
+                    traversed_edges: run.traversed_edges,
+                    shards: 1,
+                })
+            }
+            WorkerBackend::Sharded(svc) => {
+                let run = svc.try_run_traced(sources, sink)?;
+                run.record_comm_metrics(collector.registry());
+                Ok(BatchRun {
+                    shards: run.shards,
+                    groups: run.groups,
+                    sim_seconds: run.sim_seconds,
+                    traversed_edges: run.traversed_edges,
+                })
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     device: usize,
@@ -858,22 +934,38 @@ fn worker_loop(
 ) {
     // One batch = one traversal group: the per-worker service groups with
     // a cap of `max_batch`, which the batcher never exceeds, so every
-    // dispatched batch traverses jointly.
-    let run_cfg = RunConfig {
-        grouping: GroupingStrategy::Random { seed: device as u64, group_size: max_batch },
-        ..config.run.clone()
+    // dispatched batch traverses jointly. (Sharded waves additionally cap
+    // at WAVE_WIDTH; `effective_max_batch` already clamped to that.)
+    let mut backend = match &config.sharding {
+        Some(spec) => {
+            let cfg = ShardedConfig {
+                grouping: GroupingStrategy::Random {
+                    seed: device as u64,
+                    group_size: max_batch.min(WAVE_WIDTH),
+                },
+                ..spec.clone()
+            };
+            WorkerBackend::Sharded(ShardedService::new(graph, reverse, cfg))
+        }
+        None => {
+            let run_cfg = RunConfig {
+                grouping: GroupingStrategy::Random { seed: device as u64, group_size: max_batch },
+                ..config.run.clone()
+            };
+            WorkerBackend::Single(
+                IbfsService::new(graph, reverse, run_cfg).with_scheduler(config.scheduler.build()),
+            )
+        }
     };
-    let mut svc =
-        IbfsService::new(graph, reverse, run_cfg).with_scheduler(config.scheduler.build());
     while let Ok(batch) = brx.recv() {
-        run_batch(batch, &mut svc, graph, device, max_batch, collector, abort, qos);
+        run_batch(batch, &mut backend, graph, device, max_batch, collector, abort, qos);
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     batch: Batch,
-    svc: &mut IbfsService<'_>,
+    backend: &mut WorkerBackend<'_>,
     graph: &Csr,
     device: usize,
     max_batch: usize,
@@ -903,7 +995,7 @@ fn run_batch(
     let run = {
         let mut metrics = MetricsSink::new(collector.registry(), &mut rec);
         let mut sink = BatchStamp { batch: batch.seq, inner: &mut metrics };
-        match svc.try_run_traced(&sources, &mut sink) {
+        match backend.try_run_traced(&sources, &mut sink, collector) {
             Ok(run) => run,
             // Unreachable in practice: admission validated every source.
             // Resolve as Shutdown, not Invalid — the conservation identity
@@ -935,9 +1027,11 @@ fn run_batch(
             log.push(TraceRecord::Level(*event));
         }
     }
-    // Map each source to its instance's depth slice via the service's own
-    // grouping (deterministic, so it matches what ran).
-    let grouping = svc.grouping().group(graph, &sources);
+    // Map each source to its instance's depth slice via the backend's own
+    // grouping (deterministic, so it matches what ran). Sharded runs have
+    // already reduced per-shard depths into global order — exactly once,
+    // inside the wave — so both backends index the same way.
+    let grouping = backend.grouping().group(graph, &sources);
     let mut depths_of: HashMap<VertexId, (usize, usize)> = HashMap::with_capacity(sources.len());
     for (gi, group) in grouping.groups.iter().enumerate() {
         for (j, &s) in group.iter().enumerate() {
@@ -985,6 +1079,7 @@ fn run_batch(
         teps: teps(run.traversed_edges, run.sim_seconds),
     });
     let batch_sources = sources.len();
+    let shards = run.shards;
     let respond = |req: Request| {
         let response = BfsResponse {
             request: req.id,
@@ -994,6 +1089,7 @@ fn run_batch(
             class: req.class,
             batch: batch.seq,
             device,
+            shards,
             batch_sources,
             queue_wait: started.saturating_duration_since(req.submitted),
             from_cache: false,
@@ -1232,6 +1328,41 @@ mod tests {
         // The fan-out rode one batch carrying both requests.
         assert_eq!(report.batches.len(), 1);
         assert_eq!(report.batches[0].requests, 2);
+    }
+
+    #[test]
+    fn sharded_workers_answer_bit_identically_and_record_comm() {
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig {
+            sharding: Some(ShardedConfig { shards: 4, ..Default::default() }),
+            ..quick_config()
+        };
+        let (resps, report) = serve(&g, &r, config, |h| {
+            let tickets: Vec<_> = (0..12u32).map(|s| h.submit(s).unwrap()).collect();
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>()
+        });
+        for resp in &resps {
+            assert_eq!(resp.shards, 4);
+            assert_eq!(resp.depths, reference_bfs(&g, resp.source));
+        }
+        assert_eq!(report.completed, 12);
+        assert!(report.is_conserved());
+        // The fan-out crossed shard boundaries, so the comm counters moved
+        // — and the eager registration means they are present either way.
+        let msgs = report.snapshot.counter("ibfs_cluster_comm_messages_total");
+        assert!(msgs.is_some_and(|v| v > 0), "comm messages: {msgs:?}");
+    }
+
+    #[test]
+    fn unsharded_serve_still_snapshots_comm_families_at_zero() {
+        let g = graph();
+        let r = g.reverse();
+        let (_, report) = serve(&g, &r, quick_config(), |h| {
+            h.submit(1).unwrap().wait().unwrap()
+        });
+        assert_eq!(report.snapshot.counter("ibfs_cluster_comm_messages_total"), Some(0));
+        assert_eq!(report.snapshot.counter("ibfs_cluster_comm_bytes_total"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Differential suite pinning the sharded traversal stack to the
+//! single-device engine: for every seeded graph × shard count × ownership
+//! layout × exchange pattern, `run_sharded` must produce **bit-identical**
+//! depths and traversed-edge counts to `run_ibfs` under the same grouping.
+//!
+//! The exchange pattern and layout are allowed to change only the
+//! simulated communication cost — never a depth, never an edge count.
+
+use ibfs_repro::cluster::comm::{CommConfig, ExchangePattern};
+use ibfs_repro::cluster::shard::{run_sharded, ShardedConfig};
+use ibfs_repro::graph::generators::{rmat, uniform_random, RmatParams};
+use ibfs_repro::graph::partition::{OwnershipLayout, VertexOwner};
+use ibfs_repro::graph::{Csr, VertexId};
+use ibfs_repro::ibfs::groupby::GroupingStrategy;
+use ibfs_repro::ibfs::runner::{run_ibfs, RunConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The shared grouping: both stacks must slice sources into identical
+/// waves for the comparison to be instance-by-instance.
+fn grouping() -> GroupingStrategy {
+    GroupingStrategy::Random { seed: 0x5EED, group_size: 64 }
+}
+
+fn seeded_graphs() -> Vec<(String, Csr)> {
+    vec![
+        ("rmat9".to_string(), rmat(9, 8, RmatParams::graph500(), 7)),
+        ("uniform".to_string(), uniform_random(700, 6, 11)),
+    ]
+}
+
+/// Sources spread across the vertex range so that, under the contiguous
+/// layout, one wave holds vertices owned by several different shards.
+fn spread_sources(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    // Odd stride: a stride divisible by the shard count would pin every
+    // source to one owner under the Hash (modulo) layout.
+    let stride = (n / 40).max(1) | 1;
+    (0..n).step_by(stride).take(40).map(|v| v as VertexId).collect()
+}
+
+#[test]
+fn sharded_depths_and_edges_are_bit_identical_to_run_ibfs() {
+    for (name, g) in seeded_graphs() {
+        let r = g.reverse();
+        let sources = spread_sources(&g);
+        let baseline = run_ibfs(&g, &r, &sources, &RunConfig {
+            grouping: grouping(),
+            ..Default::default()
+        });
+        let plan = grouping().group(&g, &sources);
+
+        for shards in SHARD_COUNTS {
+            for layout in OwnershipLayout::all() {
+                for pattern in ExchangePattern::all() {
+                    let run = run_sharded(&g, &r, &sources, &ShardedConfig {
+                        shards,
+                        layout,
+                        comm: CommConfig::with_pattern(pattern),
+                        grouping: grouping(),
+                        ..Default::default()
+                    });
+                    let tag = format!(
+                        "{name} shards={shards} layout={layout:?} pattern={pattern:?}"
+                    );
+                    assert_eq!(run.groups.len(), baseline.groups.len(), "{tag}");
+                    for (gi, group) in plan.groups.iter().enumerate() {
+                        assert_eq!(
+                            run.groups[gi].traversed_edges,
+                            baseline.groups[gi].traversed_edges,
+                            "{tag} group {gi}"
+                        );
+                        for (j, &s) in group.iter().enumerate() {
+                            assert_eq!(
+                                run.groups[gi].instance_depths(j),
+                                baseline.groups[gi].instance_depths(j),
+                                "{tag} source {s}"
+                            );
+                        }
+                    }
+                    assert_eq!(run.traversed_edges, baseline.traversed_edges, "{tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn waves_mix_sources_owned_by_different_shards() {
+    // The differential above is only meaningful if a single lockstep wave
+    // really carries sources owned by different shards — pin that.
+    for (name, g) in seeded_graphs() {
+        let sources = spread_sources(&g);
+        let plan = grouping().group(&g, &sources);
+        for layout in OwnershipLayout::all() {
+            let owner = VertexOwner::new(layout, g.num_vertices(), 4);
+            let mixed = plan.groups.iter().any(|group| {
+                let mut owners: Vec<usize> =
+                    group.iter().map(|&s| owner.owner_of(s)).collect();
+                owners.sort_unstable();
+                owners.dedup();
+                owners.len() >= 2
+            });
+            assert!(mixed, "{name} {layout:?}: no wave spans shards");
+        }
+    }
+}
+
+#[test]
+fn exchange_pattern_changes_cost_but_never_results() {
+    let g = rmat(9, 8, RmatParams::graph500(), 7);
+    let r = g.reverse();
+    let sources = spread_sources(&g);
+    let config = |pattern| ShardedConfig {
+        shards: 4,
+        comm: CommConfig::with_pattern(pattern),
+        grouping: grouping(),
+        ..Default::default()
+    };
+    let a2a = run_sharded(&g, &r, &sources, &config(ExchangePattern::AllToAll));
+    let bf = run_sharded(&g, &r, &sources, &config(ExchangePattern::Butterfly));
+    for (ga, gb) in a2a.groups.iter().zip(&bf.groups) {
+        assert_eq!(ga.depths, gb.depths);
+    }
+    assert_eq!(a2a.traversed_edges, bf.traversed_edges);
+    assert!(a2a.comm.messages > 0, "spread sources must cross shard boundaries");
+    assert!(bf.comm.messages <= a2a.comm.messages);
+    assert_ne!(
+        a2a.comm.bytes, bf.comm.bytes,
+        "staged forwarding must change the byte volume"
+    );
+}
