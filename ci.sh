@@ -41,14 +41,19 @@ cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
     --metrics-out "$QOS_SNAP"
 cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$QOS_SNAP"
 
-# CPU-engine gate: a seeded cpu-bench run with --check asserts the pooled
-# engine's depths are bit-identical to reference_bfs and to the frozen
-# pre-pool baseline, and validates the emitted BENCH_cpu.json schema
-# through the in-tree JSON codec before writing it.
+# CPU-engine gate: a seeded cpu-bench sweep of all three engines with
+# --check asserts every engine's depths are bit-identical to
+# reference_bfs and to the frozen pre-pool baseline, runs the hub-heavy
+# tiling gate (tiled TEPS >= pooled, enforced on >= 2-core hosts), and
+# validates the emitted BENCH_cpu.json schema through the in-tree JSON
+# codec before writing it. The tile/async equivalence walls then pin the
+# tiled and async engines to the pooled engine under -O.
 cargo run -q --release --offline -p ibfs-bench --bin bfs -- cpu-bench \
-    --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 --check \
-    --out "$BENCH"
+    --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 \
+    --engine pooled,tiled,async --check --out "$BENCH"
 test -s "$BENCH"
+cargo test -q --release --offline --test tiled_differential
+cargo test -q --release --offline --test async_equivalence
 
 # Sharded-traversal gate: the seeded shard-bench --check fails unless the
 # 4-shard sharded depths are bit-identical to reference_bfs on the

@@ -15,6 +15,7 @@
 //!             [--trace PATH]
 //! bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
 //!             [--group-size N] [--threads N[,N...]] [--width 32|64|128|256]
+//!             [--engine pooled|tiled|async[,...]] [--tile-size N]
 //!             [--check] [--out PATH]
 //! bfs shard-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
 //!             [--shards N] [--layout contiguous|hash] [--check] [--json]
@@ -626,8 +627,11 @@ fn stats(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `bfs cpu-bench` — measure the pooled CPU engine against the frozen
-/// pre-pool baseline on a seeded R-MAT workload and write `BENCH_cpu.json`.
+/// `bfs cpu-bench` — measure the round-2 CPU engines (pooled, tiled,
+/// async) against the frozen pre-pool baseline on a seeded R-MAT workload
+/// and write `BENCH_cpu.json`. `--check` verifies every engine's depths
+/// against `reference_bfs` and, when the tiled engine is swept, gates
+/// tiled TEPS >= pooled TEPS on a hub-heavy graph.
 fn cpu_bench(args: Vec<String>) -> ExitCode {
     use ibfs_bench::cpubench::{
         report_summary, report_to_json, run_cpu_bench, validate_report_json, CpuBenchConfig,
@@ -691,6 +695,25 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
                     }
                 }
             }
+            "--engine" => {
+                let Some(list) = it.next() else {
+                    return usage("--engine needs a name or comma list (pooled|tiled|async)");
+                };
+                let parsed: Option<Vec<_>> = list
+                    .split(',')
+                    .map(|x| ibfs::cpu::CpuEngine::parse(x.trim()))
+                    .collect();
+                match parsed {
+                    Some(v) if !v.is_empty() => cfg.engines = v,
+                    _ => return usage("bad --engine list (expect pooled|tiled|async)"),
+                }
+            }
+            "--tile-size" => {
+                cfg.tile_size = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--tile-size needs a number (0 = autotune)"),
+                }
+            }
             "--check" => cfg.check = true,
             "--out" => {
                 out = match it.next() {
@@ -702,9 +725,10 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
         }
     }
 
+    let engine_names: Vec<&str> = cfg.engines.iter().map(|e| e.name()).collect();
     eprintln!(
         "cpu-bench: rmat scale {} edge-factor {} seed {}; {} sources, groups of {}, \
-         width {}, threads {:?}{}",
+         width {}, threads {:?}, engines {engine_names:?}, tile-size {}{}",
         cfg.scale,
         cfg.edge_factor,
         cfg.seed,
@@ -712,6 +736,7 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
         cfg.group_size,
         cfg.width,
         cfg.threads,
+        cfg.tile_size,
         if cfg.check { " (checked against reference + baseline)" } else { "" },
     );
     let report = run_cpu_bench(&cfg);
@@ -855,7 +880,8 @@ fn usage(msg: &str) -> ExitCode {
          [--bulk-quota N] [--check] [--json] \
          [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]\n\
        bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
-         [--group-size N] [--threads N[,N...]] [--width 32|64|128|256] [--check] \
+         [--group-size N] [--threads N[,N...]] [--width 32|64|128|256] \
+         [--engine pooled|tiled|async[,...]] [--tile-size N] [--check] \
          [--out PATH|-]\n\
        bfs shard-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
          [--shards N] [--layout contiguous|hash] [--check] [--json] [--out PATH|-]"

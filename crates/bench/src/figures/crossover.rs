@@ -1,0 +1,118 @@
+//! Sync-vs-async crossover: where the level barrier costs more than the
+//! wasted relaxations (CPU engine round 2; no paper counterpart — this is
+//! the repo's own ablation, see DESIGN.md "CPU engine round 2").
+//!
+//! The level-synchronous engines (pooled, tiled) pay three to four pool
+//! barriers per BFS level; the asynchronous engine pays repeated
+//! relaxations instead. On a DIMACS-style mesh — O(√n) levels of tiny
+//! frontiers — barrier cost dominates and async should win. On an R-MAT
+//! graph — a handful of fat levels where direction-optimizing bottom-up
+//! does most of the work — the synchronous engines should win. Both
+//! engines run the same sources through resident services; wall-clock
+//! TEPS is the measure, and the expected ordering is reported as a shape
+//! check, not asserted (single-core CI boxes invert wall-clock orderings).
+
+use crate::result::gteps;
+use crate::{FigureResult, HarnessConfig};
+use ibfs::cpu::{run_cpu_many, CpuEngine, CpuIbfs};
+use ibfs_graph::generators::{grid2d, rmat, RmatParams};
+use ibfs_graph::Csr;
+
+/// Runs the crossover comparison.
+pub fn run(cfg: &HarnessConfig) -> FigureResult {
+    let mut out = FigureResult::new(
+        "crossover",
+        "sync vs async CPU engines (GTEPS, wall-clock): mesh vs R-MAT",
+        &["graph", "diameter-ish", "pooled", "tiled", "async", "fastest"],
+    );
+    // Mesh side and R-MAT scale track the harness shrink so the tiny
+    // config stays test-sized while the default is a real measurement.
+    let side = (360usize >> cfg.shrink).max(12);
+    let scale = 14u32.saturating_sub(cfg.shrink).max(8);
+    let graphs: Vec<(String, Csr)> = vec![
+        (format!("mesh {side}x{side}"), grid2d(side, side)),
+        (format!("rmat s{scale}"), rmat(scale, 8, RmatParams::graph500(), 42)),
+    ];
+    let cpu_group = cfg.group_size.min(cfg.width.bits() as usize).min(ibfs::cpu::CPU_GROUP);
+    let mut async_wins_mesh = false;
+    let mut sync_wins_rmat = false;
+    for (i, (name, g)) in graphs.iter().enumerate() {
+        let r = g.reverse();
+        let sources = cfg.source_set(g);
+        let teps_of = |engine: CpuEngine| {
+            let mut svc = CpuIbfs {
+                threads: cfg.threads,
+                width: cfg.width,
+                engine,
+                ..Default::default()
+            }
+            .service(g, &r);
+            let runs = run_cpu_many(&sources, cpu_group, |group| {
+                svc.run_group(group).expect("crossover groups are sized to capacity")
+            });
+            let edges: u64 = runs.iter().map(|x| x.traversed_edges).sum();
+            let secs: f64 = runs.iter().map(|x| x.wall_seconds).sum();
+            edges as f64 / secs.max(1e-12)
+        };
+        let pooled = teps_of(CpuEngine::Pooled);
+        let tiled = teps_of(CpuEngine::Tiled);
+        let asynch = teps_of(CpuEngine::Async);
+        let fastest = if asynch >= pooled.max(tiled) {
+            "async"
+        } else if tiled >= pooled {
+            "tiled"
+        } else {
+            "pooled"
+        };
+        if i == 0 {
+            async_wins_mesh = fastest == "async";
+        } else {
+            sync_wins_rmat = fastest != "async";
+        }
+        // Eccentricity of the group's first source stands in for diameter.
+        let ecc = ibfs_graph::validate::reference_bfs(g, sources[0])
+            .iter()
+            .filter(|&&d| d != ibfs_graph::DEPTH_UNVISITED)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        out.push_row(vec![
+            name.clone(),
+            ecc.to_string(),
+            gteps(pooled),
+            gteps(tiled),
+            gteps(asynch),
+            fastest.to_string(),
+        ]);
+    }
+    out.note(format!(
+        "expected crossover (async wins the high-diameter mesh, a level-synchronous \
+         engine wins R-MAT): {}",
+        if async_wins_mesh && sync_wins_rmat { "HOLDS" } else { "NOT OBSERVED AT THIS SCALE" }
+    ));
+    out.note(
+        "methodology: same sources, resident service per engine, wall-clock TEPS; \
+         the mesh pays O(sqrt n) barrier rounds synchronously, the async engine pays \
+         re-relaxations instead (see EXPERIMENTS.md)"
+            .to_string(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_produces_both_graphs() {
+        let cfg = HarnessConfig::tiny();
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.rows[0][0].starts_with("mesh"));
+        assert!(r.rows[1][0].starts_with("rmat"));
+        // A winner is declared per row from the measured engines.
+        for row in &r.rows {
+            assert!(["pooled", "tiled", "async"].contains(&row[5].as_str()));
+        }
+    }
+}

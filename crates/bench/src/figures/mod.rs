@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure. See DESIGN.md §4 for the index.
 
 pub mod ablations;
+pub mod crossover;
 pub mod fig11;
 pub mod fig14;
 pub mod fig15;
@@ -19,10 +20,11 @@ pub mod table1;
 
 use crate::{FigureResult, HarnessConfig};
 
-/// All reproducible experiment ids, in paper order.
-pub const ALL_IDS: [&str; 16] = [
+/// All reproducible experiment ids, in paper order (repo-own ablations
+/// last).
+pub const ALL_IDS: [&str; 17] = [
     "fig2", "fig6", "fig8", "fig9", "fig11", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "table1", "ablations",
+    "fig19", "fig20", "fig21", "fig22", "table1", "ablations", "crossover",
 ];
 
 /// Runs one experiment by id.
@@ -44,6 +46,7 @@ pub fn run_by_id(id: &str, cfg: &HarnessConfig) -> Option<FigureResult> {
         "fig22" => fig22::run(cfg),
         "table1" => table1::run(cfg),
         "ablations" => ablations::run(cfg),
+        "crossover" => crossover::run(cfg),
         _ => return None,
     })
 }
@@ -131,6 +134,6 @@ mod tests {
             assert!(!id.is_empty());
         }
         assert!(run_by_id("not-an-experiment", &crate::HarnessConfig::tiny()).is_none());
-        assert_eq!(ALL_IDS.len(), 16);
+        assert_eq!(ALL_IDS.len(), 17);
     }
 }

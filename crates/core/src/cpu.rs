@@ -45,6 +45,26 @@
 //!   a shared atomic cursor, so a lane that lands on a power-law hub simply
 //!   claims fewer chunks; the old static `even_ranges` split is gone.
 //!
+//! # Round 2: edge tiles and the async variant
+//!
+//! [`CpuEngine`] selects among three hot paths sharing the pool and arena:
+//!
+//! * [`CpuEngine::Pooled`] — the PR 5 engine above, unchanged.
+//! * [`CpuEngine::Tiled`] — same level loop, but the top-down frontier is
+//!   expanded into [`crate::tile::EdgeTile`]s under the service's
+//!   [`TilePlan`] before the degree-balanced split, so a hub's edge list
+//!   spreads across every lane instead of pinning one. The relaxation is
+//!   a commutative monotone OR, so tiling cannot change any depth or the
+//!   depth-derived `traversed_edges` — bit-identity to Pooled is pinned by
+//!   `tests/tiled_differential.rs`. Bottom-up is untouched (its
+//!   single-writer-per-word invariant would not survive splitting).
+//! * [`CpuEngine::Async`] — no level loop at all; see [`crate::asyncq`].
+//!
+//! The tile size and the steal-chunk count are autotuned from the degree
+//! histogram at [`CpuService::new`] (override with
+//! [`CpuOptions::tile_size`]): tile size targets a small multiple of the
+//! average degree, and skewed graphs get more, finer steal chunks.
+//!
 //! Capacity is [`CPU_GROUP`] instances, further limited by the configured
 //! word width. Oversized or malformed groups are typed
 //! [`RequestError`]s, matching the GPU service's admission style.
@@ -52,9 +72,11 @@
 use crate::direction::{Direction, DirectionPolicy};
 use crate::pool::{ChunkCursor, WorkerPool};
 use crate::service::{admit_sources, RequestError};
+use crate::tile::{build_frontier_tiles, build_tile_bounds, build_weighted_bounds, ClaimTally, EdgeTile};
 use crate::word::{
     AtomicStatus, AtomicW128, AtomicW256, AtomicW32, AtomicW64, StatusWord, WordWidth,
 };
+use ibfs_graph::tiling::TilePlan;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -70,8 +92,49 @@ pub const CHUNK_BITS: usize = 10;
 /// Vertices per dirty chunk.
 pub const CHUNK: usize = 1 << CHUNK_BITS;
 
-/// Degree-balanced steal chunks handed to each pool lane per phase.
+/// Degree-balanced steal chunks handed to each pool lane per phase, for
+/// graphs with mild degree skew. The autotuner raises this on skewed
+/// graphs (see [`autotune_chunks_per_lane`]).
 const STEAL_CHUNKS_PER_LANE: usize = 8;
+
+/// The CPU hot path to run a group through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CpuEngine {
+    /// PR 5 level-synchronous engine: vertex-granular work stealing.
+    #[default]
+    Pooled,
+    /// Level-synchronous with edge-tiled top-down frontiers (SyncTile).
+    Tiled,
+    /// Asynchronous label-correcting FIFO, no level barrier (Async).
+    Async,
+}
+
+impl CpuEngine {
+    /// Stable lowercase name, used by the CLI and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuEngine::Pooled => "pooled",
+            CpuEngine::Tiled => "tiled",
+            CpuEngine::Async => "async",
+        }
+    }
+
+    /// Parses a [`CpuEngine::name`] string.
+    pub fn parse(s: &str) -> Option<CpuEngine> {
+        CpuEngine::all().into_iter().find(|e| e.name() == s)
+    }
+
+    /// Every engine, in name order of the CLI help.
+    pub fn all() -> [CpuEngine; 3] {
+        [CpuEngine::Pooled, CpuEngine::Tiled, CpuEngine::Async]
+    }
+}
+
+impl std::fmt::Display for CpuEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Worker threads to use when a config says `0`.
 pub fn available_threads() -> usize {
@@ -124,6 +187,11 @@ pub struct CpuOptions {
     pub early_termination: bool,
     /// MS-BFS per-level visit-map maintenance sweep.
     pub per_level_reset: bool,
+    /// Which hot path serves groups.
+    pub engine: CpuEngine,
+    /// Edge-tile size for [`CpuEngine::Tiled`] / [`CpuEngine::Async`];
+    /// 0 = autotune from the degree histogram at service build.
+    pub tile_size: usize,
 }
 
 impl Default for CpuOptions {
@@ -135,6 +203,8 @@ impl Default for CpuOptions {
             width: WordWidth::default(),
             early_termination: true,
             per_level_reset: false,
+            engine: CpuEngine::Pooled,
+            tile_size: 0,
         }
     }
 }
@@ -150,6 +220,10 @@ pub struct CpuIbfs {
     pub max_levels: u32,
     /// Status-word width (group capacity).
     pub width: WordWidth,
+    /// Hot path: pooled (default), tiled, or async.
+    pub engine: CpuEngine,
+    /// Edge-tile size; 0 = autotune.
+    pub tile_size: usize,
 }
 
 impl CpuIbfs {
@@ -163,6 +237,8 @@ impl CpuIbfs {
             width: self.width,
             early_termination: true,
             per_level_reset: false,
+            engine: self.engine,
+            tile_size: self.tile_size,
         })
     }
 
@@ -203,6 +279,10 @@ impl CpuMsBfs {
             width: self.width,
             early_termination: false,
             per_level_reset: true,
+            // MS-BFS is the fixed level-synchronous baseline of Figure 22;
+            // it never runs tiled or async.
+            engine: CpuEngine::Pooled,
+            tile_size: 0,
         })
     }
 
@@ -237,6 +317,18 @@ pub struct CpuStats {
     pub td_chunks: u64,
     /// Degree-balanced steal chunks claimed in bottom-up phases.
     pub bu_chunks: u64,
+    /// Edge tiles built for tiled top-down phases.
+    pub tiles_built: u64,
+    /// Frontier vertices whose edge list split into more than one tile.
+    pub tile_split_vertices: u64,
+    /// Sum over traversal phases of the busiest lane's steal-chunk claims.
+    /// With `td_chunks + bu_chunks` this yields the steal-balance ratio
+    /// (`max_lane * threads / total`, 1.0 = perfectly even).
+    pub steal_max_chunks: u64,
+    /// FIFO items processed by the async engine.
+    pub async_items: u64,
+    /// Successful CAS-min depth relaxations in the async engine.
+    pub async_relaxed: u64,
 }
 
 /// Point-in-time view of a service's counters, including its pool.
@@ -303,9 +395,14 @@ struct Scratch {
     ever_list: Vec<u32>,
     queue: Vec<VertexId>,
     next_queue: Vec<VertexId>,
-    /// Degree-balanced steal-chunk boundaries into `queue`.
+    /// Degree-balanced steal-chunk boundaries into `queue` (or, in tiled
+    /// top-down phases, into `tiles`).
     bounds: Vec<(u32, u32)>,
+    /// Tiled top-down work list, rebuilt per level from `queue`.
+    tiles: Vec<EdgeTile>,
     cursor: ChunkCursor,
+    /// Per-lane claim counts for the steal-balance metric.
+    tally: ClaimTally,
 }
 
 impl Scratch {
@@ -321,7 +418,9 @@ impl Scratch {
             queue: Vec::new(),
             next_queue: Vec::new(),
             bounds: Vec::new(),
+            tiles: Vec::new(),
             cursor: ChunkCursor::default(),
+            tally: ClaimTally::new(threads),
         }
     }
 }
@@ -353,31 +452,35 @@ fn build_bounds(
     queue: &[VertexId],
     deg: impl Fn(VertexId) -> u64,
     threads: usize,
+    chunks_per_lane: usize,
     bounds: &mut Vec<(u32, u32)>,
 ) {
-    bounds.clear();
-    if queue.is_empty() {
-        return;
+    build_weighted_bounds(
+        queue.len(),
+        |i| deg(queue[i]) + 1,
+        threads,
+        chunks_per_lane,
+        bounds,
+    );
+}
+
+/// Picks the steal-chunk count per lane from the degree histogram: the
+/// more the maximum degree dominates the average (power-law skew), the
+/// finer the chunks, so a lane that lands on hub-adjacent work leaves
+/// more chunks for the others to steal.
+fn autotune_chunks_per_lane(csr: &Csr) -> usize {
+    let hist = ibfs_graph::degree::log2_degree_histogram(csr);
+    if hist.is_empty() {
+        return STEAL_CHUNKS_PER_LANE;
     }
-    if threads == 1 {
-        bounds.push((0, queue.len() as u32));
-        return;
-    }
-    let chunk_goal = (threads * STEAL_CHUNKS_PER_LANE).max(1) as u64;
-    let total: u64 = queue.iter().map(|&v| deg(v) + 1).sum();
-    let target = total.div_ceil(chunk_goal).max(1);
-    let mut start = 0u32;
-    let mut acc = 0u64;
-    for (i, &v) in queue.iter().enumerate() {
-        acc += deg(v) + 1;
-        if acc >= target {
-            bounds.push((start, i as u32 + 1));
-            start = i as u32 + 1;
-            acc = 0;
-        }
-    }
-    if (start as usize) < queue.len() {
-        bounds.push((start, queue.len() as u32));
+    let max_degree = 1u64 << (hist.len() - 1);
+    let skew = max_degree as f64 / csr.avg_degree().max(1.0);
+    if skew >= 64.0 {
+        4 * STEAL_CHUNKS_PER_LANE
+    } else if skew >= 8.0 {
+        2 * STEAL_CHUNKS_PER_LANE
+    } else {
+        STEAL_CHUNKS_PER_LANE
     }
 }
 
@@ -391,6 +494,11 @@ pub struct CpuService<'g> {
     arena: ArenaAny,
     scratch: Scratch,
     stats: CpuStats,
+    /// The edge-tiling policy: explicit [`CpuOptions::tile_size`] or
+    /// autotuned from the degree histogram at construction.
+    plan: TilePlan,
+    /// Steal chunks per lane, autotuned from degree skew.
+    chunks_per_lane: usize,
     /// Monotone level counter tagging dirty chunks; never reset, so marks
     /// from earlier groups can never alias a current level.
     epoch: u64,
@@ -410,6 +518,11 @@ impl<'g> CpuService<'g> {
             WordWidth::W128 => ArenaAny::W128(Arena::new(n)),
             WordWidth::W256 => ArenaAny::W256(Arena::new(n)),
         };
+        let plan = if opts.tile_size > 0 {
+            TilePlan::uniform(opts.tile_size)
+        } else {
+            TilePlan::autotune(csr)
+        };
         CpuService {
             csr,
             rev,
@@ -418,8 +531,20 @@ impl<'g> CpuService<'g> {
             arena,
             scratch: Scratch::new(n, opts.threads),
             stats: CpuStats::default(),
+            plan,
+            chunks_per_lane: autotune_chunks_per_lane(csr),
             epoch: 0,
         }
+    }
+
+    /// The resolved tiling policy (explicit or autotuned).
+    pub fn tile_plan(&self) -> &TilePlan {
+        &self.plan
+    }
+
+    /// The resolved steal-chunk count per lane.
+    pub fn chunks_per_lane(&self) -> usize {
+        self.chunks_per_lane
     }
 
     /// Instances one group can hold (`min(CPU_GROUP, width.bits())`).
@@ -460,6 +585,23 @@ impl<'g> CpuService<'g> {
         registry.counter("ibfs_cpu_steal_chunks_total").add(s.stats.td_chunks + s.stats.bu_chunks);
         registry.counter("ibfs_cpu_pool_phases_total").add(s.pool_phases);
         registry.gauge("ibfs_cpu_pool_threads").set(s.pool_threads as f64);
+        // Round-2 families: tiling, steal balance, async progress.
+        registry.gauge("ibfs_cpu_tile_size").set(self.plan.tile_size() as f64);
+        registry.counter("ibfs_cpu_tile_built_total").add(s.stats.tiles_built);
+        registry
+            .counter("ibfs_cpu_tile_split_vertices_total")
+            .add(s.stats.tile_split_vertices);
+        let total_chunks = s.stats.td_chunks + s.stats.bu_chunks;
+        // Balance ratio: busiest lane's share of claims vs a perfectly even
+        // split. 1.0 = even; `threads` = one lane claimed everything.
+        let balance = if total_chunks > 0 {
+            s.stats.steal_max_chunks as f64 * s.pool_threads as f64 / total_chunks as f64
+        } else {
+            0.0
+        };
+        registry.gauge("ibfs_cpu_steal_balance").set(balance);
+        registry.counter("ibfs_cpu_async_items_total").add(s.stats.async_items);
+        registry.counter("ibfs_cpu_async_relaxed_total").add(s.stats.async_relaxed);
     }
 
     /// Validates a group without running it.
@@ -479,17 +621,30 @@ impl<'g> CpuService<'g> {
         self.admit(sources)?;
         let (csr, rev, opts) = (self.csr, self.rev, self.opts);
         let pool = &self.pool;
-        let scratch = &mut self.scratch;
         let stats = &mut self.stats;
+        if opts.engine == CpuEngine::Async {
+            // The async engine owns its depth words; the arena and the
+            // level-loop scratch never come into play.
+            return Ok(crate::asyncq::run_async(csr, &opts, pool, &self.plan, stats, sources));
+        }
+        let scratch = &mut self.scratch;
         let epoch = &mut self.epoch;
+        let cx = RunCx { plan: &self.plan, chunks_per_lane: self.chunks_per_lane };
         let run = match &self.arena {
-            ArenaAny::W32(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, sources),
-            ArenaAny::W64(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, sources),
-            ArenaAny::W128(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, sources),
-            ArenaAny::W256(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, sources),
+            ArenaAny::W32(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
+            ArenaAny::W64(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
+            ArenaAny::W128(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
+            ArenaAny::W256(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
         };
         Ok(run)
     }
+}
+
+/// Autotuned per-service parameters threaded into the level loop.
+#[derive(Clone, Copy)]
+struct RunCx<'p> {
+    plan: &'p TilePlan,
+    chunks_per_lane: usize,
 }
 
 /// The width-generic pooled level loop. See the module docs for the
@@ -504,6 +659,7 @@ fn run_width<A: AtomicStatus>(
     scratch: &mut Scratch,
     stats: &mut CpuStats,
     epoch: &mut u64,
+    cx: RunCx<'_>,
     sources: &[VertexId],
 ) -> CpuRun {
     let ni = sources.len();
@@ -512,6 +668,8 @@ fn run_width<A: AtomicStatus>(
     let total_edges = csr.num_edges() as u64;
     let full = A::Word::low_mask(ni as u32);
     let threads = pool.threads();
+    let chunks_per_lane = cx.chunks_per_lane;
+    let tiled = opts.engine == CpuEngine::Tiled;
 
     let start = Instant::now();
     let mut level_seconds: Vec<f64> = Vec::new();
@@ -597,19 +755,64 @@ fn run_width<A: AtomicStatus>(
 
         // Traversal: degree-balanced steal chunks over the frontier.
         match direction {
+            Direction::TopDown if tiled => {
+                // Tiled: expand the frontier into edge tiles so a hub's
+                // list spreads across lanes, then balance over tiles. The
+                // OR-relaxation is order-free, so this produces exactly
+                // the pooled engine's updates.
+                let split = build_frontier_tiles(
+                    &scratch.queue,
+                    |v| csr.out_degree(v),
+                    cx.plan,
+                    &mut scratch.tiles,
+                );
+                build_tile_bounds(&scratch.tiles, threads, chunks_per_lane, &mut scratch.bounds);
+                scratch.cursor.reset();
+                stats.td_chunks += scratch.bounds.len() as u64;
+                stats.tiles_built += scratch.tiles.len() as u64;
+                stats.tile_split_vertices += split;
+                let (tiles, bounds, cursor, tally) =
+                    (&scratch.tiles, &scratch.bounds, &scratch.cursor, &scratch.tally);
+                let touched = &scratch.touched_epoch;
+                pool.run(|lane| {
+                    while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
+                        let (lo, hi) = bounds[bi];
+                        for t in &tiles[lo as usize..hi as usize] {
+                            let mask = cur[t.v as usize].load();
+                            for &w in &csr.neighbors(t.v)[t.lo as usize..t.hi as usize] {
+                                let wi = w as usize;
+                                let old = next[wi].load();
+                                if !mask.and(old.not()).is_zero() {
+                                    let prev = next[wi].fetch_or(mask);
+                                    if !mask.and(prev.not()).is_zero() {
+                                        let c = wi >> CHUNK_BITS;
+                                        if touched[c].load(Ordering::Relaxed) != tag {
+                                            touched[c].store(tag, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+                let (mx, _total) = scratch.tally.drain();
+                stats.steal_max_chunks += mx;
+            }
             Direction::TopDown => {
                 build_bounds(
                     &scratch.queue,
                     |v| csr.out_degree(v) as u64,
                     threads,
+                    chunks_per_lane,
                     &mut scratch.bounds,
                 );
                 scratch.cursor.reset();
                 stats.td_chunks += scratch.bounds.len() as u64;
-                let (queue, bounds, cursor) = (&scratch.queue, &scratch.bounds, &scratch.cursor);
+                let (queue, bounds, cursor, tally) =
+                    (&scratch.queue, &scratch.bounds, &scratch.cursor, &scratch.tally);
                 let touched = &scratch.touched_epoch;
-                pool.run(|_lane| {
-                    while let Some(bi) = cursor.claim(bounds.len()) {
+                pool.run(|lane| {
+                    while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
                         let (lo, hi) = bounds[bi];
                         for &f in &queue[lo as usize..hi as usize] {
                             let mask = cur[f as usize].load();
@@ -629,23 +832,30 @@ fn run_width<A: AtomicStatus>(
                         }
                     }
                 });
+                let (mx, _total) = scratch.tally.drain();
+                stats.steal_max_chunks += mx;
             }
             Direction::BottomUp => {
+                // Bottom-up stays vertex-granular in every engine: the
+                // accumulate-then-store below relies on a single writer
+                // per frontier word, which edge tiles would break.
                 build_bounds(
                     &scratch.queue,
                     |v| rev.out_degree(v) as u64,
                     threads,
+                    chunks_per_lane,
                     &mut scratch.bounds,
                 );
                 scratch.cursor.reset();
                 stats.bu_chunks += scratch.bounds.len() as u64;
-                let (queue, bounds, cursor) = (&scratch.queue, &scratch.bounds, &scratch.cursor);
+                let (queue, bounds, cursor, tally) =
+                    (&scratch.queue, &scratch.bounds, &scratch.cursor, &scratch.tally);
                 let touched = &scratch.touched_epoch;
                 let lanes = &scratch.lanes;
                 let early = opts.early_termination;
                 pool.run(|lane| {
                     let mut st = lanes[lane].lock().unwrap();
-                    while let Some(bi) = cursor.claim(bounds.len()) {
+                    while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
                         let (lo, hi) = bounds[bi];
                         for &f in &queue[lo as usize..hi as usize] {
                             let fi = f as usize;
@@ -674,6 +884,8 @@ fn run_width<A: AtomicStatus>(
                         }
                     }
                 });
+                let (mx, _total) = scratch.tally.drain();
+                stats.steal_max_chunks += mx;
             }
         }
 
@@ -1059,7 +1271,7 @@ mod tests {
     fn build_bounds_covers_queue_exactly() {
         let queue: Vec<VertexId> = (0..100).collect();
         let mut bounds = Vec::new();
-        build_bounds(&queue, |v| (v % 7) as u64, 4, &mut bounds);
+        build_bounds(&queue, |v| (v % 7) as u64, 4, STEAL_CHUNKS_PER_LANE, &mut bounds);
         assert!(bounds.len() > 1);
         let mut expected = 0u32;
         for &(lo, hi) in &bounds {
@@ -1069,9 +1281,76 @@ mod tests {
         }
         assert_eq!(expected as usize, queue.len());
         // Single lane: one chunk, no balancing pass.
-        build_bounds(&queue, |_| 1, 1, &mut bounds);
+        build_bounds(&queue, |_| 1, 1, STEAL_CHUNKS_PER_LANE, &mut bounds);
         assert_eq!(bounds, vec![(0, 100)]);
-        build_bounds(&[], |_| 1, 4, &mut bounds);
+        build_bounds(&[], |_| 1, 4, STEAL_CHUNKS_PER_LANE, &mut bounds);
         assert!(bounds.is_empty());
+    }
+
+    #[test]
+    fn tiled_engine_matches_pooled_bit_for_bit() {
+        let g = rmat(9, 8, RmatParams::graph500(), 19);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..48).collect();
+        let pooled = CpuIbfs { threads: 3, ..Default::default() }
+            .run_group(&g, &r, &sources)
+            .unwrap();
+        for tile_size in [16, 256] {
+            let tiled = CpuIbfs {
+                threads: 3,
+                engine: CpuEngine::Tiled,
+                tile_size,
+                ..Default::default()
+            }
+            .run_group(&g, &r, &sources)
+            .unwrap();
+            assert_eq!(tiled.depths, pooled.depths, "tile_size {tile_size}");
+            assert_eq!(tiled.traversed_edges, pooled.traversed_edges);
+        }
+    }
+
+    #[test]
+    fn tiled_service_reports_tiling_stats_and_metrics() {
+        let g = rmat(9, 8, RmatParams::graph500(), 7);
+        let r = g.reverse();
+        let mut svc = CpuIbfs {
+            threads: 2,
+            engine: CpuEngine::Tiled,
+            tile_size: 16,
+            ..Default::default()
+        }
+        .service(&g, &r);
+        assert_eq!(svc.tile_plan().tile_size(), 16);
+        svc.run_group(&[0, 1, 2, 3]).unwrap();
+        let s = svc.stats().stats;
+        assert!(s.tiles_built > 0);
+        assert!(s.tile_split_vertices > 0, "an R-MAT frontier must split hubs");
+        assert!(s.steal_max_chunks > 0);
+        let registry = ibfs_obs::Registry::new();
+        svc.record_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ibfs_cpu_tile_built_total"), Some(s.tiles_built));
+        assert_eq!(snap.gauge("ibfs_cpu_tile_size"), Some(16.0));
+        assert!(snap.gauge("ibfs_cpu_steal_balance").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn autotuned_plan_is_used_when_tile_size_is_zero() {
+        let g = rmat(8, 8, RmatParams::graph500(), 3);
+        let r = g.reverse();
+        let svc = CpuIbfs { engine: CpuEngine::Tiled, threads: 2, ..Default::default() }
+            .service(&g, &r);
+        let plan = *svc.tile_plan();
+        assert_eq!(plan, ibfs_graph::tiling::TilePlan::autotune(&g));
+        assert!(svc.chunks_per_lane() >= STEAL_CHUNKS_PER_LANE);
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in CpuEngine::all() {
+            assert_eq!(CpuEngine::parse(e.name()), Some(e));
+            assert_eq!(e.to_string(), e.name());
+        }
+        assert_eq!(CpuEngine::parse("warp"), None);
     }
 }

@@ -215,9 +215,27 @@ impl ChunkCursor {
     }
 
     /// Claims the next chunk index, or `None` when `limit` is exhausted.
+    ///
+    /// The claim is bounded: the cursor never advances past `limit`, so a
+    /// lane that loses the race at a tiny frontier does not push the
+    /// cursor into territory a *later* phase (or a later call with a
+    /// larger `limit`) would have claimed. The old `fetch_add`-then-check
+    /// implementation over-claimed here — with `threads` lanes spinning on
+    /// an exhausted cursor it could run `limit` arbitrarily far ahead,
+    /// silently swallowing the first chunks of the next claim window
+    /// unless every caller remembered to `reset` first.
     pub fn claim(&self, limit: usize) -> Option<usize> {
-        let i = self.0.fetch_add(1, Ordering::Relaxed);
-        (i < limit).then_some(i)
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while cur < limit {
+            match self
+                .0
+                .compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(cur),
+                Err(seen) => cur = seen,
+            }
+        }
+        None
     }
 }
 
@@ -293,6 +311,34 @@ mod tests {
         }
         cursor.reset();
         assert_eq!(cursor.claim(64), Some(0));
+    }
+
+    #[test]
+    fn exhausted_cursor_does_not_over_claim() {
+        // Regression: many lanes hammering an exhausted cursor at a tiny
+        // frontier must leave it parked exactly at the limit, so a later
+        // claim window (larger limit, no reset) still sees every chunk.
+        let pool = WorkerPool::new(8);
+        let cursor = ChunkCursor::default();
+        pool.run(|_lane| {
+            // Each lane keeps claiming long after the 2-chunk frontier is
+            // gone — the failure mode of the old fetch_add cursor.
+            let mut claimed = 0;
+            for _ in 0..1000 {
+                if cursor.claim(2).is_some() {
+                    claimed += 1;
+                }
+            }
+            assert!(claimed <= 2);
+        });
+        // The cursor stopped at the limit: chunks 2..6 of a wider window
+        // are still claimable without a reset.
+        assert_eq!(cursor.claim(6), Some(2));
+        assert_eq!(cursor.claim(6), Some(3));
+        assert_eq!(cursor.claim(6), Some(4));
+        assert_eq!(cursor.claim(6), Some(5));
+        assert_eq!(cursor.claim(6), None);
+        assert_eq!(cursor.claim(6), None);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Frontier edge-tiling for the CPU engines.
+//!
+//! The pooled engine's top-down unit of stolen work is a whole vertex, so
+//! one power-law hub serializes most of a level behind a single lane. The
+//! tiled engine (Galois' SyncTile shape) instead expands the frontier into
+//! [`EdgeTile`]s — contiguous slices of a vertex's edge list bounded by
+//! the graph's [`TilePlan`] — and steals *tiles*. Because the top-down
+//! relaxation is a commutative monotone OR into the `next` status array,
+//! any decomposition of the edge list produces the same set of updates:
+//! the tiled engine is bit-identical to the pooled one by construction
+//! (pinned by `tests/tiled_differential.rs`).
+
+use crate::pool::ChunkCursor;
+use ibfs_graph::tiling::TilePlan;
+use ibfs_graph::VertexId;
+
+/// One unit of tiled top-down work: edges `lo..hi` of `v`'s list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeTile {
+    /// The frontier vertex.
+    pub v: VertexId,
+    /// First local edge index (into `csr.neighbors(v)`).
+    pub lo: u32,
+    /// One past the last local edge index.
+    pub hi: u32,
+}
+
+/// Expands `queue` into tiles under `plan`, appending to `tiles` (cleared
+/// first). Degree-0 frontier vertices are skipped — they have no edges to
+/// relax. Returns the number of vertices that split into more than one
+/// tile.
+pub fn build_frontier_tiles(
+    queue: &[VertexId],
+    deg: impl Fn(VertexId) -> usize,
+    plan: &TilePlan,
+    tiles: &mut Vec<EdgeTile>,
+) -> u64 {
+    tiles.clear();
+    let mut split = 0u64;
+    for &v in queue {
+        let d = deg(v);
+        if d == 0 {
+            continue;
+        }
+        let count = plan.tile_count(d);
+        if count > 1 {
+            split += 1;
+        }
+        for (lo, hi) in plan.tiles(d) {
+            tiles.push(EdgeTile { v, lo: lo as u32, hi: hi as u32 });
+        }
+    }
+    split
+}
+
+/// Splits `len` weighted items into contiguous balanced steal chunks,
+/// appended to `bounds` (cleared first) as `(start, end)` index pairs.
+/// Aim: roughly `threads * chunks_per_lane` chunks of near-equal total
+/// weight, so a lane stuck on a heavy chunk simply claims fewer of them
+/// through the [`ChunkCursor`].
+pub fn build_weighted_bounds(
+    len: usize,
+    weight: impl Fn(usize) -> u64,
+    threads: usize,
+    chunks_per_lane: usize,
+    bounds: &mut Vec<(u32, u32)>,
+) {
+    bounds.clear();
+    if len == 0 {
+        return;
+    }
+    if threads == 1 {
+        bounds.push((0, len as u32));
+        return;
+    }
+    let chunk_goal = (threads * chunks_per_lane).max(1) as u64;
+    let total: u64 = (0..len).map(&weight).sum();
+    let target = total.div_ceil(chunk_goal).max(1);
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for i in 0..len {
+        acc += weight(i);
+        if acc >= target {
+            bounds.push((start, i as u32 + 1));
+            start = i as u32 + 1;
+            acc = 0;
+        }
+    }
+    if (start as usize) < len {
+        bounds.push((start, len as u32));
+    }
+}
+
+/// [`build_weighted_bounds`] over a tile list, weighting each tile by its
+/// edge span plus one (the constant covers per-tile scheduling overhead,
+/// mirroring the pooled engine's `deg + 1` vertex weight).
+pub fn build_tile_bounds(
+    tiles: &[EdgeTile],
+    threads: usize,
+    chunks_per_lane: usize,
+    bounds: &mut Vec<(u32, u32)>,
+) {
+    build_weighted_bounds(
+        tiles.len(),
+        |i| (tiles[i].hi - tiles[i].lo) as u64 + 1,
+        threads,
+        chunks_per_lane,
+        bounds,
+    );
+}
+
+/// Per-lane claim counters for the steal-balance metric: `claims[lane]`
+/// counts chunks this lane won from the shared cursor during one phase.
+pub struct ClaimTally(Vec<std::sync::atomic::AtomicU64>);
+
+impl ClaimTally {
+    /// A tally for `threads` lanes.
+    pub fn new(threads: usize) -> Self {
+        ClaimTally((0..threads).map(|_| std::sync::atomic::AtomicU64::new(0)).collect())
+    }
+
+    /// Claims the next chunk from `cursor`, attributing it to `lane`.
+    #[inline]
+    pub fn claim(&self, cursor: &ChunkCursor, limit: usize, lane: usize) -> Option<usize> {
+        let i = cursor.claim(limit)?;
+        self.0[lane].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(i)
+    }
+
+    /// Drains the tally, returning `(max_per_lane, total)` and resetting
+    /// every counter to zero.
+    pub fn drain(&self) -> (u64, u64) {
+        let mut max = 0u64;
+        let mut total = 0u64;
+        for c in &self.0 {
+            let v = c.swap(0, std::sync::atomic::Ordering::Relaxed);
+            max = max.max(v);
+            total += v;
+        }
+        (max, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degs(d: &[usize]) -> impl Fn(VertexId) -> usize + '_ {
+        move |v| d[v as usize]
+    }
+
+    #[test]
+    fn tiles_cover_frontier_edges_exactly() {
+        let d = [0usize, 5, 40, 16, 0, 1];
+        let plan = TilePlan::uniform(16);
+        let queue: Vec<VertexId> = (0..6).collect();
+        let mut tiles = Vec::new();
+        let split = build_frontier_tiles(&queue, degs(&d), &plan, &mut tiles);
+        // Vertex 2 (deg 40) splits into 3 tiles; degree-0 vertices vanish.
+        assert_eq!(split, 1);
+        assert_eq!(tiles.len(), 1 + 3 + 1 + 1);
+        let covered: usize = tiles.iter().map(|t| (t.hi - t.lo) as usize).sum();
+        assert_eq!(covered, d.iter().sum::<usize>());
+        // Tiles of one vertex stay contiguous and ordered.
+        let v2: Vec<_> = tiles.iter().filter(|t| t.v == 2).collect();
+        assert_eq!(v2.len(), 3);
+        assert_eq!((v2[0].lo, v2[0].hi), (0, 16));
+        assert_eq!((v2[2].lo, v2[2].hi), (32, 40));
+    }
+
+    #[test]
+    fn small_vertices_stay_single_tiles() {
+        let d = [3usize, 4, 2];
+        let plan = TilePlan::new(4, 64);
+        let mut tiles = Vec::new();
+        build_frontier_tiles(&[0, 1, 2], degs(&d), &plan, &mut tiles);
+        assert_eq!(tiles.len(), 3);
+        assert!(tiles.iter().all(|t| t.lo == 0 && t.hi as usize == d[t.v as usize]));
+    }
+
+    #[test]
+    fn weighted_bounds_partition_and_balance() {
+        // A hub-shaped weight profile: one huge item among many tiny ones.
+        let w = |i: usize| if i == 10 { 1000 } else { 1 };
+        let mut bounds = Vec::new();
+        build_weighted_bounds(100, w, 4, 8, &mut bounds);
+        let mut expected = 0u32;
+        for &(lo, hi) in &bounds {
+            assert_eq!(lo, expected);
+            assert!(hi > lo);
+            expected = hi;
+        }
+        assert_eq!(expected, 100);
+        // The hub lands in a chunk of its own.
+        let hub_chunk = bounds.iter().find(|&&(lo, hi)| lo <= 10 && 10 < hi).unwrap();
+        assert!(hub_chunk.1 - hub_chunk.0 <= 11);
+        // One lane: a single chunk, no balancing pass.
+        build_weighted_bounds(100, w, 1, 8, &mut bounds);
+        assert_eq!(bounds, vec![(0, 100)]);
+        build_weighted_bounds(0, w, 4, 8, &mut bounds);
+        assert!(bounds.is_empty());
+    }
+
+    #[test]
+    fn tile_bounds_split_a_tiled_hub_across_chunks() {
+        // 64 tiles of 16 edges each (one split hub): with 4 lanes the
+        // bounds must spread the tiles over many chunks, which is the
+        // whole point of tiling.
+        let tiles: Vec<EdgeTile> =
+            (0..64).map(|i| EdgeTile { v: 7, lo: i * 16, hi: (i + 1) * 16 }).collect();
+        let mut bounds = Vec::new();
+        build_tile_bounds(&tiles, 4, 8, &mut bounds);
+        assert!(bounds.len() >= 8, "hub tiles must spread: {} chunks", bounds.len());
+    }
+
+    #[test]
+    fn claim_tally_tracks_max_and_total() {
+        let tally = ClaimTally::new(3);
+        let cursor = ChunkCursor::default();
+        while tally.claim(&cursor, 5, 0).is_some() {}
+        assert_eq!(tally.claim(&cursor, 5, 1), None);
+        assert_eq!(tally.drain(), (5, 5));
+        // Drained: counters reset.
+        assert_eq!(tally.drain(), (0, 0));
+    }
+}

@@ -9,9 +9,13 @@
 //! DESIGN.md §2 for the substitution argument).
 
 mod chunglu;
+mod hub;
+mod mesh;
 mod rmat;
 mod uniform;
 
 pub use chunglu::{chung_lu, powerlaw_weights};
+pub use hub::hub_heavy;
+pub use mesh::grid2d;
 pub use rmat::{rmat, RmatParams};
 pub use uniform::uniform_random;

@@ -25,6 +25,7 @@ pub mod generators;
 pub mod io;
 pub mod partition;
 pub mod suite;
+pub mod tiling;
 pub mod validate;
 pub mod weighted;
 

@@ -1,0 +1,228 @@
+//! Edge-tiling plan for load-balanced traversal.
+//!
+//! The pooled CPU engine (DESIGN.md "CPU engine architecture") splits
+//! top-down work at vertex granularity, so one scale-free hub can pin an
+//! entire work-stealing lane for a whole level — exactly the irregularity
+//! Galois' SyncTile variant fixes by splitting the edge lists of
+//! high-degree vertices into fixed-size *tiles* that flow through the
+//! scheduler as independent work items.
+//!
+//! [`TilePlan`] is the pure policy half of that: given a vertex degree it
+//! says how many tiles the edge list splits into and what local edge range
+//! each tile covers. The invariants (pinned by the property tests below)
+//! are:
+//!
+//! * the tiles of a vertex partition its edge list exactly — no overlap,
+//!   no gap, in ascending order;
+//! * every tile spans at most `tile_size` edges;
+//! * a vertex with degree at or below `threshold` produces exactly one
+//!   tile (degree 0 included: one empty tile, so the partition property
+//!   holds uniformly — work-list builders may skip empty tiles).
+//!
+//! [`TilePlan::autotune`] derives the sizes from the graph's
+//! [`log2_degree_histogram`](crate::degree::log2_degree_histogram) at
+//! service build time; callers can always override with an explicit size.
+
+use crate::Csr;
+
+/// Default lower bound for autotuned tile sizes. Below this the per-tile
+/// scheduling overhead (a claim + a mask load) dominates the edge work.
+pub const MIN_TILE_SIZE: usize = 16;
+
+/// Default upper bound for autotuned tile sizes. One tile of this size is
+/// already several L1 lines of adjacency; bigger tiles stop helping
+/// balance without reducing overhead further.
+pub const MAX_TILE_SIZE: usize = 4096;
+
+/// A fixed-size edge-tiling policy: vertices with degree above
+/// `threshold` split into tiles of at most `tile_size` edges each.
+///
+/// Constructed via [`TilePlan::new`] (explicit sizes) or
+/// [`TilePlan::autotune`] (degree-histogram heuristic). The constructor
+/// clamps `threshold` to at most `tile_size` so the one-tile-per-small-
+/// vertex and every-tile-fits invariants can never conflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Degrees at or below this stay a single work item.
+    threshold: usize,
+    /// Maximum edges per tile for vertices above the threshold.
+    tile_size: usize,
+}
+
+impl TilePlan {
+    /// Builds a plan with an explicit threshold and tile size. Both are
+    /// clamped to at least 1, and `threshold` to at most `tile_size`.
+    pub fn new(threshold: usize, tile_size: usize) -> TilePlan {
+        let tile_size = tile_size.max(1);
+        TilePlan { threshold: threshold.max(1).min(tile_size), tile_size }
+    }
+
+    /// Builds a plan where only the tile size matters: any degree above
+    /// `tile_size` splits. This is the shape the CLI `--tile-size` flag
+    /// produces.
+    pub fn uniform(tile_size: usize) -> TilePlan {
+        TilePlan::new(tile_size, tile_size)
+    }
+
+    /// Derives a plan from a graph's degree shape.
+    ///
+    /// Heuristic: aim tiles at a small multiple of the average degree
+    /// (4×, rounded up to a power of two) so a typical vertex stays one
+    /// tile while hubs split into roughly `degree / (4·avg)` items, then
+    /// clamp into `[MIN_TILE_SIZE, MAX_TILE_SIZE]`. Skewed graphs (max
+    /// degree far above average) therefore get many hub tiles; uniform
+    /// graphs degenerate to one tile per vertex, which makes the tiled
+    /// engine behave exactly like the pooled one.
+    pub fn autotune(g: &Csr) -> TilePlan {
+        let avg = g.avg_degree().max(1.0);
+        let target = (4.0 * avg).ceil() as usize;
+        let tile_size = target
+            .next_power_of_two()
+            .clamp(MIN_TILE_SIZE, MAX_TILE_SIZE);
+        TilePlan::uniform(tile_size)
+    }
+
+    /// Degrees at or below this produce exactly one tile.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Maximum edges per tile.
+    #[inline]
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Number of tiles the edge list of a degree-`deg` vertex splits into.
+    /// Always at least 1 (a degree-0 vertex has one empty tile).
+    #[inline]
+    pub fn tile_count(&self, deg: usize) -> usize {
+        if deg <= self.threshold {
+            1
+        } else {
+            deg.div_ceil(self.tile_size)
+        }
+    }
+
+    /// The local edge range `[lo, hi)` of tile `t` of a degree-`deg`
+    /// vertex. `t` must be below [`TilePlan::tile_count`].
+    #[inline]
+    pub fn tile_range(&self, deg: usize, t: usize) -> (usize, usize) {
+        debug_assert!(t < self.tile_count(deg));
+        if deg <= self.threshold {
+            (0, deg)
+        } else {
+            let lo = t * self.tile_size;
+            (lo, (lo + self.tile_size).min(deg))
+        }
+    }
+
+    /// Iterator over the tile ranges of a degree-`deg` vertex, ascending.
+    pub fn tiles(&self, deg: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.tile_count(deg)).map(move |t| self.tile_range(deg, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, uniform_random, RmatParams};
+    use ibfs_util::prop::Prop;
+
+    #[test]
+    fn threshold_clamped_to_tile_size() {
+        let p = TilePlan::new(100, 8);
+        assert_eq!(p.threshold(), 8);
+        assert_eq!(p.tile_size(), 8);
+        // Degenerate sizes clamp to 1 rather than panicking.
+        let p = TilePlan::new(0, 0);
+        assert_eq!((p.threshold(), p.tile_size()), (1, 1));
+    }
+
+    #[test]
+    fn small_vertex_is_one_tile() {
+        let p = TilePlan::new(4, 16);
+        for deg in 0..=4 {
+            assert_eq!(p.tile_count(deg), 1);
+            assert_eq!(p.tiles(deg).collect::<Vec<_>>(), vec![(0, deg)]);
+        }
+        // Just above the threshold the list splits by tile_size.
+        assert_eq!(p.tile_count(5), 1); // ceil(5/16)
+        assert_eq!(p.tiles(5).collect::<Vec<_>>(), vec![(0, 5)]);
+        assert_eq!(p.tile_count(33), 3);
+        assert_eq!(
+            p.tiles(33).collect::<Vec<_>>(),
+            vec![(0, 16), (16, 32), (32, 33)]
+        );
+    }
+
+    #[test]
+    fn autotune_tracks_average_degree() {
+        // Uniform graph, avg degree ~30: tiles land at the power of two
+        // above 4*avg and inside the clamp.
+        let g = uniform_random(512, 16, 7);
+        let p = TilePlan::autotune(&g);
+        assert!(p.tile_size() >= MIN_TILE_SIZE && p.tile_size() <= MAX_TILE_SIZE);
+        assert!(p.tile_size().is_power_of_two());
+        let target = (4.0 * g.avg_degree()).ceil() as usize;
+        assert!(p.tile_size() >= target.min(MAX_TILE_SIZE) / 2);
+        // R-MAT at the same scale autotunes to a modest size so its hubs
+        // split into many tiles.
+        let g = rmat(9, 8, RmatParams::graph500(), 42);
+        let p = TilePlan::autotune(&g);
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(p.tile_count(max_deg) > 1, "hubs must split");
+    }
+
+    /// Satellite property: tiles partition each edge list exactly (no
+    /// overlap, no gap, ordered), every tile is at most `tile_size`, and
+    /// vertices at or below the threshold produce exactly one tile.
+    #[test]
+    fn prop_tiles_partition_edge_lists() {
+        Prop::new("tiles_partition_edge_lists").cases(256).run(|rng| {
+            let tile_size = rng.gen_range(1..5000u64) as usize;
+            let threshold = rng.gen_range(1..5000u64) as usize;
+            let plan = TilePlan::new(threshold, tile_size);
+            let deg = rng.gen_range(0..20_000u64) as usize;
+
+            let tiles: Vec<(usize, usize)> = plan.tiles(deg).collect();
+            assert!(!tiles.is_empty());
+            // Exact partition: starts at 0, ends at deg, each tile abuts
+            // the next with lo <= hi.
+            assert_eq!(tiles[0].0, 0);
+            assert_eq!(tiles.last().unwrap().1, deg);
+            for w in tiles.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap or overlap between tiles");
+            }
+            for &(lo, hi) in &tiles {
+                assert!(lo <= hi);
+                assert!(hi - lo <= plan.tile_size(), "tile exceeds tile_size");
+            }
+            if deg <= plan.threshold() {
+                assert_eq!(tiles.len(), 1, "small vertex must be one tile");
+            }
+            // tile_range agrees with the iterator.
+            for (t, &r) in tiles.iter().enumerate() {
+                assert_eq!(plan.tile_range(deg, t), r);
+            }
+        });
+    }
+
+    #[test]
+    fn prop_tile_counts_sum_to_edge_count() {
+        Prop::new("tile_counts_cover_graph").cases(32).run(|rng| {
+            let scale = rng.gen_range(4..9u64) as u32;
+            let g = rmat(scale, 8, RmatParams::graph500(), rng.gen_range(0..1000u64));
+            let plan = TilePlan::uniform(rng.gen_range(1..300u64) as usize);
+            let mut edges = 0usize;
+            for v in g.vertices() {
+                let deg = g.out_degree(v);
+                for (lo, hi) in plan.tiles(deg) {
+                    edges += hi - lo;
+                }
+            }
+            assert_eq!(edges, g.num_edges());
+        });
+    }
+}

@@ -53,6 +53,7 @@ use crate::qos::{
     fair_bounded, Attach, Class, DedupTable, FairReceiver, FairSender, Lookup, QosPolicy,
     QuotaGuard, QuotaTable, ResultCache, TenantId,
 };
+use ibfs::cpu::{CpuEngine, CpuOptions, CpuService, CPU_GROUP};
 use ibfs::groupby::{GroupByConfig, GroupingStrategy};
 use ibfs::metrics::{batch_occupancy, event_sharing_degree, teps, BatchMetrics};
 use ibfs::runner::{device_group_bound, RunConfig};
@@ -153,6 +154,18 @@ pub struct ServeConfig {
     /// change. The spec's own `grouping` field is overridden per worker
     /// (one batch = one wave, capped at [`WAVE_WIDTH`]).
     pub sharding: Option<ShardedConfig>,
+    /// When set (and `sharding` is not — sharding takes precedence), every
+    /// worker serves batches through a resident [`CpuService`] running the
+    /// configured round-2 CPU engine (`pooled`, `tiled` or `async`)
+    /// instead of a simulated-GPU [`IbfsService`]. Depths are bit-identical
+    /// to the GPU path for the level-synchronous engines and equal to the
+    /// reference BFS for all three; what changes is the time axis — CPU
+    /// batches report real wall-clock seconds where GPU batches report
+    /// simulated device time — and the metric families (`ibfs_cpu_*`
+    /// instead of kernel counters). The batch cap clamps to the engine's
+    /// group capacity, `min(CPU_GROUP, width.bits())`, not the §3 device
+    /// bound (see [`effective_max_batch`]).
+    pub cpu: Option<CpuOptions>,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +185,7 @@ impl Default for ServeConfig {
             qos: QosPolicy::default(),
             run: RunConfig::default(),
             sharding: None,
+            cpu: None,
         }
     }
 }
@@ -183,6 +197,11 @@ pub fn effective_max_batch(graph: &Csr, config: &ServeConfig) -> usize {
     if config.sharding.is_some() {
         // Sharded waves share one u64 status word per vertex.
         bound = bound.min(WAVE_WIDTH);
+    } else if let Some(cpu) = &config.cpu {
+        // CPU workers keep the graph in host memory, so the §3
+        // device-memory bound does not apply; the cap is the engine's own
+        // group capacity — the status-word width, itself at most CPU_GROUP.
+        bound = CPU_GROUP.min(cpu.width.bits() as usize);
     }
     config.max_batch.clamp(1, bound.max(1))
 }
@@ -865,12 +884,30 @@ fn dispatch_wave(
 }
 
 /// What a worker runs batches through: one resident single-device service,
-/// or one resident sharded service fanning each batch over all shards.
-/// Either way a batch traverses exactly once and its depths come back in
-/// global vertex order, so the response path below is shared.
+/// one resident sharded service fanning each batch over all shards, or a
+/// resident multithreaded [`CpuService`] running one of the round-2 CPU
+/// engines. Every backend traverses a batch exactly once and returns
+/// depths in global vertex order, so the response path below is shared.
 enum WorkerBackend<'g> {
     Single(IbfsService<'g>),
     Sharded(ShardedService<'g>),
+    Cpu {
+        svc: CpuService<'g>,
+        /// The worker's deterministic grouping (the service itself is
+        /// grouping-agnostic: it takes one group per call).
+        grouping: GroupingStrategy,
+        graph: &'g Csr,
+    },
+}
+
+/// Serve-layer label for CPU-backed batches, namespaced apart from the
+/// simulated-GPU engine names.
+fn cpu_engine_label(engine: CpuEngine) -> &'static str {
+    match engine {
+        CpuEngine::Pooled => "cpu-pooled",
+        CpuEngine::Tiled => "cpu-tiled",
+        CpuEngine::Async => "cpu-async",
+    }
 }
 
 /// The slice of a run the response path needs, identical across backends.
@@ -887,6 +924,7 @@ impl WorkerBackend<'_> {
         match self {
             WorkerBackend::Single(svc) => svc.grouping(),
             WorkerBackend::Sharded(svc) => svc.grouping(),
+            WorkerBackend::Cpu { grouping, .. } => grouping,
         }
     }
 
@@ -916,6 +954,35 @@ impl WorkerBackend<'_> {
                     traversed_edges: run.traversed_edges,
                 })
             }
+            // CPU engines emit no per-level trace events (the async engine
+            // has no levels at all), so the sink stays untouched; their
+            // `ibfs_cpu_*` counters reach the registry at worker exit.
+            WorkerBackend::Cpu { svc, grouping, graph } => {
+                let plan = grouping.group(graph, sources);
+                let label = cpu_engine_label(svc.options().engine);
+                let mut groups = Vec::with_capacity(plan.groups.len());
+                let mut wall = 0.0f64;
+                let mut traversed = 0u64;
+                for group in &plan.groups {
+                    let run = svc.run_group(group)?;
+                    wall += run.wall_seconds;
+                    traversed += run.traversed_edges;
+                    groups.push(ibfs::engine::GroupRun {
+                        engine: label,
+                        num_instances: run.num_instances,
+                        num_vertices: run.num_vertices,
+                        depths: run.depths,
+                        levels: Vec::new(),
+                        counters: ibfs_gpu_sim::Counters::default(),
+                        // Real time on a real backend: the CPU run has no
+                        // simulated clock, so wall seconds fill the slot.
+                        sim_seconds: run.wall_seconds,
+                        traversed_edges: run.traversed_edges,
+                        kernel_launches: 0,
+                    });
+                }
+                Ok(BatchRun { groups, sim_seconds: wall, traversed_edges: traversed, shards: 1 })
+            }
         }
     }
 }
@@ -936,8 +1003,8 @@ fn worker_loop(
     // a cap of `max_batch`, which the batcher never exceeds, so every
     // dispatched batch traverses jointly. (Sharded waves additionally cap
     // at WAVE_WIDTH; `effective_max_batch` already clamped to that.)
-    let mut backend = match &config.sharding {
-        Some(spec) => {
+    let mut backend = match (&config.sharding, &config.cpu) {
+        (Some(spec), _) => {
             let cfg = ShardedConfig {
                 grouping: GroupingStrategy::Random {
                     seed: device as u64,
@@ -947,7 +1014,12 @@ fn worker_loop(
             };
             WorkerBackend::Sharded(ShardedService::new(graph, reverse, cfg))
         }
-        None => {
+        (None, Some(cpu)) => WorkerBackend::Cpu {
+            svc: CpuService::new(graph, reverse, *cpu),
+            grouping: GroupingStrategy::Random { seed: device as u64, group_size: max_batch },
+            graph,
+        },
+        (None, None) => {
             let run_cfg = RunConfig {
                 grouping: GroupingStrategy::Random { seed: device as u64, group_size: max_batch },
                 ..config.run.clone()
@@ -959,6 +1031,12 @@ fn worker_loop(
     };
     while let Ok(batch) = brx.recv() {
         run_batch(batch, &mut backend, graph, device, max_batch, collector, abort, qos);
+    }
+    // CPU stats are lifetime totals; record them exactly once, as the
+    // worker drains and exits (still inside the serve scope, so the totals
+    // are in the final snapshot).
+    if let WorkerBackend::Cpu { svc, .. } = &backend {
+        svc.record_metrics(collector.registry());
     }
 }
 
@@ -1352,6 +1430,66 @@ mod tests {
         // — and the eager registration means they are present either way.
         let msgs = report.snapshot.counter("ibfs_cluster_comm_messages_total");
         assert!(msgs.is_some_and(|v| v > 0), "comm messages: {msgs:?}");
+    }
+
+    #[test]
+    fn cpu_backend_answers_correctly_for_every_engine() {
+        // The tentpole plumbing: each round-2 CPU engine serves batches
+        // behind the same front door, depths equal to the reference, and
+        // its ibfs_cpu_* families land in the final snapshot.
+        let g = graph();
+        let r = g.reverse();
+        for engine in CpuEngine::all() {
+            let config = ServeConfig {
+                cpu: Some(CpuOptions { engine, threads: 2, ..Default::default() }),
+                ..quick_config()
+            };
+            let (resps, report) = serve(&g, &r, config, |h| {
+                let tickets: Vec<_> = (0..10u32).map(|s| h.submit(s).unwrap()).collect();
+                tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>()
+            });
+            for resp in &resps {
+                assert_eq!(resp.shards, 1, "{engine}");
+                assert_eq!(resp.depths, reference_bfs(&g, resp.source), "{engine}");
+            }
+            assert_eq!(report.completed, 10, "{engine}");
+            assert!(report.is_conserved(), "{engine}");
+            let groups = report.snapshot.counter("ibfs_cpu_groups_total");
+            assert!(groups.is_some_and(|v| v > 0), "{engine}: cpu groups: {groups:?}");
+            if engine == CpuEngine::Tiled {
+                let tiles = report.snapshot.counter("ibfs_cpu_tile_built_total");
+                assert!(tiles.is_some_and(|v| v > 0), "tiled serve built no tiles");
+            }
+            if engine == CpuEngine::Async {
+                let items = report.snapshot.counter("ibfs_cpu_async_items_total");
+                assert!(items.is_some_and(|v| v > 0), "async serve processed no items");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_max_batch_clamps_to_cpu_capacity_not_device_bound() {
+        let g = graph();
+        let mut config = ServeConfig {
+            max_batch: usize::MAX,
+            cpu: Some(CpuOptions {
+                width: ibfs::word::WordWidth::W32,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert_eq!(effective_max_batch(&g, &config), 32);
+        config.cpu = Some(CpuOptions {
+            width: ibfs::word::WordWidth::W256,
+            ..Default::default()
+        });
+        assert_eq!(effective_max_batch(&g, &config), CPU_GROUP.min(256));
+        // Sharding takes precedence over the cpu backend, clamp included.
+        config.sharding = Some(ShardedConfig::default());
+        assert_eq!(
+            effective_max_batch(&g, &config),
+            (device_group_bound(&g, &config.run.device, 1 << 20) as usize).min(WAVE_WIDTH)
+        );
     }
 
     #[test]

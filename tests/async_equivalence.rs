@@ -1,0 +1,116 @@
+//! Property tests pinning the asynchronous FIFO engine to `reference_bfs`.
+//!
+//! The async engine reorders work freely — a vertex can be relaxed several
+//! times as better depths race in — so the amount of work performed is
+//! nondeterministic and edge counts are NOT a meaningful pin. What label
+//! correction guarantees is the *fixed point*: when the FIFO drains, every
+//! `(instance, vertex)` depth equals the true BFS depth. Depths, compared
+//! against the sequential reference, are therefore the whole invariant
+//! (see DESIGN.md "CPU engine round 2").
+
+use ibfs_repro::graph::generators::{
+    chung_lu, grid2d, hub_heavy, powerlaw_weights, rmat, uniform_random, RmatParams,
+};
+use ibfs_repro::graph::validate::reference_bfs;
+use ibfs_repro::graph::{Csr, VertexId};
+use ibfs_repro::ibfs::cpu::{CpuEngine, CpuIbfs};
+use ibfs_repro::util::prop::Prop;
+
+fn assert_async_matches_reference(
+    g: &Csr,
+    sources: &[VertexId],
+    threads: usize,
+    tile_size: usize,
+    what: &str,
+) {
+    let r = g.reverse();
+    let run = CpuIbfs {
+        threads,
+        engine: CpuEngine::Async,
+        tile_size,
+        ..Default::default()
+    }
+    .run_group(g, &r, sources)
+    .unwrap();
+    for (j, &s) in sources.iter().enumerate() {
+        assert_eq!(
+            run.instance_depths(j),
+            &reference_bfs(g, s)[..],
+            "{what}: source {s} instance {j}"
+        );
+    }
+}
+
+/// The satellite property: on every seeded graph — power-law, uniform,
+/// Chung–Lu, mesh — the async engine's depths equal `reference_bfs`, for
+/// random thread counts, group sizes (duplicates included) and tile sizes.
+#[test]
+fn prop_async_depths_equal_reference() {
+    Prop::new("async_depths_equal_reference").cases(48).run(|rng| {
+        let seed = rng.gen_range(0..10_000u64);
+        let g = match rng.gen_range(0..4u64) {
+            0 => rmat(rng.gen_range(5..9u64) as u32, 8, RmatParams::graph500(), seed),
+            1 => uniform_random(rng.gen_range(50..400u64) as usize, 4, seed),
+            2 => chung_lu(&powerlaw_weights(rng.gen_range(50..300u64) as usize, 6.0, 2.2), seed),
+            _ => grid2d(rng.gen_range(2..15u64) as usize, rng.gen_range(2..15u64) as usize),
+        };
+        let n = g.num_vertices() as VertexId;
+        let threads = rng.gen_range(1..9u64) as usize;
+        let tile_size = [0, 1, 16, 256][rng.gen_range(0..4u64) as usize];
+        let k = rng.gen_range(1..17u64) as usize;
+        // Random sources with duplicates allowed.
+        let sources: Vec<VertexId> = (0..k).map(|_| rng.gen_range(0..n)).collect();
+        assert_async_matches_reference(
+            &g,
+            &sources,
+            threads,
+            tile_size,
+            &format!("seed {seed} threads {threads} tile {tile_size}"),
+        );
+    });
+}
+
+/// The satellite deadlock case: a mesh keeps every frontier tiny (width
+/// <= grid side) while the pool runs far more lanes than there is work.
+/// The quiescence protocol must drain and terminate with exact depths —
+/// a lane exiting early would strand items; a lane never exiting would
+/// hang this test.
+#[test]
+fn async_mesh_does_not_deadlock_with_threads_beyond_frontier_width() {
+    // A 2-wide mesh: frontier width never exceeds 2, diameter 61.
+    let g = grid2d(2, 60);
+    for threads in [4, 8, 16] {
+        assert_async_matches_reference(&g, &[0], threads, 0, &format!("threads {threads}"));
+    }
+    // A long path (frontier width 1) with duplicated sources.
+    let g = grid2d(1, 120);
+    assert_async_matches_reference(&g, &[0, 119, 0, 60], 12, 0, "path");
+}
+
+/// Hub tiling in the async engine (AsyncTile): the hub graph forces tile
+/// fan-out through the FIFO; depths must still converge for every source
+/// placement, including the hub itself.
+#[test]
+fn async_hub_heavy_matches_reference() {
+    let g = hub_heavy(500, 5, 7);
+    let sources: Vec<VertexId> = vec![0, 1, 250, 499, 0];
+    for tile_size in [0, 16, 4096] {
+        assert_async_matches_reference(&g, &sources, 4, tile_size, "hub");
+    }
+}
+
+/// High-diameter + disconnected components: unreached vertices must stay
+/// at the unvisited sentinel, exactly like the reference.
+#[test]
+fn async_handles_disconnected_components() {
+    // Two disjoint meshes in one vertex space.
+    let mut b = ibfs_repro::graph::CsrBuilder::new(40);
+    for i in 0..19u32 {
+        b.add_undirected_edge(i, i + 1); // path 0..19
+    }
+    for i in 20..39u32 {
+        b.add_undirected_edge(i, i + 1); // path 20..39
+    }
+    let g = b.build();
+    assert_async_matches_reference(&g, &[0, 25], 6, 0, "disconnected");
+}

@@ -1,0 +1,136 @@
+//! Differential tests pinning the tiled CPU engine to the pooled one:
+//! bit-identical depths *and* `traversed_edges` across seeded R-MAT, mesh
+//! and hub-heavy graphs × threads {1, 3, 8} × widths {32, 64, 256} × tile
+//! sizes {16, 256, 4096}.
+//!
+//! Why bit-identity is the right pin: the tiled engine runs the same
+//! level-synchronous loop and the same monotone OR relaxation — tiling
+//! only re-partitions which lane performs each OR. The set of updates per
+//! level is therefore identical, so depths must match exactly, and
+//! `traversed_edges` (derived from depths) with them. Any divergence
+//! means a tile boundary dropped or duplicated an edge.
+
+use ibfs_repro::graph::generators::{grid2d, hub_heavy, rmat, RmatParams};
+use ibfs_repro::graph::{Csr, VertexId};
+use ibfs_repro::ibfs::cpu::{CpuEngine, CpuIbfs, CpuRun};
+use ibfs_repro::ibfs::word::WordWidth;
+
+const THREAD_COUNTS: [usize; 3] = [1, 3, 8];
+const WIDTHS: [WordWidth; 3] = [WordWidth::W32, WordWidth::W64, WordWidth::W256];
+const TILE_SIZES: [usize; 3] = [16, 256, 4096];
+
+fn seeded_graphs() -> Vec<(String, Csr)> {
+    vec![
+        // Power-law hubs: the tiling target.
+        ("rmat".to_string(), rmat(8, 8, RmatParams::graph500(), 42)),
+        // DIMACS-style mesh: high diameter, every vertex below any
+        // threshold — tiled must degenerate to pooled exactly.
+        ("mesh".to_string(), grid2d(12, 13)),
+        // Adversarial: one vertex owns >50% of all directed edges, the
+        // case where vertex-granular stealing loses a whole lane.
+        ("hub".to_string(), hub_heavy(600, 5, 11)),
+    ]
+}
+
+fn source_sets(g: &Csr) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices() as VertexId;
+    vec![
+        (0..n.min(8)).collect::<Vec<_>>(),
+        (0..n.min(32)).collect(),
+        // Duplicates + the hub itself as a source.
+        vec![0, n / 2, 0, n - 1],
+    ]
+}
+
+fn run(g: &Csr, r: &Csr, sources: &[VertexId], engine: CpuEngine, threads: usize,
+       width: WordWidth, tile_size: usize) -> CpuRun {
+    CpuIbfs { threads, width, engine, tile_size, ..Default::default() }
+        .run_group(g, r, sources)
+        .unwrap()
+}
+
+/// The full satellite matrix: graphs × source sets × threads × widths ×
+/// tile sizes, depths and traversed_edges bit-identical to pooled.
+#[test]
+fn tiled_engine_is_bit_identical_to_pooled() {
+    for (name, g) in seeded_graphs() {
+        let r = g.reverse();
+        for sources in source_sets(&g) {
+            for threads in THREAD_COUNTS {
+                for width in WIDTHS {
+                    if sources.len() > width.bits() as usize {
+                        continue;
+                    }
+                    let pooled =
+                        run(&g, &r, &sources, CpuEngine::Pooled, threads, width, 0);
+                    for tile_size in TILE_SIZES {
+                        let tiled = run(
+                            &g, &r, &sources, CpuEngine::Tiled, threads, width, tile_size,
+                        );
+                        let what = format!(
+                            "{name}: sources={} threads={threads} width={width} \
+                             tile_size={tile_size}",
+                            sources.len()
+                        );
+                        assert_eq!(tiled.depths, pooled.depths, "{what}: depths diverge");
+                        assert_eq!(
+                            tiled.traversed_edges, pooled.traversed_edges,
+                            "{what}: traversed_edges diverge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The autotuned plan (tile_size = 0) is pinned too — whatever size the
+/// histogram heuristic picks, the result must not move.
+#[test]
+fn autotuned_tiled_engine_is_bit_identical_to_pooled() {
+    for (name, g) in seeded_graphs() {
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..(g.num_vertices() as VertexId).min(16)).collect();
+        for threads in THREAD_COUNTS {
+            let pooled = run(&g, &r, &sources, CpuEngine::Pooled, threads, WordWidth::W64, 0);
+            let tiled = run(&g, &r, &sources, CpuEngine::Tiled, threads, WordWidth::W64, 0);
+            assert_eq!(tiled.depths, pooled.depths, "{name}: autotuned depths diverge");
+            assert_eq!(tiled.traversed_edges, pooled.traversed_edges, "{name}");
+        }
+    }
+}
+
+/// A tile size of 1 maximizes boundary count (every edge is its own
+/// tile); if any boundary arithmetic dropped or double-relaxed an edge,
+/// this would catch it on the hub graph where every boundary is hot.
+#[test]
+fn degenerate_tile_size_one_still_matches() {
+    let g = hub_heavy(200, 5, 3);
+    let r = g.reverse();
+    let sources: Vec<VertexId> = vec![0, 1, 99, 0];
+    let pooled = run(&g, &r, &sources, CpuEngine::Pooled, 3, WordWidth::W64, 0);
+    let tiled = run(&g, &r, &sources, CpuEngine::Tiled, 3, WordWidth::W64, 1);
+    assert_eq!(tiled.depths, pooled.depths);
+    assert_eq!(tiled.traversed_edges, pooled.traversed_edges);
+}
+
+/// Resident-service reuse: tiled groups interleaved with pooled-shaped
+/// workloads on one service stay identical run to run (the tile list and
+/// tally are scratch, not state).
+#[test]
+fn tiled_service_reuse_is_deterministic() {
+    let g = rmat(8, 8, RmatParams::graph500(), 42);
+    let r = g.reverse();
+    let mut svc = CpuIbfs {
+        threads: 3,
+        engine: CpuEngine::Tiled,
+        tile_size: 16,
+        ..Default::default()
+    }
+    .service(&g, &r);
+    let first = svc.run_group(&[0, 5, 9]).unwrap();
+    svc.run_group(&[40, 41]).unwrap();
+    let again = svc.run_group(&[0, 5, 9]).unwrap();
+    assert_eq!(first.depths, again.depths);
+    assert_eq!(first.traversed_edges, again.traversed_edges);
+}
