@@ -24,7 +24,11 @@ RUSTDOCFLAGS="-D rustdoc::broken-intra-doc-links" cargo doc --no-deps --offline
 SNAP="$(mktemp -t ibfs-metrics.XXXXXX.json)"
 QOS_SNAP="$(mktemp -t ibfs-qos-metrics.XXXXXX.json)"
 BENCH="$(mktemp -t ibfs-cpubench.XXXXXX.json)"
-trap 'rm -f "$SNAP" "$QOS_SNAP" "$BENCH"' EXIT
+PROF="$(mktemp -t ibfs-profile.XXXXXX.json)"
+TRACE="$(mktemp -t ibfs-trace.XXXXXX.json)"
+PLAIN="$(mktemp -t ibfs-plain.XXXXXX.json)"
+PROFD="$(mktemp -t ibfs-profiled.XXXXXX.json)"
+trap 'rm -f "$SNAP" "$QOS_SNAP" "$BENCH" "$PROF" "$TRACE" "$PLAIN" "$PROFD"' EXIT
 cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
     --clients 4 --requests 8 --seed 7 --metrics-out "$SNAP"
 cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$SNAP"
@@ -50,7 +54,7 @@ cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$QOS_SNAP"
 # tiled and async engines to the pooled engine under -O.
 cargo run -q --release --offline -p ibfs-bench --bin bfs -- cpu-bench \
     --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 \
-    --engine pooled,tiled,async --check --out "$BENCH"
+    --engine pooled,tiled,async --repeat 5 --check --out "$BENCH"
 test -s "$BENCH"
 cargo test -q --release --offline --test tiled_differential
 cargo test -q --release --offline --test async_equivalence
@@ -63,3 +67,48 @@ cargo test -q --release --offline --test async_equivalence
 cargo run -q --release --offline -p ibfs-bench --bin bfs -- shard-bench \
     --shards 4 --check
 cargo test -q --release --offline --test sharded_differential
+
+# Profiler export gate: a seeded serve-bench with the profiler attached
+# must export a ProfileReport and a Chrome trace-event file. The binary
+# itself validates the report (schema version, record invariants,
+# non-empty) and exits non-zero otherwise; here we additionally pin that
+# both artifacts are non-empty JSON and that the dashboard renders a
+# frame from the same run's metrics snapshot.
+cargo run -q --release --offline -p ibfs-bench --bin bfs -- serve-bench \
+    suite:PK --clients 4 --requests 8 --seed 7 --metrics-out "$SNAP" \
+    --profile-out "$PROF" --profile-trace "$TRACE"
+test -s "$PROF"
+test -s "$TRACE"
+cargo run -q --release --offline -p ibfs-bench --bin bfs -- top "$SNAP" \
+    --ticks 1 --interval-ms 1 --no-clear | grep -q "ibfs top"
+
+# Profiler overhead gate: a profiled seeded cpu-bench must come within 5%
+# of an unprofiled one. Single-core CI hosts see one-sided interference
+# noise above 5% (a plain-vs-plain diff fails the same band), so the diff
+# calibrates against the unprofiled `baseline` rows (identical work in
+# both reports, so their ratio is pure host drift) and the gate takes the
+# best of three attempts: any clean pass bounds true overhead below the
+# band, while systematic overhead fails all three.
+BFS_BIN=target/release/bfs
+overhead_ok=0
+for attempt in 1 2 3; do
+    "$BFS_BIN" cpu-bench --scale 13 --edge-factor 8 --seed 42 \
+        --sources 32 --engine pooled,tiled,async --threads 2 --repeat 5 \
+        --out "$PLAIN" > /dev/null
+    "$BFS_BIN" cpu-bench --scale 13 --edge-factor 8 --seed 42 \
+        --sources 32 --engine pooled,tiled,async --threads 2 --repeat 5 \
+        --out "$PROFD" --profile-out "$PROF" > /dev/null
+    if "$BFS_BIN" perf-diff "$PLAIN" "$PROFD" --noise 5 \
+        --calibrate baseline --check; then
+        overhead_ok=1
+        break
+    fi
+done
+test "$overhead_ok" = 1
+
+# Perf-trajectory gate: the fresh seeded BENCH_cpu.json (written by the
+# CPU-engine gate above at the committed baseline's exact config) must
+# not regress more than the cross-machine noise band against the
+# committed baseline, and no run may silently disappear from the sweep.
+cargo run -q --release --offline -p ibfs-bench --bin bfs -- perf-diff \
+    BENCH_cpu.json "$BENCH" --check

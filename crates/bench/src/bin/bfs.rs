@@ -3,6 +3,7 @@
 //! ```text
 //! bfs <GRAPH> [--engine ENGINE] [--sources N | --source-list a,b,c]
 //!             [--group-size N] [--groupby] [--depths] [--trace PATH]
+//!             [--profile PATH] [--profile-trace PATH]
 //! bfs stats <GRAPH> [--engine ENGINE] [--sources N] [--group-size N]
 //!             [--groupby] [--json]
 //! bfs serve-bench <GRAPH> [--clients N] [--requests N] [--workers N]
@@ -12,18 +13,22 @@
 //!             [--qos] [--profile uniform|powerlaw] [--bulk-clients N]
 //!             [--burst N] [--cache N] [--bulk-quota N] [--check]
 //!             [--json] [--metrics-out PATH] [--metrics-text PATH]
-//!             [--trace PATH]
+//!             [--trace PATH] [--profile-out PATH] [--profile-trace PATH]
 //! bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
 //!             [--group-size N] [--threads N[,N...]] [--width 32|64|128|256]
 //!             [--engine pooled|tiled|async[,...]] [--tile-size N]
-//!             [--check] [--out PATH]
+//!             [--repeat N] [--check] [--out PATH] [--profile-out PATH]
+//!             [--profile-trace PATH]
 //! bfs shard-bench [--scale N] [--edge-factor N] [--seed N] [--sources N]
 //!             [--shards N] [--layout contiguous|hash] [--check] [--json]
-//!             [--out PATH]
+//!             [--out PATH] [--profile-out PATH] [--profile-trace PATH]
+//! bfs perf-diff <BASE.json> <NEW.json> [--noise PCT] [--calibrate ENGINE] [--check]
+//! bfs top <SNAPSHOT.json> [--ticks N] [--interval-ms N] [--no-clear]
 //!
 //! GRAPH    a binary CSR file from `graphgen --format bin`, or a suite
 //!          name prefixed with `suite:` (e.g. `suite:FB`)
-//! ENGINE   sequential | naive | joint | bitwise (default) | msbfs | spmm
+//! ENGINE   sequential | naive | joint | bitwise (default) | msbfs | spmm,
+//!          or a measured CPU engine: pooled | tiled | async
 //! PATH     output destination (`-` for stdout)
 //!
 //! `stats` runs one traversal and prints the metrics registry
@@ -43,6 +48,17 @@
 //! unless sharded depths are bit-identical to `reference_bfs` and
 //! Butterfly exchanges strictly fewer messages than AllToAll at ≥ 4
 //! shards.
+//!
+//! A CPU engine on the one-shot path (`--engine pooled|tiled|async`) runs
+//! through the measured `CpuService` and can export the per-lane phase
+//! profile: `--profile` writes the versioned ProfileReport JSON,
+//! `--profile-trace` a Chrome trace-event file (load into
+//! `chrome://tracing` or Perfetto). The benches take the same pair as
+//! `--profile-out`/`--profile-trace` (serve-bench already uses
+//! `--profile` for the source distribution). `perf-diff` compares two
+//! cpu-bench reports and, with `--check`, fails on TEPS regressions
+//! beyond `--noise` percent. `top` polls a metrics snapshot file and
+//! redraws a live SLO/serve/profiler dashboard.
 //! ```
 
 use ibfs::engine::EngineKind;
@@ -52,9 +68,9 @@ use ibfs::service::IbfsService;
 use ibfs::trace::{JsonlSink, MetricsSink, NullSink, TraceLog};
 use ibfs_bench::loadgen::{run_loadgen_with, LoadGenConfig, SourceProfile, BULK_TENANT};
 use ibfs_graph::{io, suite, Csr, VertexId, DEPTH_UNVISITED};
-use ibfs_obs::Registry;
+use ibfs_obs::{EngineProfiler, Registry, Snapshot};
 use ibfs_serve::{CoalescePolicy, QosPolicy, RouterKind, SchedulerKind, ServeTelemetry};
-use ibfs_util::ToJson;
+use ibfs_util::{FromJson, Json, ToJson};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -79,8 +95,17 @@ fn main() -> ExitCode {
         args.remove(0);
         return shard_bench(args);
     }
+    if args[0] == "perf-diff" {
+        args.remove(0);
+        return perf_diff(args);
+    }
+    if args[0] == "top" {
+        args.remove(0);
+        return top(args);
+    }
     let graph_arg = args.remove(0);
     let mut engine = EngineKind::Bitwise;
+    let mut cpu_engine: Option<ibfs::cpu::CpuEngine> = None;
     let mut sources_n = 64usize;
     let mut source_list: Option<Vec<VertexId>> = None;
     let mut group_size = 64usize;
@@ -88,19 +113,27 @@ fn main() -> ExitCode {
     let mut print_depths = false;
     let mut print_levels = false;
     let mut trace: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut profile_trace: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
-                engine = match it.next().as_deref() {
-                    Some("sequential") => EngineKind::Sequential,
-                    Some("naive") => EngineKind::Naive,
-                    Some("joint") => EngineKind::Joint,
-                    Some("bitwise") => EngineKind::Bitwise,
-                    Some("msbfs") => EngineKind::BitwiseMsBfsStyle,
-                    Some("spmm") => EngineKind::Spmm,
-                    other => return usage(&format!("unknown engine {other:?}")),
+                let arg = it.next();
+                match arg.as_deref() {
+                    Some("sequential") => engine = EngineKind::Sequential,
+                    Some("naive") => engine = EngineKind::Naive,
+                    Some("joint") => engine = EngineKind::Joint,
+                    Some("bitwise") => engine = EngineKind::Bitwise,
+                    Some("msbfs") => engine = EngineKind::BitwiseMsBfsStyle,
+                    Some("spmm") => engine = EngineKind::Spmm,
+                    // The measured CPU engines route through CpuService
+                    // (wall-clock, profiler hooks) instead of the simulator.
+                    other => match other.and_then(ibfs::cpu::CpuEngine::parse) {
+                        Some(e) => cpu_engine = Some(e),
+                        None => return usage(&format!("unknown engine {other:?}")),
+                    },
                 }
             }
             "--sources" => {
@@ -135,8 +168,26 @@ fn main() -> ExitCode {
                     None => return usage("--trace needs a path (or `-` for stdout)"),
                 }
             }
+            "--profile" => {
+                profile_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile needs a path (or `-` for stdout)"),
+                }
+            }
+            "--profile-trace" => {
+                profile_trace = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("unknown option {other}")),
         }
+    }
+    if (profile_out.is_some() || profile_trace.is_some()) && cpu_engine.is_none() {
+        return usage("--profile/--profile-trace need a CPU engine (--engine pooled|tiled|async)");
+    }
+    if cpu_engine.is_some() && trace.is_some() {
+        return usage("--trace is simulator-only; CPU engines export --profile/--profile-trace");
     }
 
     let graph: Csr = match load_graph(&graph_arg) {
@@ -149,6 +200,19 @@ fn main() -> ExitCode {
     });
     if let Some(&bad) = sources.iter().find(|&&s| s as usize >= graph.num_vertices()) {
         return usage(&format!("source {bad} out of range"));
+    }
+    if let Some(cpu) = cpu_engine {
+        return one_shot_cpu(
+            &graph,
+            &reverse,
+            &sources,
+            cpu,
+            group_size,
+            print_depths,
+            print_levels,
+            profile_out.as_deref(),
+            profile_trace.as_deref(),
+        );
     }
 
     eprintln!(
@@ -246,6 +310,126 @@ fn load_graph(graph_arg: &str) -> Result<Csr, ExitCode> {
     }
 }
 
+/// One-shot traversal through a measured CPU engine ([`ibfs::cpu`]) with
+/// optional profiler export. Unlike the simulator path this reports
+/// wall-clock (not simulated) time, and the per-lane phase breakdown goes
+/// to `--profile`/`--profile-trace`.
+#[allow(clippy::too_many_arguments)]
+fn one_shot_cpu(
+    graph: &Csr,
+    reverse: &Csr,
+    sources: &[VertexId],
+    engine: ibfs::cpu::CpuEngine,
+    group_size: usize,
+    print_depths: bool,
+    print_levels: bool,
+    profile_out: Option<&str>,
+    profile_trace: Option<&str>,
+) -> ExitCode {
+    let cpu = ibfs::cpu::CpuIbfs { engine, ..Default::default() };
+    let group_size = group_size.min(cpu.width.bits() as usize).min(ibfs::cpu::CPU_GROUP);
+    eprintln!(
+        "graph: {} vertices, {} edges; cpu engine {}; {} sources in groups of {group_size}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        engine.name(),
+        sources.len(),
+    );
+    let mut svc = cpu.service(graph, reverse);
+    let prof =
+        (profile_out.is_some() || profile_trace.is_some()).then(EngineProfiler::shared);
+    if let Some(p) = &prof {
+        svc.set_profiler(p.clone());
+    }
+    let mut runs = Vec::new();
+    for chunk in sources.chunks(group_size.max(1)) {
+        match svc.run_group(chunk) {
+            Ok(r) => runs.push(r),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let wall: f64 = runs.iter().map(|r| r.wall_seconds).sum();
+    let edges: u64 = runs.iter().map(|r| r.traversed_edges).sum();
+    let stats = svc.stats();
+    println!("groups:                {}", runs.len());
+    println!("wall time:             {wall:.6} s");
+    println!("traversed edges:       {edges}");
+    println!(
+        "traversal rate:        {}",
+        ibfs::metrics::format_teps(edges as f64 / wall.max(1e-12))
+    );
+    println!("levels:                {}", stats.stats.levels);
+    println!("pool phases:           {}", stats.pool_phases);
+
+    if print_levels {
+        for (gi, r) in runs.iter().enumerate() {
+            println!("group {gi} ({} instances):", r.num_instances);
+            for (l, s) in r.level_seconds.iter().enumerate() {
+                println!("  level {l:3}  {s:.6} s");
+            }
+        }
+    }
+    if print_depths {
+        for (gi, r) in runs.iter().enumerate() {
+            for j in 0..r.num_instances {
+                let depths = r.instance_depths(j);
+                let reached = depths.iter().filter(|&&d| d != DEPTH_UNVISITED).count();
+                let ecc = depths
+                    .iter()
+                    .filter(|&&d| d != DEPTH_UNVISITED)
+                    .max()
+                    .copied()
+                    .unwrap_or(0);
+                println!("group {gi} instance {j}: reached {reached}, eccentricity {ecc}");
+            }
+        }
+    }
+    if let Some(p) = &prof {
+        if let Err(code) =
+            export_profile(p, &format!("bfs-{}", engine.name()), profile_out, profile_trace)
+        {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Builds, self-validates, and writes a [`ibfs_obs::ProfileReport`]. The
+/// binary refuses to emit a report that fails its own schema or recorded
+/// nothing, so `ci.sh` gates are plain invocations. The phase summary goes
+/// to stderr either way.
+fn export_profile(
+    prof: &EngineProfiler,
+    source: &str,
+    report_path: Option<&str>,
+    trace_path: Option<&str>,
+) -> Result<(), ExitCode> {
+    let report = prof.report(source);
+    if let Err(e) = report.validate() {
+        eprintln!("error: profile report fails validation: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    if report.records.is_empty() {
+        eprintln!("error: profile report is empty — no phases were recorded");
+        return Err(ExitCode::FAILURE);
+    }
+    if let Some(path) = report_path {
+        let mut body = report.to_json().to_string_pretty();
+        body.push('\n');
+        write_output(path, &body, "profile report")?;
+    }
+    if let Some(path) = trace_path {
+        let mut body = report.to_chrome_trace();
+        body.push('\n');
+        write_output(path, &body, "chrome trace")?;
+    }
+    eprint!("{}", report.summary());
+    Ok(())
+}
+
 /// `bfs serve-bench` — drive the batching server with closed-loop clients
 /// and report latency, throughput, and batch-shape statistics.
 fn serve_bench(args: Vec<String>) -> ExitCode {
@@ -259,6 +443,8 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut metrics_text: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut profile_trace: Option<String> = None;
     let mut qos = false;
     let mut cache: Option<u64> = None;
     let mut bulk_quota: Option<u64> = None;
@@ -387,6 +573,18 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
                     None => return usage("--trace needs a path (or `-` for stdout)"),
                 }
             }
+            "--profile-out" => {
+                profile_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-out needs a path (or `-` for stdout)"),
+                }
+            }
+            "--profile-trace" => {
+                profile_trace = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("serve-bench: unknown option {other}")),
         }
     }
@@ -428,6 +626,11 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     if let Some(log) = &trace_log {
         telemetry = telemetry.traced(log.clone());
     }
+    let profiler =
+        (profile_out.is_some() || profile_trace.is_some()).then(EngineProfiler::shared);
+    if let Some(p) = &profiler {
+        telemetry = telemetry.profiled(p.clone());
+    }
     let res = run_loadgen_with(&graph, &reverse, &cfg, telemetry);
 
     if let Some(path) = &metrics_out {
@@ -444,6 +647,13 @@ fn serve_bench(args: Vec<String>) -> ExitCode {
     }
     if let (Some(path), Some(log)) = (&trace_out, &trace_log) {
         if let Err(code) = write_output(path, &log.render_jsonl(), "trace") {
+            return code;
+        }
+    }
+    if let Some(p) = &profiler {
+        if let Err(code) =
+            export_profile(p, "serve-bench", profile_out.as_deref(), profile_trace.as_deref())
+        {
             return code;
         }
     }
@@ -638,6 +848,8 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
     };
     let mut cfg = CpuBenchConfig::default();
     let mut out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut profile_trace: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -714,6 +926,12 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
                     None => return usage("--tile-size needs a number (0 = autotune)"),
                 }
             }
+            "--repeat" => {
+                cfg.repeat = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--repeat needs a number (best-of-N passes)"),
+                }
+            }
             "--check" => cfg.check = true,
             "--out" => {
                 out = match it.next() {
@@ -721,9 +939,24 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
                     None => return usage("--out needs a path (or `-` for stdout)"),
                 }
             }
+            "--profile-out" => {
+                profile_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-out needs a path (or `-` for stdout)"),
+                }
+            }
+            "--profile-trace" => {
+                profile_trace = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("cpu-bench: unknown option {other}")),
         }
     }
+    let profiler =
+        (profile_out.is_some() || profile_trace.is_some()).then(EngineProfiler::shared);
+    cfg.profiler = profiler.clone();
 
     let engine_names: Vec<&str> = cfg.engines.iter().map(|e| e.name()).collect();
     eprintln!(
@@ -752,6 +985,13 @@ fn cpu_bench(args: Vec<String>) -> ExitCode {
             return code;
         }
     }
+    if let Some(p) = &profiler {
+        if let Err(code) =
+            export_profile(p, "cpu-bench", profile_out.as_deref(), profile_trace.as_deref())
+        {
+            return code;
+        }
+    }
     print!("{}", report_summary(&report));
     ExitCode::SUCCESS
 }
@@ -762,6 +1002,8 @@ fn shard_bench(args: Vec<String>) -> ExitCode {
     let mut cfg = ShardBenchConfig::default();
     let mut out: Option<String> = None;
     let mut json = false;
+    let mut profile_out: Option<String> = None;
+    let mut profile_trace: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -809,9 +1051,24 @@ fn shard_bench(args: Vec<String>) -> ExitCode {
                     None => return usage("--out needs a path (or `-` for stdout)"),
                 }
             }
+            "--profile-out" => {
+                profile_out = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-out needs a path (or `-` for stdout)"),
+                }
+            }
+            "--profile-trace" => {
+                profile_trace = match it.next() {
+                    Some(p) => Some(p),
+                    None => return usage("--profile-trace needs a path (or `-` for stdout)"),
+                }
+            }
             other => return usage(&format!("shard-bench: unknown option {other}")),
         }
     }
+    let profiler =
+        (profile_out.is_some() || profile_trace.is_some()).then(EngineProfiler::shared);
+    cfg.profiler = profiler.clone();
 
     eprintln!(
         "shard-bench: rmat base scale {} edge-factor {} seed {}; {} sources, up to {} \
@@ -842,6 +1099,144 @@ fn shard_bench(args: Vec<String>) -> ExitCode {
             return code;
         }
     }
+    if let Some(p) = &profiler {
+        if let Err(code) =
+            export_profile(p, "shard-bench", profile_out.as_deref(), profile_trace.as_deref())
+        {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `bfs perf-diff` — compare two `BENCH_cpu.json` documents and fail (with
+/// `--check`) on TEPS regressions beyond the noise band.
+fn perf_diff(args: Vec<String>) -> ExitCode {
+    use ibfs_bench::perfdiff::{diff_report_texts, render_diff, DEFAULT_NOISE_PCT};
+    let mut noise = DEFAULT_NOISE_PCT;
+    let mut check = false;
+    let mut calibrate: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--noise" => {
+                noise = match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                    Some(n) if n >= 0.0 => n,
+                    _ => return usage("--noise needs a non-negative percentage"),
+                }
+            }
+            "--calibrate" => {
+                calibrate = match it.next() {
+                    Some(e) if !e.starts_with("--") => Some(e),
+                    _ => return usage("--calibrate needs an engine name"),
+                }
+            }
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                return usage(&format!("perf-diff: unknown option {other}"))
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() != 2 {
+        return usage("perf-diff needs exactly two report paths: BASE NEW");
+    }
+    let mut texts = Vec::new();
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(t) => texts.push(t),
+            Err(e) => {
+                eprintln!("error reading {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match diff_report_texts(&texts[0], &paths[0], &texts[1], &paths[1], noise, calibrate.as_deref())
+    {
+        Ok(diff) => {
+            print!("{}", render_diff(&diff, &paths[0], &paths[1]));
+            if check && !diff.passes() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `bfs top` — poll a metrics snapshot file (e.g. one rewritten by
+/// `serve-bench --metrics-out`) and redraw the live SLO / serve / profiler
+/// dashboard between ticks. An unreadable or partially-written file skips
+/// the tick instead of killing the watch.
+fn top(args: Vec<String>) -> ExitCode {
+    use ibfs_bench::top::render_dashboard;
+    let mut path: Option<String> = None;
+    let mut ticks = 0u64;
+    let mut interval = Duration::from_millis(1000);
+    let mut clear = true;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ticks" => {
+                ticks = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage("--ticks needs a number (0 = until interrupted)"),
+                }
+            }
+            "--interval-ms" => {
+                interval = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => Duration::from_millis(n),
+                    None => return usage("--interval-ms needs a number"),
+                }
+            }
+            "--no-clear" => clear = false,
+            other if other.starts_with("--") => {
+                return usage(&format!("top: unknown option {other}"))
+            }
+            _ => {
+                if path.replace(a).is_some() {
+                    return usage("top takes exactly one snapshot path");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage("top: missing snapshot path (write one with serve-bench --metrics-out)");
+    };
+
+    let mut prev: Option<Snapshot> = None;
+    let mut tick = 0u64;
+    loop {
+        let cur = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+            .and_then(|j| Snapshot::from_json(&j).ok());
+        match cur {
+            Some(cur) => {
+                let frame = render_dashboard(prev.as_ref(), &cur, tick);
+                if clear {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{frame}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = Some(cur);
+            }
+            None => eprintln!("top: {path}: no readable snapshot yet (tick {tick})"),
+        }
+        tick += 1;
+        if ticks != 0 && tick >= ticks {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
     ExitCode::SUCCESS
 }
 
@@ -867,9 +1262,10 @@ fn write_output(path: &str, body: &str, what: &str) -> Result<(), ExitCode> {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm] \
+        "usage: bfs <GRAPH|suite:NAME> [--engine sequential|naive|joint|bitwise|msbfs|spmm\
+         |pooled|tiled|async] \
          [--sources N | --source-list a,b,c] [--group-size N] [--groupby] [--depths] [--levels] \
-         [--trace PATH|-]\n\
+         [--trace PATH|-] [--profile PATH|-] [--profile-trace PATH|-]\n\
        bfs stats <GRAPH|suite:NAME> [--engine ENGINE] [--sources N] [--group-size N] \
          [--groupby] [--json]\n\
        bfs serve-bench <GRAPH|suite:NAME> [--clients N] [--requests N] [--workers N] \
@@ -878,13 +1274,17 @@ fn usage(msg: &str) -> ExitCode {
          [--scheduler b2b|hyperq] [--engine ENGINE] [--qos] \
          [--profile uniform|powerlaw] [--bulk-clients N] [--burst N] [--cache N] \
          [--bulk-quota N] [--check] [--json] \
-         [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-]\n\
+         [--metrics-out PATH|-] [--metrics-text PATH|-] [--trace PATH|-] \
+         [--profile-out PATH|-] [--profile-trace PATH|-]\n\
        bfs cpu-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
          [--group-size N] [--threads N[,N...]] [--width 32|64|128|256] \
-         [--engine pooled|tiled|async[,...]] [--tile-size N] [--check] \
-         [--out PATH|-]\n\
+         [--engine pooled|tiled|async[,...]] [--tile-size N] [--repeat N] [--check] \
+         [--out PATH|-] [--profile-out PATH|-] [--profile-trace PATH|-]\n\
        bfs shard-bench [--scale N] [--edge-factor N] [--seed N] [--sources N] \
-         [--shards N] [--layout contiguous|hash] [--check] [--json] [--out PATH|-]"
+         [--shards N] [--layout contiguous|hash] [--check] [--json] [--out PATH|-] \
+         [--profile-out PATH|-] [--profile-trace PATH|-]\n\
+       bfs perf-diff <BASE.json> <NEW.json> [--noise PCT] [--calibrate ENGINE] [--check]\n\
+       bfs top <SNAPSHOT.json> [--ticks N] [--interval-ms N] [--no-clear]"
     );
     ExitCode::from(2)
 }

@@ -36,6 +36,13 @@ const DEFAULT_REQUIRED: &[&str] = &[
     "ibfs_cluster_comm_*",
     "ibfs_core_levels_total",
     "ibfs_core_frontier_size",
+    "ibfs_prof_records_total",
+    "ibfs_prof_phase_seconds*",
+    "ibfs_prof_barrier_share",
+    "ibfs_slo_availability*",
+    "ibfs_slo_latency_attainment*",
+    "ibfs_slo_burn_rate*",
+    "ibfs_slo_overload",
 ];
 
 fn main() -> ExitCode {

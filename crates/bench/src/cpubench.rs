@@ -25,8 +25,12 @@ use ibfs_util::json_struct;
 
 /// Schema version stamped into `BENCH_cpu.json`. v2: multi-engine runs
 /// (`tiled`/`async` joined `baseline`/`pooled`) and per-engine speedups
-/// (`engine`/`engine_teps` replaced the pooled-only fields).
-pub const SCHEMA_VERSION: u64 = 2;
+/// (`engine`/`engine_teps` replaced the pooled-only fields). v3: the
+/// `hub_gate` block records whether the tiling gate ran, whether its TEPS
+/// ordering was *enforced* (multi-core hosts only), and the measured
+/// rates — so `bfs perf-diff` can tell "gate passed" apart from "gate
+/// not enforced on this host".
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Workload configuration for the CPU benchmark.
 #[derive(Clone, Debug)]
@@ -52,6 +56,16 @@ pub struct CpuBenchConfig {
     /// Verify every engine's depths against `reference_bfs` (and the
     /// baseline), and run the hub-heavy tiling gate when `tiled` is swept.
     pub check: bool,
+    /// Wall-clock noise damping: run every engine × thread-count
+    /// measurement this many times and report the best (highest-TEPS)
+    /// pass, like the hub gate's best-of-5. 0 and 1 both mean one pass.
+    /// TEPS outliers on a loaded host are always downward, so best-of is
+    /// the stable estimator — `ci.sh` leans on this for its tight
+    /// profiler-overhead band.
+    pub repeat: usize,
+    /// When set, every engine service records per-lane phase timings into
+    /// this profiler (the baseline has no hooks and stays unprofiled).
+    pub profiler: Option<std::sync::Arc<ibfs_obs::EngineProfiler>>,
 }
 
 impl Default for CpuBenchConfig {
@@ -67,6 +81,8 @@ impl Default for CpuBenchConfig {
             engines: vec![CpuEngine::Pooled],
             tile_size: 0,
             check: false,
+            repeat: 1,
+            profiler: None,
         }
     }
 }
@@ -124,6 +140,31 @@ pub struct CpuSpeedup {
 
 json_struct!(CpuSpeedup { engine, threads, baseline_teps, engine_teps, speedup });
 
+/// Outcome of the hub-heavy tiling gate as recorded in the report (schema
+/// v3). A single-core host runs the gate but cannot express the parallel
+/// win, so the TEPS ordering is reported without being enforced; the
+/// three booleans let a consumer (and `bfs perf-diff`) distinguish
+/// "passed" from "not enforced" from "never ran".
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HubGateStatus {
+    /// The gate executed (requires `check` and the tiled engine in the
+    /// sweep).
+    pub ran: bool,
+    /// The TEPS ordering was asserted (multi-core hosts only).
+    pub enforced: bool,
+    /// `tiled_teps >= pooled_teps` held. Meaningful only when `ran`;
+    /// reported (but not asserted) on single-core hosts.
+    pub passed: bool,
+    /// Threads the gate ran with (0 when it never ran).
+    pub threads: u64,
+    /// Best-of-N pooled TEPS (0 when the gate never ran).
+    pub pooled_teps: f64,
+    /// Best-of-N tiled TEPS (0 when the gate never ran).
+    pub tiled_teps: f64,
+}
+
+json_struct!(HubGateStatus { ran, enforced, passed, threads, pooled_teps, tiled_teps });
+
 /// The full `BENCH_cpu.json` document.
 #[derive(Clone, Debug)]
 pub struct CpuBenchReport {
@@ -153,6 +194,8 @@ pub struct CpuBenchReport {
     pub runs: Vec<CpuBenchRun>,
     /// The per-engine thread-scaling speedup curve.
     pub speedups: Vec<CpuSpeedup>,
+    /// Hub-heavy tiling gate outcome (all-default when it never ran).
+    pub hub_gate: HubGateStatus,
 }
 
 json_struct!(CpuBenchReport {
@@ -169,6 +212,7 @@ json_struct!(CpuBenchReport {
     tile_size,
     runs,
     speedups,
+    hub_gate,
 });
 
 fn summarize(engine: &str, threads: usize, runs: &[CpuRun], pool_phases: u64) -> CpuBenchRun {
@@ -230,32 +274,52 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         rs.iter().flat_map(|r| r.depths.iter().copied()).collect()
     };
 
+    let repeat = cfg.repeat.max(1);
+    // Best (highest-TEPS) pass out of `repeat`; outliers are downward.
+    let best_of = |passes: &mut dyn FnMut() -> Vec<CpuRun>| -> Vec<CpuRun> {
+        let teps_of = |rs: &[CpuRun]| -> f64 {
+            let wall: f64 = rs.iter().map(|r| r.wall_seconds).sum();
+            rs.iter().map(|r| r.traversed_edges).sum::<u64>() as f64 / wall.max(1e-12)
+        };
+        let mut best = passes();
+        for _ in 1..repeat {
+            let next = passes();
+            if teps_of(&next) > teps_of(&best) {
+                best = next;
+            }
+        }
+        best
+    };
+
     let mut runs = Vec::new();
     let mut speedups = Vec::new();
     for &threads in &cfg.threads {
         // Baseline: the frozen pre-pool path (64-wide u64 words).
-        let baseline_runs: Vec<CpuRun> = sources
-            .chunks(group_size.min(ibfs::cpu_baseline::BASELINE_GROUP))
-            .map(|group| {
-                run_cpu_baseline(
-                    &graph,
-                    &reverse,
-                    group,
-                    DirectionPolicy::default(),
-                    threads,
-                    true,
-                    false,
-                    0,
-                )
-            })
-            .collect();
+        let baseline_runs = best_of(&mut || {
+            sources
+                .chunks(group_size.min(ibfs::cpu_baseline::BASELINE_GROUP))
+                .map(|group| {
+                    run_cpu_baseline(
+                        &graph,
+                        &reverse,
+                        group,
+                        DirectionPolicy::default(),
+                        threads,
+                        true,
+                        false,
+                        0,
+                    )
+                })
+                .collect()
+        });
         let b = summarize("baseline", threads, &baseline_runs, 0);
         let baseline_teps = b.teps;
         runs.push(b);
 
         for &engine in &cfg.engines {
             // One resident service per engine, pool + arena reused across
-            // the run's groups.
+            // the run's groups (and across best-of repeats, which also
+            // warms the pool before the counted passes).
             let mut svc = CpuIbfs {
                 threads,
                 width: cfg.width,
@@ -264,11 +328,23 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
                 ..Default::default()
             }
             .service(&graph, &reverse);
-            let engine_runs: Vec<CpuRun> = sources
-                .chunks(group_size)
-                .map(|group| svc.run_group(group).expect("bench groups are sized to capacity"))
-                .collect();
-            let pool_phases = svc.stats().pool_phases;
+            if let Some(p) = &cfg.profiler {
+                svc.set_profiler(p.clone());
+            }
+            let mut pool_phases = 0;
+            let engine_runs = best_of(&mut || {
+                let before = svc.stats().pool_phases;
+                let rs: Vec<CpuRun> = sources
+                    .chunks(group_size)
+                    .map(|group| {
+                        svc.run_group(group).expect("bench groups are sized to capacity")
+                    })
+                    .collect();
+                // Phases per pass are identical across repeats (same plan,
+                // same groups), so the last pass's delta stands for all.
+                pool_phases = svc.stats().pool_phases - before;
+                rs
+            });
 
             if cfg.check {
                 check_depths(&graph, &sources, &engine_runs, engine.name());
@@ -297,6 +373,7 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         }
     }
 
+    let mut hub_gate = HubGateStatus::default();
     if cfg.check && cfg.engines.contains(&CpuEngine::Tiled) {
         let threads = cfg.threads.iter().copied().max().unwrap_or(2).max(2);
         // The gate always autotunes the tile size: it checks the tiling
@@ -317,6 +394,14 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         // enforceable where the hardware can express it. Depth equality
         // (bit-identical results) is asserted inside the gate regardless.
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        hub_gate = HubGateStatus {
+            ran: true,
+            enforced: cores >= 2,
+            passed: gate.tiled_teps >= gate.pooled_teps,
+            threads: gate.threads as u64,
+            pooled_teps: gate.pooled_teps,
+            tiled_teps: gate.tiled_teps,
+        };
         if cores >= 2 {
             assert!(
                 gate.tiled_teps >= gate.pooled_teps,
@@ -344,6 +429,7 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         tile_size: cfg.tile_size as u64,
         runs,
         speedups,
+        hub_gate,
     }
 }
 
@@ -460,6 +546,22 @@ pub fn validate_report_json(text: &str) -> Result<CpuBenchReport, String> {
             return Err(format!("speedup for unknown engine {:?}", s.engine));
         }
     }
+    let hg = &report.hub_gate;
+    if hg.enforced && !hg.ran {
+        return Err("hub_gate claims enforced without having run".to_string());
+    }
+    if hg.enforced && !hg.passed {
+        return Err(format!(
+            "hub_gate enforced but failed: tiled {:.0} TEPS < pooled {:.0} TEPS",
+            hg.tiled_teps, hg.pooled_teps
+        ));
+    }
+    if hg.ran && (hg.threads == 0 || hg.pooled_teps <= 0.0 || hg.tiled_teps <= 0.0) {
+        return Err(format!(
+            "hub_gate ran with degenerate measurements: threads={} pooled={} tiled={}",
+            hg.threads, hg.pooled_teps, hg.tiled_teps
+        ));
+    }
     Ok(report)
 }
 
@@ -551,6 +653,31 @@ mod tests {
         // Async runs are a single phase per group.
         let a = report.runs.iter().find(|r| r.engine == "async").unwrap();
         assert_eq!(a.levels, a.groups);
+        // check + tiled in the sweep means the hub gate ran and recorded
+        // live rates (enforcement depends on the host's core count).
+        assert!(parsed.hub_gate.ran);
+        assert!(parsed.hub_gate.pooled_teps > 0.0 && parsed.hub_gate.tiled_teps > 0.0);
+        assert!(parsed.hub_gate.threads >= 2);
+    }
+
+    #[test]
+    fn profiler_attaches_to_every_engine_service() {
+        let prof = ibfs_obs::EngineProfiler::shared();
+        let report = run_cpu_bench(&CpuBenchConfig {
+            engines: vec![CpuEngine::Pooled, CpuEngine::Tiled, CpuEngine::Async],
+            threads: vec![2],
+            check: false,
+            profiler: Some(prof.clone()),
+            ..tiny_config()
+        });
+        assert_eq!(report.runs.len(), 4);
+        let prof_report = prof.report("cpu-bench");
+        prof_report.validate().expect("profile validates");
+        let phases = prof_report.phases();
+        use ibfs_obs::ProfPhase;
+        for phase in [ProfPhase::TopDownExpand, ProfPhase::AsyncDrain, ProfPhase::QueueBuild] {
+            assert!(phases.contains(&phase), "profiled bench missing {phase:?}");
+        }
     }
 
     #[test]
@@ -564,10 +691,14 @@ mod tests {
         assert!(validate_report_json(&good).is_ok());
         assert!(validate_report_json("{}").is_err());
         assert!(validate_report_json("not json").is_err());
-        let wrong_version = good.replace("\"schema_version\": 2", "\"schema_version\": 99");
+        let wrong_version = good.replace("\"schema_version\": 3", "\"schema_version\": 99");
         assert!(validate_report_json(&wrong_version).unwrap_err().contains("schema_version"));
         let wrong_engine = good.replace("\"engine\": \"pooled\"", "\"engine\": \"cuda\"");
         assert!(validate_report_json(&wrong_engine).unwrap_err().contains("unknown engine"));
+        // check:false means the gate never ran — claiming enforcement over
+        // a gate that never ran is a forged document.
+        let forged_gate = good.replace("\"enforced\": false", "\"enforced\": true");
+        assert!(validate_report_json(&forged_gate).unwrap_err().contains("hub_gate"));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 pub mod cpubench;
 pub mod figures;
 pub mod loadgen;
+pub mod perfdiff;
 pub mod result;
 pub mod shardbench;
+pub mod top;
 
 use ibfs::word::WordWidth;
 use ibfs_graph::suite::GraphSpec;

@@ -18,7 +18,9 @@
 use crate::result::f2;
 use crate::FigureResult;
 use ibfs_cluster::comm::{CommConfig, ExchangePattern};
-use ibfs_cluster::shard::{run_sharded, ShardedConfig, ShardedRun};
+use ibfs_cluster::shard::{ShardedConfig, ShardedRun, ShardedService};
+use ibfs_obs::EngineProfiler;
+use std::sync::Arc;
 use ibfs_graph::generators::{rmat, RmatParams};
 use ibfs_graph::partition::OwnershipLayout;
 use ibfs_graph::validate::reference_bfs;
@@ -42,6 +44,9 @@ pub struct ShardBenchConfig {
     pub layout: OwnershipLayout,
     /// Run the CI gate: depth equality + Butterfly < AllToAll messages.
     pub check: bool,
+    /// When set, every sharded run records its per-wave comm phases
+    /// (encode/exchange/apply) into this profiler.
+    pub profiler: Option<Arc<EngineProfiler>>,
 }
 
 impl Default for ShardBenchConfig {
@@ -54,6 +59,7 @@ impl Default for ShardBenchConfig {
             max_shards: 8,
             layout: OwnershipLayout::Contiguous,
             check: false,
+            profiler: None,
         }
     }
 }
@@ -95,8 +101,13 @@ fn run_one(
     shards: usize,
     layout: OwnershipLayout,
     pattern: ExchangePattern,
+    profiler: Option<&Arc<EngineProfiler>>,
 ) -> ShardedRun {
-    run_sharded(g, r, sources, &bench_config(shards, layout, pattern))
+    let mut svc = ShardedService::new(g, r, bench_config(shards, layout, pattern));
+    if let Some(p) = profiler {
+        svc.set_profiler(p.clone());
+    }
+    svc.run(sources)
 }
 
 /// Runs the weak-scaling sweep (and the `--check` gate when configured).
@@ -118,7 +129,7 @@ pub fn run_shard_bench(cfg: &ShardBenchConfig) -> Result<ShardBenchReport, Strin
         let sources: Vec<VertexId> =
             (0..cfg.sources.min(n)).map(|s| s as VertexId).collect();
         for pattern in ExchangePattern::all() {
-            let run = run_one(&g, &r, &sources, p, cfg.layout, pattern);
+            let run = run_one(&g, &r, &sources, p, cfg.layout, pattern, cfg.profiler.as_ref());
             weak.push_row(vec![
                 p.to_string(),
                 scale.to_string(),
@@ -174,8 +185,8 @@ fn check_gate(cfg: &ShardBenchConfig, fig: &mut FigureResult) -> Result<(), Stri
     let r = g.reverse();
     let sources: Vec<VertexId> =
         (0..cfg.sources.min(g.num_vertices())).map(|s| s as VertexId).collect();
-    let a2a = run_one(&g, &r, &sources, p, cfg.layout, ExchangePattern::AllToAll);
-    let bf = run_one(&g, &r, &sources, p, cfg.layout, ExchangePattern::Butterfly);
+    let a2a = run_one(&g, &r, &sources, p, cfg.layout, ExchangePattern::AllToAll, None);
+    let bf = run_one(&g, &r, &sources, p, cfg.layout, ExchangePattern::Butterfly, None);
 
     // Both runs grouped with the same (deterministic) default grouping, so
     // the source → (group, instance) map is shared.
@@ -237,10 +248,24 @@ mod tests {
         let r = g.reverse();
         let sources: Vec<VertexId> = (0..32).collect();
         for shards in [4usize, 8] {
-            let a2a =
-                run_one(&g, &r, &sources, shards, OwnershipLayout::Contiguous, ExchangePattern::AllToAll);
-            let bf =
-                run_one(&g, &r, &sources, shards, OwnershipLayout::Contiguous, ExchangePattern::Butterfly);
+            let a2a = run_one(
+                &g,
+                &r,
+                &sources,
+                shards,
+                OwnershipLayout::Contiguous,
+                ExchangePattern::AllToAll,
+                None,
+            );
+            let bf = run_one(
+                &g,
+                &r,
+                &sources,
+                shards,
+                OwnershipLayout::Contiguous,
+                ExchangePattern::Butterfly,
+                None,
+            );
             assert!(a2a.comm.messages > 0);
             assert!(
                 bf.comm.messages < a2a.comm.messages,
@@ -272,6 +297,26 @@ mod tests {
             .map(|row| row[1].parse::<u64>().unwrap())
             .sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn profiler_records_comm_phases_across_the_sweep() {
+        use ibfs_obs::ProfPhase;
+        let prof = EngineProfiler::shared();
+        let cfg = ShardBenchConfig {
+            scale: 7,
+            sources: 8,
+            max_shards: 4,
+            profiler: Some(prof.clone()),
+            ..Default::default()
+        };
+        run_shard_bench(&cfg).expect("sweep runs");
+        let report = prof.report("shard-bench");
+        report.validate().expect("profile validates");
+        let phases = report.phases();
+        for p in [ProfPhase::CommEncode, ProfPhase::CommExchange, ProfPhase::CommApply] {
+            assert!(phases.contains(&p), "sweep missing {p:?}");
+        }
     }
 
     #[test]

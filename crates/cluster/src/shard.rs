@@ -30,8 +30,9 @@ use ibfs::trace::{GroupStamp, NullSink, TraceSink, TraversalEvent};
 use ibfs_graph::partition::{OwnershipLayout, Partition, Partitioner, ShardGraph, VertexOwner};
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_gpu_sim::{Counters, DeviceConfig, PhaseKind, PhaseTimer, Profiler, SimTimer};
-use ibfs_obs::Registry;
+use ibfs_obs::{EngineProfiler, ProfPhase, Registry};
 use ibfs_util::json_struct;
+use std::sync::Arc;
 
 /// Instances per lockstep wave: one bit per instance in a `u64` status
 /// word, shared by frontier-update masks on the wire.
@@ -583,6 +584,9 @@ pub struct ShardedService<'g> {
     grouping: GroupingStrategy,
     partition: Partition,
     devices: Vec<ShardDevice>,
+    /// When set, run_wave records per-shard comm-phase
+    /// (encode/exchange/apply) [`ibfs_obs::PhaseRecord`]s into it.
+    profiler: Option<Arc<EngineProfiler>>,
 }
 
 impl<'g> ShardedService<'g> {
@@ -608,7 +612,13 @@ impl<'g> ShardedService<'g> {
                 }
             };
         }
-        ShardedService { graph, config, grouping, partition, devices }
+        ShardedService { graph, config, grouping, partition, devices, profiler: None }
+    }
+
+    /// Attaches a profiler: every subsequent wave records per-shard
+    /// comm-phase timings (encode, simulated exchange, apply) into it.
+    pub fn set_profiler(&mut self, profiler: Arc<EngineProfiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// The configuration the service was built with.
@@ -690,6 +700,10 @@ impl<'g> ShardedService<'g> {
         let owner = self.partition.owner;
         let comm_cfg = self.config.comm;
         let policy = DirectionPolicy::beamer();
+        let prof_arc = self.profiler.clone();
+        let prof = prof_arc.as_deref();
+        // One timeline track per wave; lanes are shard indices.
+        let track = prof.map(|p| p.open_track()).unwrap_or(0);
 
         // Per-shard engines over fresh scratch; seeds go to their owners.
         let mut seeds: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shards];
@@ -756,6 +770,7 @@ impl<'g> ShardedService<'g> {
 
             // Bottom-up needs the global frontier on every shard first.
             if dir == Direction::BottomUp && shards > 1 {
+                let encode_start = prof.map(|p| p.begin());
                 let snaps: Vec<Vec<FrontierUpdate>> =
                     engines.iter().map(|e| e.frontier_snapshot()).collect();
                 let payloads: Vec<Payload> = snaps
@@ -764,6 +779,36 @@ impl<'g> ShardedService<'g> {
                     .map(|(s, sn)| encode_payload(sn, owner.num_owned(s)))
                     .collect();
                 cost = allgather_cost(&comm_cfg, &payloads);
+                if let (Some(p), Some(e)) = (prof, encode_start) {
+                    let secs = e.elapsed_s();
+                    for (s, pl) in payloads.iter().enumerate() {
+                        p.record(
+                            track,
+                            s,
+                            level as u64,
+                            ProfPhase::CommEncode,
+                            e.start_s(),
+                            secs,
+                            pl.bytes,
+                            pl.entries,
+                        );
+                    }
+                    // Simulated wire time: one span per shard, offset past
+                    // the measured encode.
+                    for s in 0..shards {
+                        p.record(
+                            track,
+                            s,
+                            level as u64,
+                            ProfPhase::CommExchange,
+                            e.start_s() + secs,
+                            cost.seconds,
+                            cost.bytes,
+                            cost.messages,
+                        );
+                    }
+                }
+                let apply_start = prof.map(|p| p.begin());
                 for i in 0..shards {
                     for (j, snap) in snaps.iter().enumerate() {
                         if i != j && !snap.is_empty() {
@@ -773,6 +818,28 @@ impl<'g> ShardedService<'g> {
                                 &mut timers[i],
                             );
                         }
+                    }
+                }
+                if let (Some(p), Some(a)) = (prof, apply_start) {
+                    let secs = a.elapsed_s();
+                    for i in 0..shards {
+                        let (bytes, entries) = payloads
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .fold((0u64, 0u64), |acc, (_, pl)| {
+                                (acc.0 + pl.bytes, acc.1 + pl.entries)
+                            });
+                        p.record(
+                            track,
+                            i,
+                            level as u64,
+                            ProfPhase::CommApply,
+                            a.start_s(),
+                            secs,
+                            bytes,
+                            entries,
+                        );
                     }
                 }
             }
@@ -790,6 +857,7 @@ impl<'g> ShardedService<'g> {
 
             // Top-down scatters remote candidates to their owners.
             if dir == Direction::TopDown && shards > 1 {
+                let encode_start = prof.map(|p| p.begin());
                 let outs: Vec<Vec<Vec<FrontierUpdate>>> =
                     engines.iter_mut().map(|e| e.take_outbound()).collect();
                 let matrix: Vec<Vec<Payload>> = outs
@@ -802,6 +870,41 @@ impl<'g> ShardedService<'g> {
                     })
                     .collect();
                 cost = scatter_cost(&comm_cfg, &matrix);
+                if let (Some(p), Some(e)) = (prof, encode_start) {
+                    let secs = e.elapsed_s();
+                    for (src, row) in matrix.iter().enumerate() {
+                        let (bytes, entries) = row
+                            .iter()
+                            .enumerate()
+                            .filter(|&(dst, _)| dst != src)
+                            .fold((0u64, 0u64), |acc, (_, pl)| {
+                                (acc.0 + pl.bytes, acc.1 + pl.entries)
+                            });
+                        p.record(
+                            track,
+                            src,
+                            level as u64,
+                            ProfPhase::CommEncode,
+                            e.start_s(),
+                            secs,
+                            bytes,
+                            entries,
+                        );
+                    }
+                    for s in 0..shards {
+                        p.record(
+                            track,
+                            s,
+                            level as u64,
+                            ProfPhase::CommExchange,
+                            e.start_s() + secs,
+                            cost.seconds,
+                            cost.bytes,
+                            cost.messages,
+                        );
+                    }
+                }
+                let apply_start = prof.map(|p| p.begin());
                 for (src, row) in outs.iter().enumerate() {
                     for (dst, updates) in row.iter().enumerate() {
                         if src != dst && !updates.is_empty() {
@@ -811,6 +914,28 @@ impl<'g> ShardedService<'g> {
                                 &mut timers[dst],
                             );
                         }
+                    }
+                }
+                if let (Some(p), Some(a)) = (prof, apply_start) {
+                    let secs = a.elapsed_s();
+                    for dst in 0..shards {
+                        let (bytes, entries) = matrix
+                            .iter()
+                            .enumerate()
+                            .filter(|&(src, _)| src != dst)
+                            .fold((0u64, 0u64), |acc, (_, row)| {
+                                (acc.0 + row[dst].bytes, acc.1 + row[dst].entries)
+                            });
+                        p.record(
+                            track,
+                            dst,
+                            level as u64,
+                            ProfPhase::CommApply,
+                            a.start_s(),
+                            secs,
+                            bytes,
+                            entries,
+                        );
                     }
                 }
             }

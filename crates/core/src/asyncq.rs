@@ -39,6 +39,7 @@ use crate::pool::WorkerPool;
 use crate::word::AtomicDepth;
 use ibfs_graph::tiling::TilePlan;
 use ibfs_graph::{Csr, VertexId, DEPTH_UNVISITED};
+use ibfs_obs::{EngineProfiler, ProfPhase};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -73,6 +74,7 @@ pub(crate) fn run_async(
     pool: &WorkerPool,
     plan: &TilePlan,
     stats: &mut CpuStats,
+    prof: Option<&EngineProfiler>,
     sources: &[VertexId],
 ) -> CpuRun {
     let ni = sources.len();
@@ -112,8 +114,11 @@ pub(crate) fn run_async(
     }
 
     let phase_start = Instant::now();
+    let track = prof.map(|p| p.open_track()).unwrap_or(0);
     let (depths_ref, fifo_ref) = (&depths[..], &fifo);
-    pool.run(|_lane| {
+    // The whole traversal is one barrier-free drain phase; level 0 stands
+    // in for "no levels here" (see module docs).
+    pool.run_profiled(prof, track, 0, ProfPhase::AsyncDrain, |_lane| {
         let mut out: Vec<Item> = Vec::with_capacity(BLOCK);
         let mut items = 0u64;
         let mut relaxed = 0u64;
@@ -171,6 +176,7 @@ pub(crate) fn run_async(
         }
         fifo_ref.items.fetch_add(items, Ordering::Relaxed);
         fifo_ref.relaxed.fetch_add(relaxed, Ordering::Relaxed);
+        (items, relaxed)
     });
     let phase_seconds = phase_start.elapsed().as_secs_f64();
 

@@ -78,8 +78,9 @@ use crate::word::{
 };
 use ibfs_graph::tiling::TilePlan;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
+use ibfs_obs::{EngineProfiler, ProfPhase};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Maximum instances per CPU group (one [`crate::word::W256`] register
@@ -502,6 +503,9 @@ pub struct CpuService<'g> {
     /// Monotone level counter tagging dirty chunks; never reset, so marks
     /// from earlier groups can never alias a current level.
     epoch: u64,
+    /// When set, every phase of every level records per-lane
+    /// [`PhaseRecord`](ibfs_obs::PhaseRecord)s into it.
+    profiler: Option<Arc<EngineProfiler>>,
 }
 
 impl<'g> CpuService<'g> {
@@ -534,7 +538,14 @@ impl<'g> CpuService<'g> {
             plan,
             chunks_per_lane: autotune_chunks_per_lane(csr),
             epoch: 0,
+            profiler: None,
         }
+    }
+
+    /// Attaches a profiler: every subsequent group records per-lane,
+    /// per-level phase timings (and synthesized barrier waits) into it.
+    pub fn set_profiler(&mut self, profiler: Arc<EngineProfiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// The resolved tiling policy (explicit or autotuned).
@@ -622,14 +633,17 @@ impl<'g> CpuService<'g> {
         let (csr, rev, opts) = (self.csr, self.rev, self.opts);
         let pool = &self.pool;
         let stats = &mut self.stats;
+        let prof = self.profiler.as_deref();
         if opts.engine == CpuEngine::Async {
             // The async engine owns its depth words; the arena and the
             // level-loop scratch never come into play.
-            return Ok(crate::asyncq::run_async(csr, &opts, pool, &self.plan, stats, sources));
+            return Ok(crate::asyncq::run_async(
+                csr, &opts, pool, &self.plan, stats, prof, sources,
+            ));
         }
         let scratch = &mut self.scratch;
         let epoch = &mut self.epoch;
-        let cx = RunCx { plan: &self.plan, chunks_per_lane: self.chunks_per_lane };
+        let cx = RunCx { plan: &self.plan, chunks_per_lane: self.chunks_per_lane, prof };
         let run = match &self.arena {
             ArenaAny::W32(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
             ArenaAny::W64(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
@@ -645,6 +659,8 @@ impl<'g> CpuService<'g> {
 struct RunCx<'p> {
     plan: &'p TilePlan,
     chunks_per_lane: usize,
+    /// Optional phase profiler (None costs one branch per phase).
+    prof: Option<&'p EngineProfiler>,
 }
 
 /// The width-generic pooled level loop. See the module docs for the
@@ -672,6 +688,8 @@ fn run_width<A: AtomicStatus>(
     let tiled = opts.engine == CpuEngine::Tiled;
 
     let start = Instant::now();
+    // One timeline track (Chrome `pid`) per group run.
+    let track = cx.prof.map(|p| p.open_track()).unwrap_or(0);
     let mut level_seconds: Vec<f64> = Vec::new();
     // The output table, `[instance][vertex]`: the one per-group allocation.
     let mut depths = vec![DEPTH_UNVISITED; ni * n];
@@ -725,12 +743,15 @@ fn run_width<A: AtomicStatus>(
         if !scratch.stale.is_empty() {
             scratch.cursor.reset();
             let (stale, cursor) = (&scratch.stale, &scratch.cursor);
-            pool.run(|_lane| {
+            pool.run_profiled(cx.prof, track, level as u64, ProfPhase::Repair, |_lane| {
+                let mut claimed = 0u64;
                 while let Some(i) = cursor.claim(stale.len()) {
+                    claimed += 1;
                     for v in chunk_range(stale[i] as usize, n) {
                         next[v].store(cur[v].load());
                     }
                 }
+                (claimed, claimed + 1)
             });
             stats.chunks_repaired += scratch.stale.len() as u64;
         }
@@ -742,13 +763,16 @@ fn run_width<A: AtomicStatus>(
             scratch.cursor.reset();
             let chunks = n.div_ceil(CHUNK);
             let cursor = &scratch.cursor;
-            pool.run(|_lane| {
+            pool.run_profiled(cx.prof, track, level as u64, ProfPhase::StatusSweep, |_lane| {
+                let mut claimed = 0u64;
                 while let Some(c) = cursor.claim(chunks) {
+                    claimed += 1;
                     for v in chunk_range(c, n) {
                         let w = next[v].load();
                         next[v].store(w);
                     }
                 }
+                (claimed, claimed + 1)
             });
             stats.full_sweeps += 1;
         }
@@ -774,7 +798,7 @@ fn run_width<A: AtomicStatus>(
                 let (tiles, bounds, cursor, tally) =
                     (&scratch.tiles, &scratch.bounds, &scratch.cursor, &scratch.tally);
                 let touched = &scratch.touched_epoch;
-                pool.run(|lane| {
+                pool.run_profiled(cx.prof, track, level as u64, ProfPhase::TopDownExpand, |lane| {
                     while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
                         let (lo, hi) = bounds[bi];
                         for t in &tiles[lo as usize..hi as usize] {
@@ -794,6 +818,8 @@ fn run_width<A: AtomicStatus>(
                             }
                         }
                     }
+                    let hits = tally.lane_count(lane);
+                    (hits, hits + 1)
                 });
                 let (mx, _total) = scratch.tally.drain();
                 stats.steal_max_chunks += mx;
@@ -811,7 +837,7 @@ fn run_width<A: AtomicStatus>(
                 let (queue, bounds, cursor, tally) =
                     (&scratch.queue, &scratch.bounds, &scratch.cursor, &scratch.tally);
                 let touched = &scratch.touched_epoch;
-                pool.run(|lane| {
+                pool.run_profiled(cx.prof, track, level as u64, ProfPhase::TopDownExpand, |lane| {
                     while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
                         let (lo, hi) = bounds[bi];
                         for &f in &queue[lo as usize..hi as usize] {
@@ -831,6 +857,8 @@ fn run_width<A: AtomicStatus>(
                             }
                         }
                     }
+                    let hits = tally.lane_count(lane);
+                    (hits, hits + 1)
                 });
                 let (mx, _total) = scratch.tally.drain();
                 stats.steal_max_chunks += mx;
@@ -853,7 +881,7 @@ fn run_width<A: AtomicStatus>(
                 let touched = &scratch.touched_epoch;
                 let lanes = &scratch.lanes;
                 let early = opts.early_termination;
-                pool.run(|lane| {
+                pool.run_profiled(cx.prof, track, level as u64, ProfPhase::BottomUpSweep, |lane| {
                     let mut st = lanes[lane].lock().unwrap();
                     while let Some(bi) = tally.claim(cursor, bounds.len(), lane) {
                         let (lo, hi) = bounds[bi];
@@ -883,6 +911,9 @@ fn run_width<A: AtomicStatus>(
                             }
                         }
                     }
+                    drop(st);
+                    let hits = tally.lane_count(lane);
+                    (hits, hits + 1)
                 });
                 let (mx, _total) = scratch.tally.drain();
                 stats.steal_max_chunks += mx;
@@ -909,9 +940,11 @@ fn run_width<A: AtomicStatus>(
             let (touched_list, cursor, lanes) =
                 (&scratch.touched, &scratch.cursor, &scratch.lanes);
             let table = DepthTable(depths.as_mut_ptr());
-            pool.run(|lane| {
+            pool.run_profiled(cx.prof, track, level as u64, ProfPhase::Identify, |lane| {
+                let mut claimed = 0u64;
                 let mut st = lanes[lane].lock().unwrap();
                 while let Some(i) = cursor.claim(touched_list.len()) {
+                    claimed += 1;
                     for v in chunk_range(touched_list[i] as usize, n) {
                         let old = cur[v].load();
                         let new = next[v].load();
@@ -930,9 +963,12 @@ fn run_width<A: AtomicStatus>(
                         }
                     }
                 }
+                drop(st);
+                (claimed, claimed + 1)
             });
         }
 
+        let queue_build_start = cx.prof.map(|p| p.begin());
         let mut new_marked = 0u64;
         let mut new_edges = 0u64;
         for lane in &scratch.lanes {
@@ -1002,6 +1038,20 @@ fn run_width<A: AtomicStatus>(
                 }
             }
         }
+        if let (Some(p), Some(qb)) = (cx.prof, queue_build_start) {
+            // Caller-measured: the sequential drain + assembly runs on the
+            // coordinator lane only (includes the direction-switch sweep).
+            p.record(
+                track,
+                0,
+                level as u64,
+                ProfPhase::QueueBuild,
+                qb.start_s(),
+                qb.elapsed_s(),
+                scratch.next_queue.len() as u64,
+                new_marked,
+            );
+        }
         direction = next_direction;
         std::mem::swap(&mut scratch.queue, &mut scratch.next_queue);
         // Last level's dirty chunks become the stale set to repair.
@@ -1019,13 +1069,17 @@ fn run_width<A: AtomicStatus>(
     {
         let (ever_list, cursor) = (&scratch.ever_list, &scratch.cursor);
         let (a, b) = (&arena.cur[..], &arena.next[..]);
-        pool.run(|_lane| {
+        let end_level = level_seconds.len() as u64;
+        pool.run_profiled(cx.prof, track, end_level, ProfPhase::Cleanup, |_lane| {
+            let mut claimed = 0u64;
             while let Some(i) = cursor.claim(ever_list.len()) {
+                claimed += 1;
                 for v in chunk_range(ever_list[i] as usize, n) {
                     a[v].store(A::Word::zero());
                     b[v].store(A::Word::zero());
                 }
             }
+            (claimed, claimed + 1)
         });
     }
     for &c in &scratch.ever_list {

@@ -15,6 +15,7 @@
 //! phases on `threads` lanes while owning only `threads - 1` OS threads; a
 //! single-threaded pool never synchronizes at all.
 
+use ibfs_obs::{EngineProfiler, ProfPhase};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -156,6 +157,37 @@ impl WorkerPool {
             st = self.shared.done_cv.wait(st).unwrap();
         }
         st.job = None;
+    }
+
+    /// [`WorkerPool::run`] with optional phase profiling: when `prof` is
+    /// set, each lane's body time (plus the counter pair `f` returns) is
+    /// recorded as a [`PhaseRecord`](ibfs_obs::PhaseRecord) and the phase
+    /// wall time synthesizes one `BarrierWait` record per lane. When
+    /// `prof` is `None` the only cost over `run` is computing the ignored
+    /// counters.
+    pub fn run_profiled<F>(
+        &self,
+        prof: Option<&EngineProfiler>,
+        track: u64,
+        level: u64,
+        phase: ProfPhase,
+        f: F,
+    ) where
+        F: Fn(usize) -> (u64, u64) + Sync,
+    {
+        match prof {
+            None => self.run(|lane| {
+                f(lane);
+            }),
+            Some(p) => {
+                let ph = p.begin();
+                self.run(|lane| {
+                    let (a, b) = f(lane);
+                    p.lane(ph, track, lane, level, phase, a, b);
+                });
+                p.end_phase(ph, track, level, phase);
+            }
+        }
     }
 }
 

@@ -127,6 +127,13 @@ impl ClaimTally {
         Some(i)
     }
 
+    /// `lane`'s claim count so far this phase (read by the profiler hooks
+    /// at the end of a lane's body, before the coordinator drains).
+    #[inline]
+    pub fn lane_count(&self, lane: usize) -> u64 {
+        self.0[lane].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Drains the tally, returning `(max_per_lane, total)` and resetting
     /// every counter to zero.
     pub fn drain(&self) -> (u64, u64) {

@@ -22,17 +22,27 @@
 //!   batched, dispatched, completed/errored) so one request can be followed
 //!   from its submission to the device worker and per-level traversal that
 //!   answered it.
+//! * [`profile`] — the engine profiler: an [`EngineProfiler`] collecting
+//!   per-lane, per-level [`PhaseRecord`]s (expand, sweep, barrier wait,
+//!   steal, async drain, repair, sharded exchange) into a versioned
+//!   [`ProfileReport`] that exports to the Chrome trace-event timeline
+//!   format.
 //!
 //! Metric names follow the convention `ibfs_<layer>_<name>` (e.g.
 //! `ibfs_serve_latency_seconds`, `ibfs_cluster_routed_total`); per-device
 //! instruments append Prometheus-style labels via [`labeled`].
 
 pub mod hist;
+pub mod profile;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
 pub use hist::{Histogram, HistogramSnapshot};
+pub use profile::{
+    prof_phase_gauge, register_prof_metrics, EngineProfiler, PhaseRecord, PhaseStart, ProfPhase,
+    ProfileReport, PROFILE_SCHEMA_VERSION,
+};
 pub use registry::{labeled, Counter, Gauge, Registry};
 pub use snapshot::{MetricKind, MetricSnapshot, MetricValue, Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use span::{IdGen, RequestId, SpanEvent, SpanStage, NO_CORRELATION, TRACE_SCHEMA_VERSION};

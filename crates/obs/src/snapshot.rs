@@ -206,9 +206,12 @@ impl Snapshot {
     }
 
     /// The CI gate's predicate: every `required` name is present (a name
-    /// ending in `*` matches as a prefix, for label families), every
-    /// histogram is well formed (quantiles monotone within `[min, max]`),
-    /// and counters fit the snapshot's own kind tags.
+    /// ending in `*` matches as a prefix, for label families), every gauge
+    /// reads a finite non-negative value (our gauges are depths, counts,
+    /// ratios and seconds — NaN or a negative reading means a recording
+    /// bug, not a valid state), and every histogram is well formed:
+    /// quantiles monotone within `[min, max]`, a finite sum, and the
+    /// count/total consistency `count*min <= sum <= count*max`.
     pub fn validate(&self, required: &[&str]) -> Result<(), String> {
         for want in required {
             let found = if let Some(prefix) = want.strip_suffix('*') {
@@ -221,12 +224,43 @@ impl Snapshot {
             }
         }
         for m in &self.metrics {
-            if let MetricValue::Histogram(h) = &m.value {
-                if !h.is_well_formed() {
-                    return Err(format!(
-                        "histogram `{}` is malformed: min {} p50 {} p90 {} p99 {} max {}",
-                        m.name, h.min, h.p50, h.p90, h.p99, h.max
-                    ));
+            match &m.value {
+                MetricValue::Counter(_) => {}
+                MetricValue::Gauge(v) => {
+                    if v.is_nan() {
+                        return Err(format!("gauge `{}` reads NaN", m.name));
+                    }
+                    if !v.is_finite() || *v < 0.0 {
+                        return Err(format!("gauge `{}` reads {v}, not a finite value >= 0", m.name));
+                    }
+                }
+                MetricValue::Histogram(h) => {
+                    if !h.is_well_formed() {
+                        return Err(format!(
+                            "histogram `{}` is malformed: min {} p50 {} p90 {} p99 {} max {}",
+                            m.name, h.min, h.p50, h.p90, h.p99, h.max
+                        ));
+                    }
+                    if h.count > 0 {
+                        if !h.sum.is_finite() {
+                            return Err(format!(
+                                "histogram `{}` has count {} but non-finite sum {}",
+                                m.name, h.count, h.sum
+                            ));
+                        }
+                        // Sum/count consistency: the total must be
+                        // achievable from `count` observations inside
+                        // [min, max] (tolerance covers f64 accumulation).
+                        let n = h.count as f64;
+                        let slack = 1e-9 * n * h.max.abs().max(h.min.abs()).max(1.0);
+                        if h.sum < n * h.min - slack || h.sum > n * h.max + slack {
+                            return Err(format!(
+                                "histogram `{}` sum {} is inconsistent with count {} in \
+                                 [{}, {}]",
+                                m.name, h.sum, h.count, h.min, h.max
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -323,6 +357,64 @@ mod tests {
             }
         }
         assert!(bad.validate(&[]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_negative_gauges() {
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Gauge(v) = &mut m.value {
+                *v = f64::NAN;
+            }
+        }
+        assert!(s.validate(&[]).unwrap_err().contains("NaN"));
+
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Gauge(v) = &mut m.value {
+                *v = -1.0;
+            }
+        }
+        assert!(s.validate(&[]).unwrap_err().contains("not a finite value >= 0"));
+
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Gauge(v) = &mut m.value {
+                *v = f64::INFINITY;
+            }
+        }
+        assert!(s.validate(&[]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_histogram_count_total_mismatches() {
+        // Sum larger than count*max: the total cannot have come from the
+        // claimed number of observations.
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Histogram(h) = &mut m.value {
+                h.sum = h.max * h.count as f64 + 1.0;
+            }
+        }
+        assert!(s.validate(&[]).unwrap_err().contains("inconsistent with count"));
+
+        // Sum smaller than count*min.
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Histogram(h) = &mut m.value {
+                h.sum = h.min * h.count as f64 - 1.0;
+            }
+        }
+        assert!(s.validate(&[]).is_err());
+
+        // Non-finite sum with a positive count.
+        let mut s = sample();
+        for m in &mut s.metrics {
+            if let MetricValue::Histogram(h) = &mut m.value {
+                h.sum = f64::NAN;
+            }
+        }
+        assert!(s.validate(&[]).unwrap_err().contains("non-finite sum"));
     }
 
     #[test]

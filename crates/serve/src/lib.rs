@@ -24,6 +24,8 @@
 //!   early-level-sharing score that arbitrates GroupBy vs arrival order.
 //! * [`server`] — admission, batching, routing, workers, lifecycle.
 //! * [`metrics`] — per-batch records and the end-of-run [`ServeReport`].
+//! * [`slo`] — the rolling per-class SLO tracker behind the live
+//!   `ibfs_slo_*` gauges (`bfs top`'s data source).
 
 pub mod channel;
 pub mod coalesce;
@@ -31,6 +33,7 @@ pub mod error;
 pub mod metrics;
 pub mod qos;
 pub mod server;
+pub mod slo;
 
 pub use coalesce::{plan, BatchPlan, CoalescePolicy, SCORE_LEVELS};
 pub use error::ServeError;
@@ -43,3 +46,4 @@ pub use server::{
     effective_max_batch, serve, serve_with, BfsResponse, RouterKind, SchedulerKind, ServeConfig,
     ServeHandle, Ticket,
 };
+pub use slo::{register_slo_metrics, SloConfig, SloObjective, SloTracker};

@@ -16,10 +16,11 @@
 //! [`TraversalEvent`](ibfs::trace::TraversalEvent)s the workers emit.
 
 use crate::qos::{Class, NUM_CLASSES};
+use crate::slo::{SloConfig, SloTracker};
 use ibfs::metrics::{mean_std, teps, BatchMetrics, MeanStd};
 use ibfs::trace::{TraceLog, TraceRecord};
 use ibfs_obs::span::{IdGen, SpanEvent};
-use ibfs_obs::{labeled, Counter, Gauge, Histogram, Registry, Snapshot};
+use ibfs_obs::{labeled, Counter, EngineProfiler, Gauge, Histogram, ProfPhase, Registry, Snapshot};
 use ibfs_util::json_struct;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -43,23 +44,33 @@ pub struct ServeTelemetry {
     /// When set, lifecycle spans and batch-stamped traversal events are
     /// pushed here. `None` keeps the hot path span-free.
     pub trace: Option<TraceLog>,
+    /// When set, every dispatched batch records a
+    /// [`ProfPhase::ServeBatch`] phase into it (track = device, level =
+    /// batch id), joining the engine/comm records on the shared timeline.
+    pub profiler: Option<Arc<EngineProfiler>>,
 }
 
 impl Default for ServeTelemetry {
     fn default() -> Self {
-        ServeTelemetry { registry: Registry::shared(), trace: None }
+        ServeTelemetry { registry: Registry::shared(), trace: None, profiler: None }
     }
 }
 
 impl ServeTelemetry {
     /// Telemetry recording into `registry`, without tracing.
     pub fn with_registry(registry: Arc<Registry>) -> Self {
-        ServeTelemetry { registry, trace: None }
+        ServeTelemetry { registry, trace: None, profiler: None }
     }
 
     /// Enables span/level tracing into `trace`.
     pub fn traced(mut self, trace: TraceLog) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Enables per-batch phase profiling into `profiler`.
+    pub fn profiled(mut self, profiler: Arc<EngineProfiler>) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 }
@@ -128,6 +139,10 @@ pub struct Collector {
     pub(crate) sharing_degree: Arc<Histogram>,
     pub(crate) queue_depth: Arc<Gauge>,
     pub(crate) inflight_batches: Arc<Gauge>,
+    /// Live per-class SLO surface (`ibfs_slo_*` gauges), fed by the
+    /// resolution path.
+    pub(crate) slo: SloTracker,
+    profiler: Option<Arc<EngineProfiler>>,
     batches: Mutex<Vec<BatchMetrics>>,
 }
 
@@ -146,7 +161,10 @@ impl Collector {
         // carries them (metrics-check validates presence, not activity).
         // Likewise the cluster comm families: a serve run that never shards
         // (or shards but never crosses a boundary) still snapshots them.
+        // The profiler and SLO families follow the same convention: present
+        // in every serve snapshot, healthy-idle until traffic arrives.
         ibfs_cluster::register_comm_metrics(r);
+        ibfs_obs::register_prof_metrics(r);
         let class_counters =
             |name: &str| Class::ALL.map(|c| DeltaCounter::new(r, &class_metric(name, c)));
         Collector {
@@ -178,6 +196,8 @@ impl Collector {
             sharing_degree: r.histogram("ibfs_serve_batch_sharing_degree"),
             queue_depth: r.gauge("ibfs_serve_queue_depth"),
             inflight_batches: r.gauge("ibfs_serve_inflight_batches"),
+            slo: SloTracker::new(r, SloConfig::standard()),
+            profiler: telemetry.profiler,
             registry: telemetry.registry,
             trace: telemetry.trace,
             epoch: Instant::now(),
@@ -216,12 +236,31 @@ impl Collector {
     pub(crate) fn push_batch(&self, m: BatchMetrics) {
         self.occupancy.record(m.occupancy);
         self.sharing_degree.record(m.sharing_degree);
+        if let Some(p) = &self.profiler {
+            // One span per batch on the device's track: the batch's
+            // simulated traversal time, ending now.
+            p.record(
+                m.device as u64,
+                m.device as usize,
+                m.batch,
+                ProfPhase::ServeBatch,
+                (p.now_s() - m.sim_seconds).max(0.0),
+                m.sim_seconds,
+                m.requests,
+                m.traversed_edges,
+            );
+        }
         self.batches.lock().unwrap().push(m);
     }
 
     /// Freezes the collector into a report (per-run counter deltas, batch
     /// records, and a snapshot of the whole registry).
     pub fn report(&self) -> ServeReport {
+        // Fold the profiler's running totals into the `ibfs_prof_*` gauges
+        // so the snapshot (and `bfs top` watching it) sees them.
+        if let Some(p) = &self.profiler {
+            p.record_metrics(&self.registry);
+        }
         let batches = self.batches.lock().unwrap().clone();
         let stats = ServeStats::of(&batches);
         ServeReport {
@@ -493,6 +532,32 @@ mod tests {
                 .is_some());
         }
         assert!(snap.gauge("ibfs_serve_cache_entries").is_some());
+    }
+
+    #[test]
+    fn prof_and_slo_families_are_registered_eagerly() {
+        // Same presence contract as the QoS families: an idle collector's
+        // snapshot must already carry the profiler and SLO instruments.
+        let c = Collector::default();
+        let snap = c.report().snapshot;
+        assert_eq!(snap.counter("ibfs_prof_records_total"), Some(0));
+        assert!(snap.gauge("ibfs_prof_barrier_share").is_some());
+        for phase in ibfs_obs::profile::ProfPhase::ALL {
+            assert!(
+                snap.gauge(&ibfs_obs::prof_phase_gauge(phase)).is_some(),
+                "missing phase gauge for {}",
+                phase.name()
+            );
+        }
+        for class in Class::ALL {
+            assert_eq!(snap.gauge(&class_metric("ibfs_slo_availability", class)), Some(1.0));
+            assert_eq!(
+                snap.gauge(&class_metric("ibfs_slo_latency_attainment", class)),
+                Some(1.0)
+            );
+            assert_eq!(snap.gauge(&class_metric("ibfs_slo_burn_rate", class)), Some(0.0));
+        }
+        assert_eq!(snap.gauge("ibfs_slo_overload"), Some(0.0));
     }
 
     #[test]

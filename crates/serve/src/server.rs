@@ -503,6 +503,7 @@ impl ServeHandle<'_> {
                     ServeError::Overloaded => {
                         self.collector.overloaded.inc();
                         self.collector.overloaded_by_class[class.idx()].inc();
+                        self.collector.slo.observe_bounce(class);
                         SpanStage::Overloaded
                     }
                     _ => {
@@ -682,6 +683,15 @@ fn resolve(mut req: Request, outcome: Result<BfsResponse, ServeError>, collector
         collector.latency.record_duration(latency);
         collector.latency_by_class[idx].record_duration(latency);
         collector.queue_wait.record_duration(resp.queue_wait);
+        collector.slo.observe(req.class, Some(latency.as_secs_f64()));
+    }
+    // Server-side failures burn the class error budget; quota and
+    // validation rejections are client errors and stay out of the SLO.
+    if matches!(
+        &outcome,
+        Err(ServeError::Timeout) | Err(ServeError::Shutdown) | Err(ServeError::Overloaded)
+    ) {
+        collector.slo.observe(req.class, None);
     }
     collector.span(
         SpanEvent::admission(req.id, stage, req.source as u64, collector.now_s())
