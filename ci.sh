@@ -45,19 +45,25 @@ cargo run -q --offline -p ibfs-bench --bin bfs -- serve-bench suite:PK \
     --metrics-out "$QOS_SNAP"
 cargo run -q --offline -p ibfs-bench --bin metrics-check -- "$QOS_SNAP"
 
-# CPU-engine gate: a seeded cpu-bench sweep of all three engines with
-# --check asserts every engine's depths are bit-identical to
-# reference_bfs and to the frozen pre-pool baseline, runs the hub-heavy
-# tiling gate (tiled TEPS >= pooled, enforced on >= 2-core hosts), and
-# validates the emitted BENCH_cpu.json schema through the in-tree JSON
-# codec before writing it. The tile/async equivalence walls then pin the
-# tiled and async engines to the pooled engine under -O.
+# CPU-engine gate: a seeded cpu-bench sweep of all three engines — each
+# also under the hub-clustered vertex reordering (--reorder hub sweeps
+# none+hub) — with --check asserts every engine's depths, reordered or
+# not, are bit-identical to reference_bfs and to the frozen pre-pool
+# baseline, runs the hub-heavy tiling gate (tiled TEPS >= pooled) and the
+# reorder locality gate (tiled+hub TEPS >= tiled, both enforced on >=
+# 2-core hosts only), and validates the emitted BENCH_cpu.json schema
+# through the in-tree JSON codec before writing it. The tile/async
+# equivalence walls then pin the tiled and async engines to the pooled
+# engine under -O, and the reorder differential wall pins every engine ×
+# ordering × width combination to the unreordered run bit for bit.
 cargo run -q --release --offline -p ibfs-bench --bin bfs -- cpu-bench \
     --scale 9 --edge-factor 8 --seed 42 --sources 32 --threads 2 \
-    --engine pooled,tiled,async --repeat 5 --check --out "$BENCH"
+    --engine pooled,tiled,async --reorder hub --repeat 5 --check \
+    --out "$BENCH"
 test -s "$BENCH"
 cargo test -q --release --offline --test tiled_differential
 cargo test -q --release --offline --test async_equivalence
+cargo test -q --release --offline --test reorder_differential
 
 # Sharded-traversal gate: the seeded shard-bench --check fails unless the
 # 4-shard sharded depths are bit-identical to reference_bfs on the
@@ -107,8 +113,10 @@ done
 test "$overhead_ok" = 1
 
 # Perf-trajectory gate: the fresh seeded BENCH_cpu.json (written by the
-# CPU-engine gate above at the committed baseline's exact config) must
-# not regress more than the cross-machine noise band against the
-# committed baseline, and no run may silently disappear from the sweep.
+# CPU-engine gate above at the committed baseline's exact config,
+# reordered rows included) must not regress more than the cross-machine
+# noise band against the committed baseline, and no run — reordered rows
+# included, which match only rows of the same ordering — may silently
+# disappear from the sweep.
 cargo run -q --release --offline -p ibfs-bench --bin bfs -- perf-diff \
     BENCH_cpu.json "$BENCH" --check

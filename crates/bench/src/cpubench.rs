@@ -18,6 +18,7 @@ use ibfs::cpu_baseline::run_cpu_baseline;
 use ibfs::direction::DirectionPolicy;
 use ibfs::word::WordWidth;
 use ibfs_graph::generators::{hub_heavy, rmat, RmatParams};
+use ibfs_graph::reorder::ReorderKind;
 use ibfs_graph::validate::reference_bfs;
 use ibfs_graph::{Csr, VertexId, DEPTH_UNVISITED};
 use ibfs_util::json::{FromJson, ToJson};
@@ -29,8 +30,12 @@ use ibfs_util::json_struct;
 /// `hub_gate` block records whether the tiling gate ran, whether its TEPS
 /// ordering was *enforced* (multi-core hosts only), and the measured
 /// rates — so `bfs perf-diff` can tell "gate passed" apart from "gate
-/// not enforced on this host".
-pub const SCHEMA_VERSION: u64 = 3;
+/// not enforced on this host". v4: every run and speedup row carries the
+/// vertex `reorder` ordering it was measured under (`"none"` for the
+/// unreordered rows, which every reordered row must have as its in-report
+/// baseline), and the `reorder_gate` block records the tiled-vs-
+/// tiled+reordered locality gate the same way `hub_gate` records tiling.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Workload configuration for the CPU benchmark.
 #[derive(Clone, Debug)]
@@ -53,8 +58,14 @@ pub struct CpuBenchConfig {
     pub engines: Vec<CpuEngine>,
     /// Edge-tile size for the tiled/async engines; 0 = autotuned.
     pub tile_size: usize,
+    /// Vertex orderings to sweep: every engine runs once per ordering
+    /// (the frozen baseline always runs unreordered). `None` is the
+    /// unreordered row every reordered row is compared against.
+    pub reorders: Vec<ReorderKind>,
     /// Verify every engine's depths against `reference_bfs` (and the
     /// baseline), and run the hub-heavy tiling gate when `tiled` is swept.
+    /// When a non-`none` ordering is swept alongside the tiled engine,
+    /// additionally runs the reorder locality gate ([`run_reorder_gate`]).
     pub check: bool,
     /// Wall-clock noise damping: run every engine × thread-count
     /// measurement this many times and report the best (highest-TEPS)
@@ -80,6 +91,7 @@ impl Default for CpuBenchConfig {
             width: WordWidth::default(),
             engines: vec![CpuEngine::Pooled],
             tile_size: 0,
+            reorders: vec![ReorderKind::None],
             check: false,
             repeat: 1,
             profiler: None,
@@ -93,6 +105,10 @@ pub struct CpuBenchRun {
     /// `"baseline"` (pre-pool `run_cpu`) or a [`CpuEngine::name`]
     /// (`"pooled"`, `"tiled"`, `"async"`).
     pub engine: String,
+    /// Vertex ordering ([`ReorderKind::name`]) the service was built with:
+    /// `"none"`, `"degree"`, `"hub"`, or `"rcm"`. The baseline is always
+    /// `"none"`.
+    pub reorder: String,
     /// Worker threads used.
     pub threads: u64,
     /// Total wall-clock seconds over all groups.
@@ -113,6 +129,7 @@ pub struct CpuBenchRun {
 
 json_struct!(CpuBenchRun {
     engine,
+    reorder,
     threads,
     wall_seconds,
     traversed_edges,
@@ -128,6 +145,8 @@ json_struct!(CpuBenchRun {
 pub struct CpuSpeedup {
     /// The measured engine ([`CpuEngine::name`]).
     pub engine: String,
+    /// Vertex ordering the engine ran under ([`ReorderKind::name`]).
+    pub reorder: String,
     /// Worker threads.
     pub threads: u64,
     /// Baseline TEPS.
@@ -138,7 +157,7 @@ pub struct CpuSpeedup {
     pub speedup: f64,
 }
 
-json_struct!(CpuSpeedup { engine, threads, baseline_teps, engine_teps, speedup });
+json_struct!(CpuSpeedup { engine, reorder, threads, baseline_teps, engine_teps, speedup });
 
 /// Outcome of the hub-heavy tiling gate as recorded in the report (schema
 /// v3). A single-core host runs the gate but cannot express the parallel
@@ -164,6 +183,47 @@ pub struct HubGateStatus {
 }
 
 json_struct!(HubGateStatus { ran, enforced, passed, threads, pooled_teps, tiled_teps });
+
+/// Outcome of the reorder locality gate (schema v4): tiled unreordered vs
+/// tiled + a reordered layout on the power-law workload where hub
+/// clustering pays. Same three-state encoding as [`HubGateStatus`]:
+/// single-core hosts run the gate and report the ordering without
+/// asserting it (timeshared lanes cannot express a locality win), so
+/// `ran`/`enforced`/`passed` disambiguate for `bfs perf-diff`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReorderGateStatus {
+    /// The gate executed (requires `check`, the tiled engine, and a
+    /// non-`none` ordering in the sweep).
+    pub ran: bool,
+    /// The TEPS ordering was asserted (multi-core hosts only).
+    pub enforced: bool,
+    /// `reordered_teps >= tiled_teps` held. Meaningful only when `ran`.
+    pub passed: bool,
+    /// The ordering measured ([`ReorderKind::name`]; `"none"` = never ran).
+    pub reorder: String,
+    /// Threads the gate ran with (0 when it never ran).
+    pub threads: u64,
+    /// Best-of-N unreordered tiled TEPS (0 when the gate never ran).
+    pub tiled_teps: f64,
+    /// Best-of-N reordered tiled TEPS (0 when the gate never ran).
+    pub reordered_teps: f64,
+}
+
+json_struct!(ReorderGateStatus {
+    ran,
+    enforced,
+    passed,
+    reorder,
+    threads,
+    tiled_teps,
+    reordered_teps,
+});
+
+impl ReorderGateStatus {
+    fn never_ran() -> Self {
+        ReorderGateStatus { reorder: ReorderKind::None.name().to_string(), ..Default::default() }
+    }
+}
 
 /// The full `BENCH_cpu.json` document.
 #[derive(Clone, Debug)]
@@ -196,6 +256,8 @@ pub struct CpuBenchReport {
     pub speedups: Vec<CpuSpeedup>,
     /// Hub-heavy tiling gate outcome (all-default when it never ran).
     pub hub_gate: HubGateStatus,
+    /// Reorder locality gate outcome (`ran: false` when it never ran).
+    pub reorder_gate: ReorderGateStatus,
 }
 
 json_struct!(CpuBenchReport {
@@ -213,9 +275,16 @@ json_struct!(CpuBenchReport {
     runs,
     speedups,
     hub_gate,
+    reorder_gate,
 });
 
-fn summarize(engine: &str, threads: usize, runs: &[CpuRun], pool_phases: u64) -> CpuBenchRun {
+fn summarize(
+    engine: &str,
+    reorder: ReorderKind,
+    threads: usize,
+    runs: &[CpuRun],
+    pool_phases: u64,
+) -> CpuBenchRun {
     let wall: f64 = runs.iter().map(|r| r.wall_seconds).sum();
     let edges: u64 = runs.iter().map(|r| r.traversed_edges).sum();
     let mut level_seconds: Vec<f64> = Vec::new();
@@ -229,6 +298,7 @@ fn summarize(engine: &str, threads: usize, runs: &[CpuRun], pool_phases: u64) ->
     }
     CpuBenchRun {
         engine: engine.to_string(),
+        reorder: reorder.name().to_string(),
         threads: threads as u64,
         wall_seconds: wall,
         traversed_edges: edges,
@@ -312,64 +382,74 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
                 })
                 .collect()
         });
-        let b = summarize("baseline", threads, &baseline_runs, 0);
+        let b = summarize("baseline", ReorderKind::None, threads, &baseline_runs, 0);
         let baseline_teps = b.teps;
         runs.push(b);
 
         for &engine in &cfg.engines {
-            // One resident service per engine, pool + arena reused across
-            // the run's groups (and across best-of repeats, which also
-            // warms the pool before the counted passes).
-            let mut svc = CpuIbfs {
-                threads,
-                width: cfg.width,
-                engine,
-                tile_size: cfg.tile_size,
-                ..Default::default()
-            }
-            .service(&graph, &reverse);
-            if let Some(p) = &cfg.profiler {
-                svc.set_profiler(p.clone());
-            }
-            let mut pool_phases = 0;
-            let engine_runs = best_of(&mut || {
-                let before = svc.stats().pool_phases;
-                let rs: Vec<CpuRun> = sources
-                    .chunks(group_size)
-                    .map(|group| {
-                        svc.run_group(group).expect("bench groups are sized to capacity")
-                    })
-                    .collect();
-                // Phases per pass are identical across repeats (same plan,
-                // same groups), so the last pass's delta stands for all.
-                pool_phases = svc.stats().pool_phases - before;
-                rs
-            });
-
-            if cfg.check {
-                check_depths(&graph, &sources, &engine_runs, engine.name());
-                // With matching group boundaries the concatenated depth
-                // tables are comparable element-wise: all engines converge
-                // to the reference fixed point, so this must hold for the
-                // async engine exactly as for the level-synchronous ones.
-                if group_size <= ibfs::cpu_baseline::BASELINE_GROUP {
-                    assert_eq!(
-                        flat(&baseline_runs),
-                        flat(&engine_runs),
-                        "{engine} depths diverge from baseline at {threads} threads"
-                    );
+            for &reorder in &cfg.reorders {
+                // One resident service per engine × ordering, pool + arena
+                // (and the relabeled CSR) reused across the run's groups —
+                // and across best-of repeats, which also warms the pool
+                // before the counted passes. The relabel happens once at
+                // build, so its cost is amortized exactly like a real
+                // deployment's.
+                let mut svc = CpuIbfs {
+                    threads,
+                    width: cfg.width,
+                    engine,
+                    tile_size: cfg.tile_size,
+                    reorder,
+                    ..Default::default()
                 }
-            }
+                .service(&graph, &reverse);
+                if let Some(p) = &cfg.profiler {
+                    svc.set_profiler(p.clone());
+                }
+                let mut pool_phases = 0;
+                let engine_runs = best_of(&mut || {
+                    let before = svc.stats().pool_phases;
+                    let rs: Vec<CpuRun> = sources
+                        .chunks(group_size)
+                        .map(|group| {
+                            svc.run_group(group).expect("bench groups are sized to capacity")
+                        })
+                        .collect();
+                    // Phases per pass are identical across repeats (same
+                    // plan, same groups), so the last pass's delta stands
+                    // for all.
+                    pool_phases = svc.stats().pool_phases - before;
+                    rs
+                });
+                let what = format!("{engine}+{}", reorder.name());
 
-            let e = summarize(engine.name(), threads, &engine_runs, pool_phases);
-            speedups.push(CpuSpeedup {
-                engine: engine.name().to_string(),
-                threads: threads as u64,
-                baseline_teps,
-                engine_teps: e.teps,
-                speedup: e.teps / baseline_teps.max(1e-12),
-            });
-            runs.push(e);
+                if cfg.check {
+                    check_depths(&graph, &sources, &engine_runs, &what);
+                    // With matching group boundaries the concatenated depth
+                    // tables are comparable element-wise: all engines
+                    // converge to the reference fixed point — and depths
+                    // are invariant under relabeling, so the reordered rows
+                    // must match the unreordered baseline bit for bit.
+                    if group_size <= ibfs::cpu_baseline::BASELINE_GROUP {
+                        assert_eq!(
+                            flat(&baseline_runs),
+                            flat(&engine_runs),
+                            "{what} depths diverge from baseline at {threads} threads"
+                        );
+                    }
+                }
+
+                let e = summarize(engine.name(), reorder, threads, &engine_runs, pool_phases);
+                speedups.push(CpuSpeedup {
+                    engine: engine.name().to_string(),
+                    reorder: reorder.name().to_string(),
+                    threads: threads as u64,
+                    baseline_teps,
+                    engine_teps: e.teps,
+                    speedup: e.teps / baseline_teps.max(1e-12),
+                });
+                runs.push(e);
+            }
         }
     }
 
@@ -415,6 +495,56 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         }
     }
 
+    let mut reorder_gate = ReorderGateStatus::never_ran();
+    let gate_kind = cfg
+        .reorders
+        .iter()
+        .copied()
+        .find(|&k| k == ReorderKind::HubCluster)
+        .or_else(|| cfg.reorders.iter().copied().find(|&k| k != ReorderKind::None));
+    if let (true, Some(kind)) =
+        (cfg.check && cfg.engines.contains(&CpuEngine::Tiled), gate_kind)
+    {
+        let threads = cfg.threads.iter().copied().max().unwrap_or(2).max(2);
+        let gate = run_reorder_gate(threads, kind);
+        eprintln!(
+            "reorder gate: tiled {:.0} TEPS, tiled+{} {:.0} TEPS ({:.2}x) at {} threads",
+            gate.tiled_teps,
+            kind.name(),
+            gate.reordered_teps,
+            gate.reordered_teps / gate.tiled_teps.max(1e-12),
+            gate.threads,
+        );
+        // Reordering wins by turning scattered status-word and CSR probes
+        // into sequential ones — a cache effect that only shows when lanes
+        // genuinely contend for memory. Single-core timeshared lanes blur
+        // it below the relabeling overhead, so (exactly like the hub gate)
+        // the TEPS ordering is enforced only where the hardware can express
+        // it; bit-identical depths are asserted inside the gate regardless.
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        reorder_gate = ReorderGateStatus {
+            ran: true,
+            enforced: cores >= 2,
+            passed: gate.reordered_teps >= gate.tiled_teps,
+            reorder: kind.name().to_string(),
+            threads: gate.threads as u64,
+            tiled_teps: gate.tiled_teps,
+            reordered_teps: gate.reordered_teps,
+        };
+        if cores >= 2 {
+            assert!(
+                gate.reordered_teps >= gate.tiled_teps,
+                "reorder locality gate: tiled+{} {:.0} TEPS < tiled {:.0} TEPS at {} threads",
+                kind.name(),
+                gate.reordered_teps,
+                gate.tiled_teps,
+                gate.threads,
+            );
+        } else {
+            eprintln!("reorder gate: single-core host, TEPS ordering reported but not enforced");
+        }
+    }
+
     CpuBenchReport {
         schema_version: SCHEMA_VERSION,
         graph: "rmat".to_string(),
@@ -430,6 +560,7 @@ pub fn run_cpu_bench(cfg: &CpuBenchConfig) -> CpuBenchReport {
         runs,
         speedups,
         hub_gate,
+        reorder_gate,
     }
 }
 
@@ -486,6 +617,58 @@ pub fn run_hub_gate(threads: usize, tile_size: usize) -> HubGateResult {
     HubGateResult { threads, pooled_teps: best[0], tiled_teps: best[1] }
 }
 
+/// Result of the reorder locality gate (see [`run_reorder_gate`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ReorderGateResult {
+    /// Threads both services ran with.
+    pub threads: usize,
+    /// Best-of-N unreordered tiled TEPS.
+    pub tiled_teps: f64,
+    /// Best-of-N reordered tiled TEPS.
+    pub reordered_teps: f64,
+}
+
+/// The workload where vertex reordering must pay: a scale-12 power-law
+/// R-MAT whose natural labeling scatters each hub's neighbors across the
+/// whole status-word array, so every top-down expansion of a hub walks the
+/// bitmap in a random-access pattern. Clustering hubs with their neighbors
+/// ([`ReorderKind::HubCluster`], or whichever ordering the sweep selected)
+/// turns those probes sequential. Both services are resident (relabel cost
+/// amortized at build, exactly as deployed), run the same 64-source group
+/// best-of-5, and their depths are asserted bit-identical before any
+/// timing is compared — a reordered *win* bought with a wrong answer must
+/// never pass the gate.
+pub fn run_reorder_gate(threads: usize, kind: ReorderKind) -> ReorderGateResult {
+    let graph = rmat(12, 8, RmatParams::graph500(), 42);
+    let reverse = graph.reverse();
+    let sources: Vec<VertexId> = (0..64).collect();
+    let mut best = [0.0f64; 2];
+    let mut depths: [Option<Vec<ibfs_graph::Depth>>; 2] = [None, None];
+    for (i, reorder) in [ReorderKind::None, kind].into_iter().enumerate() {
+        let mut svc = CpuIbfs {
+            threads,
+            width: WordWidth::W64,
+            engine: CpuEngine::Tiled,
+            reorder,
+            ..Default::default()
+        }
+        .service(&graph, &reverse);
+        for _ in 0..5 {
+            let run = svc.run_group(&sources).expect("gate group fits capacity");
+            best[i] = best[i].max(run.teps());
+            match &depths[i] {
+                None => depths[i] = Some(run.depths),
+                Some(d) => assert_eq!(d, &run.depths, "reorder={reorder}: unstable depths"),
+            }
+        }
+    }
+    assert_eq!(
+        depths[0], depths[1],
+        "reorder gate: {kind} depths diverge from the unreordered run"
+    );
+    ReorderGateResult { threads, tiled_teps: best[0], reordered_teps: best[1] }
+}
+
 /// Validates a serialized report: parses it back through the in-tree JSON
 /// codec and checks schema invariants. Returns a description of the first
 /// violation.
@@ -507,8 +690,33 @@ pub fn validate_report_json(text: &str) -> Result<CpuBenchReport, String> {
         if run.engine != "baseline" && CpuEngine::parse(&run.engine).is_none() {
             return Err(format!("unknown engine {:?}", run.engine));
         }
+        if ReorderKind::parse(&run.reorder).is_none() {
+            return Err(format!("unknown reorder {:?}", run.reorder));
+        }
         if run.engine == "baseline" {
+            if run.reorder != ReorderKind::None.name() {
+                return Err(format!(
+                    "baseline run claims reorder {:?} (the frozen baseline never reorders)",
+                    run.reorder
+                ));
+            }
             baselines += 1;
+        }
+        // A reordered row is only interpretable against the same engine ×
+        // thread-count row in its *natural* ordering — a report that ships
+        // reordered TEPS without the unreordered control is unfalsifiable.
+        if run.engine != "baseline" && run.reorder != ReorderKind::None.name() {
+            let has_control = report.runs.iter().any(|r| {
+                r.engine == run.engine
+                    && r.threads == run.threads
+                    && r.reorder == ReorderKind::None.name()
+            });
+            if !has_control {
+                return Err(format!(
+                    "reordered run {}+{}@{}t has no reorder=\"none\" control row",
+                    run.engine, run.reorder, run.threads
+                ));
+            }
         }
         if run.threads == 0 || run.wall_seconds <= 0.0 || run.traversed_edges == 0 {
             return Err(format!(
@@ -545,6 +753,9 @@ pub fn validate_report_json(text: &str) -> Result<CpuBenchReport, String> {
         if CpuEngine::parse(&s.engine).is_none() {
             return Err(format!("speedup for unknown engine {:?}", s.engine));
         }
+        if ReorderKind::parse(&s.reorder).is_none() {
+            return Err(format!("speedup for unknown reorder {:?}", s.reorder));
+        }
     }
     let hg = &report.hub_gate;
     if hg.enforced && !hg.ran {
@@ -560,6 +771,30 @@ pub fn validate_report_json(text: &str) -> Result<CpuBenchReport, String> {
         return Err(format!(
             "hub_gate ran with degenerate measurements: threads={} pooled={} tiled={}",
             hg.threads, hg.pooled_teps, hg.tiled_teps
+        ));
+    }
+    let rg = &report.reorder_gate;
+    if ReorderKind::parse(&rg.reorder).is_none() {
+        return Err(format!("reorder_gate names unknown reorder {:?}", rg.reorder));
+    }
+    if rg.enforced && !rg.ran {
+        return Err("reorder_gate claims enforced without having run".to_string());
+    }
+    if rg.enforced && !rg.passed {
+        return Err(format!(
+            "reorder_gate enforced but failed: tiled+{} {:.0} TEPS < tiled {:.0} TEPS",
+            rg.reorder, rg.reordered_teps, rg.tiled_teps
+        ));
+    }
+    if rg.ran
+        && (rg.threads == 0
+            || rg.tiled_teps <= 0.0
+            || rg.reordered_teps <= 0.0
+            || rg.reorder == ReorderKind::None.name())
+    {
+        return Err(format!(
+            "reorder_gate ran with degenerate measurements: reorder={} threads={} tiled={} reordered={}",
+            rg.reorder, rg.threads, rg.tiled_teps, rg.reordered_teps
         ));
     }
     Ok(report)
@@ -590,10 +825,28 @@ pub fn report_summary(report: &CpuBenchReport) -> String {
         if report.tile_size == 0 { "auto".to_string() } else { report.tile_size.to_string() },
     );
     for s in &report.speedups {
+        let label = if s.reorder == "none" {
+            s.engine.clone()
+        } else {
+            format!("{}+{}", s.engine, s.reorder)
+        };
         let _ = writeln!(
             out,
-            "  threads={:<2} baseline {:>12.0} TEPS | {:<6} {:>12.0} TEPS | speedup {:.2}x",
-            s.threads, s.baseline_teps, s.engine, s.engine_teps, s.speedup
+            "  threads={:<2} baseline {:>12.0} TEPS | {:<10} {:>12.0} TEPS | speedup {:.2}x",
+            s.threads, s.baseline_teps, label, s.engine_teps, s.speedup
+        );
+    }
+    if report.reorder_gate.ran {
+        let rg = &report.reorder_gate;
+        let _ = writeln!(
+            out,
+            "  reorder gate [{}]: tiled {:.0} TEPS | tiled+{} {:.0} TEPS ({:.2}x, {})",
+            if rg.enforced { "enforced" } else { "report-only" },
+            rg.tiled_teps,
+            rg.reorder,
+            rg.reordered_teps,
+            rg.reordered_teps / rg.tiled_teps.max(1e-12),
+            if rg.passed { "passed" } else { "behind" },
         );
     }
     out
@@ -691,7 +944,7 @@ mod tests {
         assert!(validate_report_json(&good).is_ok());
         assert!(validate_report_json("{}").is_err());
         assert!(validate_report_json("not json").is_err());
-        let wrong_version = good.replace("\"schema_version\": 3", "\"schema_version\": 99");
+        let wrong_version = good.replace("\"schema_version\": 4", "\"schema_version\": 99");
         assert!(validate_report_json(&wrong_version).unwrap_err().contains("schema_version"));
         let wrong_engine = good.replace("\"engine\": \"pooled\"", "\"engine\": \"cuda\"");
         assert!(validate_report_json(&wrong_engine).unwrap_err().contains("unknown engine"));
@@ -720,6 +973,76 @@ mod tests {
         assert_eq!(pooled.groups, 1);
         let baseline = report.runs.iter().find(|r| r.engine == "baseline").unwrap();
         assert_eq!(baseline.groups, 2);
+    }
+
+    #[test]
+    fn reorder_sweep_adds_rows_checks_depths_and_validates() {
+        // Two engines × two orderings at one thread count: 1 baseline +
+        // 2×2 engine rows, every reordered row checked bit-identical to
+        // the baseline inside the run (check: true).
+        let report = run_cpu_bench(&CpuBenchConfig {
+            engines: vec![CpuEngine::Pooled, CpuEngine::Async],
+            reorders: vec![ReorderKind::None, ReorderKind::HubCluster],
+            threads: vec![2],
+            ..tiny_config()
+        });
+        assert_eq!(report.runs.len(), 5);
+        assert_eq!(report.speedups.len(), 4);
+        for (engine, reorder) in
+            [("pooled", "none"), ("pooled", "hub"), ("async", "none"), ("async", "hub")]
+        {
+            assert!(
+                report.runs.iter().any(|r| r.engine == engine && r.reorder == reorder),
+                "missing {engine}+{reorder}"
+            );
+        }
+        assert!(report.runs.iter().all(|r| r.engine != "baseline" || r.reorder == "none"));
+        // No tiled engine in the sweep: the locality gate stays idle.
+        assert!(!report.reorder_gate.ran);
+        let parsed = validate_report_json(&report_to_json(&report)).expect("schema-valid");
+        assert!(report_summary(&parsed).contains("pooled+hub"));
+    }
+
+    #[test]
+    fn reorder_gate_runs_with_tiled_and_a_live_ordering() {
+        let report = run_cpu_bench(&CpuBenchConfig {
+            engines: vec![CpuEngine::Tiled],
+            reorders: vec![ReorderKind::None, ReorderKind::HubCluster],
+            threads: vec![2],
+            ..tiny_config()
+        });
+        let rg = &report.reorder_gate;
+        assert!(rg.ran);
+        assert_eq!(rg.reorder, "hub");
+        assert!(rg.threads >= 2);
+        assert!(rg.tiled_teps > 0.0 && rg.reordered_teps > 0.0);
+        validate_report_json(&report_to_json(&report)).expect("schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_reordered_rows_without_their_control() {
+        let mut report = run_cpu_bench(&CpuBenchConfig {
+            threads: vec![1],
+            check: false,
+            ..tiny_config()
+        });
+        // Relabel the only pooled row as a hub-reordered measurement: the
+        // unreordered control disappears and the document is no longer
+        // interpretable as a locality comparison.
+        let row = report.runs.iter_mut().find(|r| r.engine == "pooled").unwrap();
+        row.reorder = "hub".to_string();
+        let err = validate_report_json(&report_to_json(&report)).unwrap_err();
+        assert!(err.contains("control"), "got: {err}");
+        // A baseline row claiming an ordering is equally forged.
+        let mut report2 = run_cpu_bench(&CpuBenchConfig {
+            threads: vec![1],
+            check: false,
+            ..tiny_config()
+        });
+        report2.runs.iter_mut().find(|r| r.engine == "baseline").unwrap().reorder =
+            "rcm".to_string();
+        let err2 = validate_report_json(&report_to_json(&report2)).unwrap_err();
+        assert!(err2.contains("baseline"), "got: {err2}");
     }
 
     #[test]

@@ -400,6 +400,49 @@ mod tests {
     }
 
     #[test]
+    fn power_law_sampler_pins_its_exact_sequence_and_matches_linear_scan() {
+        // Regression pin for the prefix-sum + binary-search sampler: the
+        // exact draw sequence for a fixed (profile, n, seed) is part of
+        // the bench's reproducibility contract — BENCH documents and the
+        // QoS cache-hit gates replay it — so any change to the weights,
+        // the prefix accumulation order, or the search boundary condition
+        // must show up here as a diff, not as silently shifted workloads.
+        let sampler = SourceSampler::new(SourceProfile::PowerLaw { exponent: 1.2 }, 64);
+        let mut rng = Rng::seed_from_u64(42);
+        let drawn: Vec<VertexId> = (0..24).map(|_| sampler.draw(&mut rng)).collect();
+        assert_eq!(
+            drawn,
+            vec![0, 1, 7, 36, 59, 13, 9, 21, 12, 4, 8, 0, 16, 1, 9, 26, 5, 22, 9, 9, 0, 0, 2, 5],
+            "power-law draw sequence moved for seed 42 over n=64"
+        );
+        // The binary search must agree with the O(n) linear scan it
+        // replaced, draw for draw: same weights, same tie-breaking (first
+        // cumulative weight strictly above x wins).
+        let cum: Vec<f64> = {
+            let mut acc = 0.0;
+            (0..64u32)
+                .map(|v| {
+                    acc += (v as f64 + 1.0).powf(-1.2);
+                    acc
+                })
+                .collect()
+        };
+        let total = *cum.last().unwrap();
+        let mut fast_rng = Rng::seed_from_u64(7);
+        let mut slow_rng = Rng::seed_from_u64(7);
+        for _ in 0..512 {
+            let fast = sampler.draw(&mut fast_rng);
+            let x = slow_rng.gen::<f64>() * total;
+            let slow = cum
+                .iter()
+                .position(|&c| c > x)
+                .unwrap_or(63)
+                .min(63) as VertexId;
+            assert_eq!(fast, slow, "binary search diverges from the linear scan");
+        }
+    }
+
+    #[test]
     fn bulk_burst_run_reports_per_class_p99() {
         let g = rmat(8, 8, RmatParams::graph500(), 31);
         let r = g.reverse();

@@ -2,10 +2,13 @@
 //!
 //! The committed benchmark report is the repo's perf trajectory record;
 //! this module turns a pair of reports into a reviewable table and a CI
-//! verdict. Runs are matched by `(engine, threads)`; a run whose TEPS
-//! falls below `base * (1 - noise/100)` is a regression. The hub-gate
-//! block of both documents is surfaced so "gate stopped being enforced"
-//! is visible in the same place as the rates.
+//! verdict. Runs are matched by `(engine, reorder, threads)` — a
+//! hub-reordered tiled row only ever compares against the same reordered
+//! row, never against the unreordered one it is supposed to beat; a run
+//! whose TEPS falls below `base * (1 - noise/100)` is a regression. The
+//! hub-gate and reorder-gate blocks of both documents are surfaced so
+//! "gate stopped being enforced" is visible in the same place as the
+//! rates.
 //!
 //! The noise band exists because TEPS is a wall-clock measurement: the
 //! default [`DEFAULT_NOISE_PCT`] absorbs scheduler jitter and
@@ -22,18 +25,20 @@
 //! (it is clamped at 1.0) so a lucky-fast reference cannot manufacture
 //! failures, and the calibrating rows themselves are never flagged.
 
-use crate::cpubench::{validate_report_json, CpuBenchReport, HubGateStatus};
+use crate::cpubench::{validate_report_json, CpuBenchReport, HubGateStatus, ReorderGateStatus};
 use std::fmt::Write as _;
 
 /// Default allowed TEPS drop, in percent. Wide on purpose: the committed
 /// baseline may come from a different machine.
 pub const DEFAULT_NOISE_PCT: f64 = 30.0;
 
-/// One matched `(engine, threads)` comparison.
+/// One matched `(engine, reorder, threads)` comparison.
 #[derive(Clone, Debug)]
 pub struct DiffRow {
     /// Engine name (`"baseline"`, `"pooled"`, `"tiled"`, `"async"`).
     pub engine: String,
+    /// Vertex ordering the row was measured under (`"none"` = natural).
+    pub reorder: String,
     /// Worker threads.
     pub threads: u64,
     /// TEPS in the base (older / committed) report.
@@ -54,8 +59,9 @@ pub struct DiffRow {
 pub struct PerfDiff {
     /// Matched runs, in base-report order.
     pub rows: Vec<DiffRow>,
-    /// `(engine, threads)` keys present in base but absent in new — a
-    /// disappeared run can hide a regression, so `--check` fails on these.
+    /// `(engine, reorder, threads)` keys present in base but absent in
+    /// new — a disappeared run can hide a regression, so `--check` fails
+    /// on these.
     pub missing: Vec<String>,
     /// Keys present only in the new report (informational).
     pub added: Vec<String>,
@@ -70,6 +76,10 @@ pub struct PerfDiff {
     pub base_gate: HubGateStatus,
     /// Hub-gate outcome recorded in the new report.
     pub new_gate: HubGateStatus,
+    /// Reorder-gate outcome recorded in the base report.
+    pub base_reorder_gate: ReorderGateStatus,
+    /// Reorder-gate outcome recorded in the new report.
+    pub new_reorder_gate: ReorderGateStatus,
 }
 
 impl PerfDiff {
@@ -97,16 +107,27 @@ pub fn diff_reports(
 ) -> PerfDiff {
     let noise_pct = noise_pct.clamp(0.0, 99.999);
     let floor = 1.0 - noise_pct / 100.0;
-    let key = |engine: &str, threads: u64| format!("{engine}@{threads}t");
+    let key = |engine: &str, reorder: &str, threads: u64| {
+        if reorder == "none" {
+            format!("{engine}@{threads}t")
+        } else {
+            format!("{engine}+{reorder}@{threads}t")
+        }
+    };
 
     let mut rows = Vec::new();
     let mut missing = Vec::new();
     for b in &base.runs {
-        match new.runs.iter().find(|n| n.engine == b.engine && n.threads == b.threads) {
+        match new
+            .runs
+            .iter()
+            .find(|n| n.engine == b.engine && n.reorder == b.reorder && n.threads == b.threads)
+        {
             Some(n) => {
                 let ratio = n.teps / b.teps.max(1e-12);
                 rows.push(DiffRow {
                     engine: b.engine.clone(),
+                    reorder: b.reorder.clone(),
                     threads: b.threads,
                     base_teps: b.teps,
                     new_teps: n.teps,
@@ -115,7 +136,7 @@ pub fn diff_reports(
                     calibrator: calibrate == Some(b.engine.as_str()),
                 });
             }
-            None => missing.push(key(&b.engine, b.threads)),
+            None => missing.push(key(&b.engine, &b.reorder, b.threads)),
         }
     }
     let calibrators: Vec<f64> =
@@ -133,8 +154,12 @@ pub fn diff_reports(
     let added = new
         .runs
         .iter()
-        .filter(|n| !base.runs.iter().any(|b| b.engine == n.engine && b.threads == n.threads))
-        .map(|n| key(&n.engine, n.threads))
+        .filter(|n| {
+            !base.runs.iter().any(|b| {
+                b.engine == n.engine && b.reorder == n.reorder && b.threads == n.threads
+            })
+        })
+        .map(|n| key(&n.engine, &n.reorder, n.threads))
         .collect();
 
     PerfDiff {
@@ -146,6 +171,8 @@ pub fn diff_reports(
         calibrated_against,
         base_gate: base.hub_gate,
         new_gate: new.hub_gate,
+        base_reorder_gate: base.reorder_gate.clone(),
+        new_reorder_gate: new.reorder_gate.clone(),
     }
 }
 
@@ -162,6 +189,25 @@ pub fn diff_report_texts(
     let base = validate_report_json(base_text).map_err(|e| format!("{base_label}: {e}"))?;
     let new = validate_report_json(new_text).map_err(|e| format!("{new_label}: {e}"))?;
     Ok(diff_reports(&base, &new, noise_pct, calibrate))
+}
+
+fn reorder_gate_line(g: &ReorderGateStatus) -> String {
+    if !g.ran {
+        return "not run".to_string();
+    }
+    format!(
+        "{} (tiled {:.0} TEPS, tiled+{} {:.0} TEPS, {:.2}x at {} threads)",
+        match (g.enforced, g.passed) {
+            (true, _) => "enforced, passed",
+            (false, true) => "reported only (single-core host), ordering held",
+            (false, false) => "reported only (single-core host), ordering inverted",
+        },
+        g.tiled_teps,
+        g.reorder,
+        g.reordered_teps,
+        g.reordered_teps / g.tiled_teps.max(1e-12),
+        g.threads,
+    )
 }
 
 fn gate_line(g: &HubGateStatus) -> String {
@@ -192,14 +238,19 @@ pub fn render_diff(diff: &PerfDiff, base_label: &str, new_label: &str) -> String
     );
     let _ = writeln!(
         out,
-        "  {:<8} {:>7} {:>14} {:>14} {:>7}  status",
+        "  {:<14} {:>7} {:>14} {:>14} {:>7}  status",
         "engine", "threads", "base TEPS", "new TEPS", "ratio"
     );
     for r in &diff.rows {
+        let label = if r.reorder == "none" {
+            r.engine.clone()
+        } else {
+            format!("{}+{}", r.engine, r.reorder)
+        };
         let _ = writeln!(
             out,
-            "  {:<8} {:>7} {:>14.0} {:>14.0} {:>6.2}x  {}",
-            r.engine,
+            "  {:<14} {:>7} {:>14.0} {:>14.0} {:>6.2}x  {}",
+            label,
             r.threads,
             r.base_teps,
             r.new_teps,
@@ -229,6 +280,8 @@ pub fn render_diff(diff: &PerfDiff, base_label: &str, new_label: &str) -> String
     }
     let _ = writeln!(out, "  hub gate: base {}", gate_line(&diff.base_gate));
     let _ = writeln!(out, "  hub gate: new  {}", gate_line(&diff.new_gate));
+    let _ = writeln!(out, "  reorder gate: base {}", reorder_gate_line(&diff.base_reorder_gate));
+    let _ = writeln!(out, "  reorder gate: new  {}", reorder_gate_line(&diff.new_reorder_gate));
     let regressions = diff.regressions().len();
     let _ = writeln!(
         out,
@@ -356,6 +409,52 @@ mod tests {
         let diff = diff_reports(&base, &base, 5.0, Some("no-such-engine"));
         assert!((diff.calibration - 1.0).abs() < 1e-9);
         assert!(diff.calibrated_against.is_none());
+    }
+
+    #[test]
+    fn reordered_rows_match_only_their_own_ordering() {
+        use ibfs_graph::reorder::ReorderKind;
+        let base = run_cpu_bench(&CpuBenchConfig {
+            scale: 8,
+            edge_factor: 8,
+            seed: 7,
+            sources: 16,
+            group_size: 16,
+            threads: vec![1],
+            reorders: vec![ReorderKind::None, ReorderKind::HubCluster],
+            check: false,
+            ..CpuBenchConfig::default()
+        });
+        // baseline + pooled@none + pooled@hub, all matched one-to-one.
+        let diff = diff_reports(&base, &base, 0.0, None);
+        assert_eq!(diff.rows.len(), 3);
+        assert!(diff.passes());
+        assert!(diff.rows.iter().any(|r| r.reorder == "hub"));
+        let text = render_diff(&diff, "a", "b");
+        assert!(text.contains("pooled+hub"));
+        assert!(text.contains("reorder gate: base not run"));
+
+        // Tank only the reordered row: the unreordered rows must not
+        // absorb the regression, and the flagged row names its ordering.
+        let mut slow = base.clone();
+        for run in &mut slow.runs {
+            if run.reorder == "hub" {
+                run.teps *= 0.1;
+            }
+        }
+        let diff = diff_reports(&base, &slow, 5.0, None);
+        let regs = diff.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].reorder, "hub");
+
+        // Dropping the reordered row from the candidate is a MISSING key
+        // spelled with its ordering, not a silent re-match against `none`.
+        let mut pruned = base.clone();
+        pruned.runs.retain(|r| r.reorder != "hub");
+        pruned.speedups.retain(|s| s.reorder != "hub");
+        let diff = diff_reports(&base, &pruned, 30.0, None);
+        assert!(!diff.passes());
+        assert_eq!(diff.missing, vec!["pooled+hub@1t".to_string()]);
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //! it is *derived from depths*, but the amount of work actually performed
 //! is nondeterministic — which is why the async test wall pins depths, not
 //! edge counts.
+//!
+//! Vertex reordering ([`CpuOptions::reorder`]) composes with this engine
+//! for free: [`crate::cpu::CpuService::run_group`] hands `run_async` the
+//! relabeled CSR and pre-mapped sources and maps the depth table back out
+//! afterward, so nothing here knows whether the space is permuted —
+//! `tests/reorder_differential.rs` pins the async rows of that wall.
 
 use crate::cpu::{CpuOptions, CpuRun, CpuStats};
 use crate::pool::WorkerPool;

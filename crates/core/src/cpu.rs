@@ -69,13 +69,14 @@
 //! word width. Oversized or malformed groups are typed
 //! [`RequestError`]s, matching the GPU service's admission style.
 
-use crate::direction::{Direction, DirectionPolicy};
+use crate::direction::{Direction, DirectionPolicy, DirectionTuner};
 use crate::pool::{ChunkCursor, WorkerPool};
 use crate::service::{admit_sources, RequestError};
 use crate::tile::{build_frontier_tiles, build_tile_bounds, build_weighted_bounds, ClaimTally, EdgeTile};
 use crate::word::{
     AtomicStatus, AtomicW128, AtomicW256, AtomicW32, AtomicW64, StatusWord, WordWidth,
 };
+use ibfs_graph::reorder::{ReorderKind, VertexPerm};
 use ibfs_graph::tiling::TilePlan;
 use ibfs_graph::{Csr, Depth, VertexId, DEPTH_UNVISITED};
 use ibfs_obs::{EngineProfiler, ProfPhase};
@@ -97,6 +98,21 @@ pub const CHUNK: usize = 1 << CHUNK_BITS;
 /// graphs with mild degree skew. The autotuner raises this on skewed
 /// graphs (see [`autotune_chunks_per_lane`]).
 const STEAL_CHUNKS_PER_LANE: usize = 8;
+
+/// Seed for the RCM pseudo-peripheral root search (see
+/// [`ibfs_graph::reorder::VertexPerm::rcm`]). Fixed so every service built
+/// over the same graph with [`ReorderKind::Rcm`] uses the same labeling —
+/// reorderings must be reproducible for the differential walls and the
+/// committed bench trajectory to be meaningful.
+pub const REORDER_SEED: u64 = 42;
+
+/// Frontier occupancy divisor for the adaptive frontier representation: a
+/// level whose queue holds at least `n / DENSE_FRONTIER_DIV` vertices is
+/// normalized to ascending vertex order through a dense bitmap (cost
+/// O(n/64 + frontier)), so the traversal walks the CSR near-sequentially.
+/// Sparse levels keep the queue in lane-concatenation order — for them the
+/// O(n/64) bitmap scan would dominate the level itself.
+pub const DENSE_FRONTIER_DIV: usize = 16;
 
 /// The CPU hot path to run a group through.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -193,6 +209,16 @@ pub struct CpuOptions {
     /// Edge-tile size for [`CpuEngine::Tiled`] / [`CpuEngine::Async`];
     /// 0 = autotune from the degree histogram at service build.
     pub tile_size: usize,
+    /// Vertex reordering applied once at service build: the CSR is
+    /// relabeled for locality, sources map in at [`CpuService::run_group`]
+    /// and depths map back out, so results are bit-identical to the
+    /// unreordered engines (pinned by `tests/reorder_differential.rs`).
+    pub reorder: ReorderKind,
+    /// Online α/β direction autotuning from measured per-direction phase
+    /// cost over the first groups of the service's lifetime (see
+    /// [`DirectionTuner`]). Off by default; results are unaffected either
+    /// way — depths are invariant to the direction schedule.
+    pub adaptive: bool,
 }
 
 impl Default for CpuOptions {
@@ -206,6 +232,8 @@ impl Default for CpuOptions {
             per_level_reset: false,
             engine: CpuEngine::Pooled,
             tile_size: 0,
+            reorder: ReorderKind::None,
+            adaptive: false,
         }
     }
 }
@@ -225,6 +253,10 @@ pub struct CpuIbfs {
     pub engine: CpuEngine,
     /// Edge-tile size; 0 = autotune.
     pub tile_size: usize,
+    /// Vertex reordering applied at service build.
+    pub reorder: ReorderKind,
+    /// Online α/β direction autotuning.
+    pub adaptive: bool,
 }
 
 impl CpuIbfs {
@@ -240,6 +272,8 @@ impl CpuIbfs {
             per_level_reset: false,
             engine: self.engine,
             tile_size: self.tile_size,
+            reorder: self.reorder,
+            adaptive: self.adaptive,
         })
     }
 
@@ -281,9 +315,11 @@ impl CpuMsBfs {
             early_termination: false,
             per_level_reset: true,
             // MS-BFS is the fixed level-synchronous baseline of Figure 22;
-            // it never runs tiled or async.
+            // it never runs tiled, async, reordered, or adaptive.
             engine: CpuEngine::Pooled,
             tile_size: 0,
+            reorder: ReorderKind::None,
+            adaptive: false,
         })
     }
 
@@ -330,6 +366,21 @@ pub struct CpuStats {
     pub async_items: u64,
     /// Successful CAS-min depth relaxations in the async engine.
     pub async_relaxed: u64,
+    /// Levels whose frontier was normalized through the dense bitmap.
+    pub dense_levels: u64,
+    /// Levels that kept the sparse lane-order queue.
+    pub sparse_levels: u64,
+    /// Microseconds spent in top-down traversal phases (tuner input).
+    pub td_micros: u64,
+    /// Microseconds spent in bottom-up traversal phases (tuner input).
+    pub bu_micros: u64,
+    /// α/β retunes applied by the adaptive direction tuner.
+    pub retunes: u64,
+    /// Current effective α in milli-units (`u64::MAX` for +inf); 0 until
+    /// the first group runs with the tuner attached.
+    pub tuned_alpha_milli: u64,
+    /// Current effective β in milli-units; 0 until the first tuned group.
+    pub tuned_beta_milli: u64,
 }
 
 /// Point-in-time view of a service's counters, including its pool.
@@ -404,6 +455,10 @@ struct Scratch {
     cursor: ChunkCursor,
     /// Per-lane claim counts for the steal-balance metric.
     tally: ClaimTally,
+    /// Dense frontier bitmap (one bit per vertex), used to normalize
+    /// high-occupancy queues to ascending order (see
+    /// [`DENSE_FRONTIER_DIV`]). Allocated lazily on the first dense level.
+    bitmap: Vec<u64>,
 }
 
 impl Scratch {
@@ -422,6 +477,7 @@ impl Scratch {
             tiles: Vec::new(),
             cursor: ChunkCursor::default(),
             tally: ClaimTally::new(threads),
+            bitmap: Vec::new(),
         }
     }
 }
@@ -485,6 +541,15 @@ fn autotune_chunks_per_lane(csr: &Csr) -> usize {
     }
 }
 
+/// The relabeled graphs and permutation a reordered service runs on.
+/// Built once at [`CpuService::new`]; the borrowed originals stay the
+/// admission/result space.
+struct Reordered {
+    csr: Csr,
+    rev: Csr,
+    perm: VertexPerm,
+}
+
 /// A resident CPU traversal service: persistent pool + reusable arena
 /// serving group after group against one graph.
 pub struct CpuService<'g> {
@@ -506,6 +571,10 @@ pub struct CpuService<'g> {
     /// When set, every phase of every level records per-lane
     /// [`PhaseRecord`](ibfs_obs::PhaseRecord)s into it.
     profiler: Option<Arc<EngineProfiler>>,
+    /// Relabeled graphs + permutation when [`CpuOptions::reorder`] is set.
+    reordered: Option<Box<Reordered>>,
+    /// Online α/β tuner when [`CpuOptions::adaptive`] is set.
+    tuner: Option<DirectionTuner>,
 }
 
 impl<'g> CpuService<'g> {
@@ -522,6 +591,16 @@ impl<'g> CpuService<'g> {
             WordWidth::W128 => ArenaAny::W128(Arena::new(n)),
             WordWidth::W256 => ArenaAny::W256(Arena::new(n)),
         };
+        // Relabel once at build: every group then runs in permuted space
+        // against the relabeled CSR pair; the borrowed originals stay the
+        // admission and result space. Degrees are permutation-invariant,
+        // so the tile plan and steal-chunk autotuners see the same
+        // histogram either way.
+        let reordered = VertexPerm::build(opts.reorder, csr, REORDER_SEED).map(|perm| {
+            let rcsr = perm.apply(csr);
+            let rrev = rcsr.reverse();
+            Box::new(Reordered { csr: rcsr, rev: rrev, perm })
+        });
         let plan = if opts.tile_size > 0 {
             TilePlan::uniform(opts.tile_size)
         } else {
@@ -539,6 +618,8 @@ impl<'g> CpuService<'g> {
             chunks_per_lane: autotune_chunks_per_lane(csr),
             epoch: 0,
             profiler: None,
+            reordered,
+            tuner: opts.adaptive.then(|| DirectionTuner::new(opts.policy)),
         }
     }
 
@@ -613,6 +694,18 @@ impl<'g> CpuService<'g> {
         registry.gauge("ibfs_cpu_steal_balance").set(balance);
         registry.counter("ibfs_cpu_async_items_total").add(s.stats.async_items);
         registry.counter("ibfs_cpu_async_relaxed_total").add(s.stats.async_relaxed);
+        // Round-3 families: locality (reordering, frontier rep) and the
+        // adaptive direction tuner.
+        registry
+            .gauge(&ibfs_obs::labeled("ibfs_cpu_reorder", &[("kind", self.opts.reorder.name())]))
+            .set(1.0);
+        registry.counter("ibfs_cpu_dense_levels_total").add(s.stats.dense_levels);
+        registry.counter("ibfs_cpu_sparse_levels_total").add(s.stats.sparse_levels);
+        registry.counter("ibfs_cpu_retunes_total").add(s.stats.retunes);
+        if s.stats.tuned_alpha_milli > 0 && s.stats.tuned_alpha_milli != u64::MAX {
+            registry.gauge("ibfs_cpu_tuned_alpha").set(s.stats.tuned_alpha_milli as f64 / 1000.0);
+            registry.gauge("ibfs_cpu_tuned_beta").set(s.stats.tuned_beta_milli as f64 / 1000.0);
+        }
     }
 
     /// Validates a group without running it.
@@ -630,28 +723,138 @@ impl<'g> CpuService<'g> {
     /// its own instance bit).
     pub fn run_group(&mut self, sources: &[VertexId]) -> Result<CpuRun, RequestError> {
         self.admit(sources)?;
-        let (csr, rev, opts) = (self.csr, self.rev, self.opts);
+        let mut opts = self.opts;
+        if let Some(t) = &self.tuner {
+            // Adaptive mode: this group runs under the tuner's current
+            // α/β. Depths are invariant to the direction schedule, so no
+            // tuner state can change a result bit.
+            opts.policy = t.policy();
+        }
+        let prof = self.profiler.as_deref();
+        // One timeline track for the reorder map phases of this group (the
+        // engine run opens its own).
+        let map_track = match (&self.reordered, prof) {
+            (Some(_), Some(p)) => p.open_track(),
+            _ => 0,
+        };
+        // Map the group into permuted space: one lookup per instance.
+        let mapped: Vec<VertexId>;
+        let (csr, rev, run_sources): (&Csr, &Csr, &[VertexId]) = match &self.reordered {
+            Some(r) => {
+                let t0 = prof.map(|p| p.begin());
+                mapped = r.perm.map_sources(sources);
+                if let (Some(p), Some(t0)) = (prof, t0) {
+                    p.record(
+                        map_track,
+                        0,
+                        0,
+                        ProfPhase::MapIn,
+                        t0.start_s(),
+                        t0.elapsed_s(),
+                        sources.len() as u64,
+                        0,
+                    );
+                }
+                (&r.csr, &r.rev, &mapped)
+            }
+            None => (self.csr, self.rev, sources),
+        };
         let pool = &self.pool;
         let stats = &mut self.stats;
-        let prof = self.profiler.as_deref();
-        if opts.engine == CpuEngine::Async {
+        let tuner_before = (stats.td_micros, stats.td_chunks, stats.bu_micros, stats.bu_chunks);
+        let mut run = if opts.engine == CpuEngine::Async {
             // The async engine owns its depth words; the arena and the
             // level-loop scratch never come into play.
-            return Ok(crate::asyncq::run_async(
-                csr, &opts, pool, &self.plan, stats, prof, sources,
-            ));
-        }
-        let scratch = &mut self.scratch;
-        let epoch = &mut self.epoch;
-        let cx = RunCx { plan: &self.plan, chunks_per_lane: self.chunks_per_lane, prof };
-        let run = match &self.arena {
-            ArenaAny::W32(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
-            ArenaAny::W64(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
-            ArenaAny::W128(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
-            ArenaAny::W256(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, sources),
+            crate::asyncq::run_async(csr, &opts, pool, &self.plan, stats, prof, run_sources)
+        } else {
+            let scratch = &mut self.scratch;
+            let epoch = &mut self.epoch;
+            let cx = RunCx { plan: &self.plan, chunks_per_lane: self.chunks_per_lane, prof };
+            match &self.arena {
+                ArenaAny::W32(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, run_sources),
+                ArenaAny::W64(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, run_sources),
+                ArenaAny::W128(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, run_sources),
+                ArenaAny::W256(a) => run_width(csr, rev, opts, pool, a, scratch, stats, epoch, cx, run_sources),
+            }
         };
+        if let Some(r) = &self.reordered {
+            map_depths_out(&mut run, &r.perm, pool, &self.scratch.cursor, prof, map_track);
+        }
+        if let Some(t) = &mut self.tuner {
+            let (td0, tdc0, bu0, buc0) = tuner_before;
+            let s = &mut self.stats;
+            let moved = t.observe(
+                (s.td_micros - td0) as f64 * 1e-6,
+                s.td_chunks - tdc0,
+                (s.bu_micros - bu0) as f64 * 1e-6,
+                s.bu_chunks - buc0,
+            );
+            let policy = t.policy();
+            if moved {
+                s.retunes = t.retunes();
+                if let Some(p) = prof {
+                    let t0 = p.begin();
+                    p.record(
+                        map_track,
+                        0,
+                        0,
+                        ProfPhase::Retune,
+                        t0.start_s(),
+                        0.0,
+                        milli(policy.alpha),
+                        milli(policy.beta),
+                    );
+                }
+            }
+            s.tuned_alpha_milli = milli(policy.alpha);
+            s.tuned_beta_milli = milli(policy.beta);
+        }
         Ok(run)
     }
+}
+
+/// `α`/`β` in milli-units for the u64-only stats and profiler counters
+/// (`+inf` saturates to `u64::MAX`).
+fn milli(x: f64) -> u64 {
+    if x.is_finite() { (x * 1000.0).round() as u64 } else { u64::MAX }
+}
+
+/// Rewrites a reordered run's depth table back to original vertex ids:
+/// `out[j][old] = depths[j][perm[old]]`, parallelized over vertex chunks on
+/// the pool. `traversed_edges` needs no rework — it is derived from depths
+/// and out-degrees, both permutation-invariant.
+fn map_depths_out(
+    run: &mut CpuRun,
+    perm: &VertexPerm,
+    pool: &WorkerPool,
+    cursor: &ChunkCursor,
+    prof: Option<&EngineProfiler>,
+    track: u64,
+) {
+    let n = run.num_vertices;
+    let ni = run.num_instances;
+    let src = std::mem::take(&mut run.depths);
+    let mut out = vec![DEPTH_UNVISITED; ni * n];
+    let chunks = n.div_ceil(CHUNK);
+    let table = DepthTable(out.as_mut_ptr());
+    let forward = perm.perm();
+    cursor.reset();
+    pool.run_profiled(prof, track, 0, ProfPhase::MapOut, |_lane| {
+        let mut cells = 0u64;
+        while let Some(c) = cursor.claim(chunks) {
+            for old in chunk_range(c, n) {
+                let new = forward[old] as usize;
+                for j in 0..ni {
+                    // SAFETY: chunks of `old` are claimed exclusively, so
+                    // every (j, old) cell has a single writer.
+                    unsafe { table.set(j * n + old, src[j * n + new]) };
+                }
+                cells += ni as u64;
+            }
+        }
+        (cells, ni as u64)
+    });
+    run.depths = out;
 }
 
 /// Autotuned per-service parameters threaded into the level loop.
@@ -729,6 +932,31 @@ fn run_width<A: AtomicStatus>(
             break;
         }
         let level_start = Instant::now();
+        // Adaptive frontier representation: a high-occupancy frontier is
+        // normalized to ascending vertex order through a dense bitmap
+        // (O(n/64 + frontier)), so this level's CSR walk is
+        // near-sequential instead of lane-concatenation order. Frontiers
+        // are duplicate-free sets, so this is a pure reorder — the level's
+        // OR-relaxations are order-free and results cannot move.
+        if scratch.queue.len() * DENSE_FRONTIER_DIV >= n && scratch.queue.len() > 1 {
+            scratch.bitmap.clear();
+            scratch.bitmap.resize(n.div_ceil(64), 0);
+            for &v in &scratch.queue {
+                scratch.bitmap[v as usize >> 6] |= 1u64 << (v & 63);
+            }
+            scratch.queue.clear();
+            for (wi, &word) in scratch.bitmap.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let b = word.trailing_zeros();
+                    scratch.queue.push((wi as u32) * 64 + b);
+                    word &= word - 1;
+                }
+            }
+            stats.dense_levels += 1;
+        } else {
+            stats.sparse_levels += 1;
+        }
         let depth = level as Depth;
         *epoch += 1;
         let tag = *epoch;
@@ -778,6 +1006,7 @@ fn run_width<A: AtomicStatus>(
         }
 
         // Traversal: degree-balanced steal chunks over the frontier.
+        let traversal_start = Instant::now();
         match direction {
             Direction::TopDown if tiled => {
                 // Tiled: expand the frontier into edge tiles so a hub's
@@ -918,6 +1147,13 @@ fn run_width<A: AtomicStatus>(
                 let (mx, _total) = scratch.tally.drain();
                 stats.steal_max_chunks += mx;
             }
+        }
+        // Per-direction wall time feeds the α/β autotuner (and the
+        // td/bu breakdown in the stats snapshot).
+        let traversal_micros = traversal_start.elapsed().as_micros() as u64;
+        match direction {
+            Direction::TopDown => stats.td_micros += traversal_micros,
+            Direction::BottomUp => stats.bu_micros += traversal_micros,
         }
 
         // Collect this level's dirty chunks, ascending.
@@ -1397,6 +1633,130 @@ mod tests {
         let plan = *svc.tile_plan();
         assert_eq!(plan, ibfs_graph::tiling::TilePlan::autotune(&g));
         assert!(svc.chunks_per_lane() >= STEAL_CHUNKS_PER_LANE);
+    }
+
+    #[test]
+    fn reordered_service_is_bit_identical_for_every_kind() {
+        let g = rmat(8, 8, RmatParams::graph500(), 11);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..24).collect();
+        let plain = CpuIbfs { threads: 2, ..Default::default() }
+            .run_group(&g, &r, &sources)
+            .unwrap();
+        for reorder in ReorderKind::all() {
+            let run = CpuIbfs { threads: 2, reorder, ..Default::default() }
+                .run_group(&g, &r, &sources)
+                .unwrap();
+            assert_eq!(run.depths, plain.depths, "{reorder}: depths diverge");
+            assert_eq!(run.traversed_edges, plain.traversed_edges, "{reorder}");
+            for (j, &s) in sources.iter().enumerate() {
+                assert_eq!(run.instance_depths(j), &reference_bfs(&g, s)[..], "{reorder}/{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_service_reuse_and_duplicates_stay_exact() {
+        // Arena reuse + the map-in/map-out pair across groups, with
+        // duplicate sources keeping their instance slots.
+        let g = rmat(8, 8, RmatParams::graph500(), 31);
+        let r = g.reverse();
+        let mut svc = CpuIbfs { threads: 3, reorder: ReorderKind::HubCluster, ..Default::default() }
+            .service(&g, &r);
+        let first = svc.run_group(&[0, 7, 0, 40]).unwrap();
+        svc.run_group(&[99, 3]).unwrap();
+        let again = svc.run_group(&[0, 7, 0, 40]).unwrap();
+        assert_eq!(first.depths, again.depths);
+        assert_eq!(first.instance_depths(0), first.instance_depths(2));
+        assert_eq!(first.instance_depths(0), &reference_bfs(&g, 0)[..]);
+    }
+
+    #[test]
+    fn dense_and_sparse_levels_are_both_exercised_and_counted() {
+        // An R-MAT group floods most of the graph mid-traversal (dense
+        // levels) but starts from a single source (sparse level 1).
+        let g = rmat(9, 8, RmatParams::graph500(), 19);
+        let r = g.reverse();
+        let mut svc = CpuIbfs { threads: 2, ..Default::default() }.service(&g, &r);
+        let run = svc.run_group(&[0]).unwrap();
+        let s = svc.stats().stats;
+        assert_eq!(s.dense_levels + s.sparse_levels, run.level_seconds.len() as u64);
+        assert!(s.sparse_levels > 0, "level 1 of a single source is sparse");
+        assert!(s.dense_levels > 0, "an R-MAT flood level must go dense");
+        assert_eq!(run.instance_depths(0), &reference_bfs(&g, 0)[..]);
+    }
+
+    #[test]
+    fn adaptive_tuner_is_bounded_recorded_and_result_invariant() {
+        let g = rmat(9, 8, RmatParams::graph500(), 23);
+        let r = g.reverse();
+        let sources: Vec<VertexId> = (0..32).collect();
+        let plain = CpuIbfs { threads: 2, ..Default::default() }
+            .run_group(&g, &r, &sources)
+            .unwrap();
+        let mut svc =
+            CpuIbfs { threads: 2, adaptive: true, ..Default::default() }.service(&g, &r);
+        for _ in 0..6 {
+            let run = svc.run_group(&sources).unwrap();
+            assert_eq!(run.depths, plain.depths, "tuning must never move a depth");
+            assert_eq!(run.traversed_edges, plain.traversed_edges);
+        }
+        let s = svc.stats().stats;
+        assert!(s.td_micros > 0, "top-down phases were timed");
+        assert!(s.retunes <= crate::direction::tune::TUNE_GROUPS);
+        // The recorded policy is live and inside the clamp.
+        let alpha = s.tuned_alpha_milli as f64 / 1000.0;
+        let beta = s.tuned_beta_milli as f64 / 1000.0;
+        assert!(alpha >= crate::direction::tune::MIN && alpha <= crate::direction::tune::MAX);
+        assert!(beta >= crate::direction::tune::MIN && beta <= crate::direction::tune::MAX);
+    }
+
+    #[test]
+    fn reordered_and_adaptive_metrics_families_are_emitted() {
+        let g = rmat(8, 8, RmatParams::graph500(), 3);
+        let r = g.reverse();
+        let mut svc = CpuIbfs {
+            threads: 2,
+            reorder: ReorderKind::DegreeDesc,
+            adaptive: true,
+            ..Default::default()
+        }
+        .service(&g, &r);
+        svc.run_group(&[0, 1, 2]).unwrap();
+        let s = svc.stats().stats;
+        let registry = ibfs_obs::Registry::new();
+        svc.record_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("ibfs_cpu_dense_levels_total"),
+            Some(s.dense_levels)
+        );
+        assert_eq!(
+            snap.counter("ibfs_cpu_sparse_levels_total"),
+            Some(s.sparse_levels)
+        );
+        assert_eq!(
+            snap.gauge("ibfs_cpu_reorder{kind=\"degree\"}"),
+            Some(1.0),
+            "reorder kind gauge missing"
+        );
+        assert!(snap.gauge("ibfs_cpu_tuned_alpha").is_some());
+    }
+
+    #[test]
+    fn reordered_profiled_run_records_map_phases() {
+        let g = rmat(8, 8, RmatParams::graph500(), 9);
+        let r = g.reverse();
+        let prof = ibfs_obs::EngineProfiler::shared();
+        let mut svc = CpuIbfs { threads: 2, reorder: ReorderKind::Rcm, ..Default::default() }
+            .service(&g, &r);
+        svc.set_profiler(prof.clone());
+        svc.run_group(&[0, 1, 2, 3]).unwrap();
+        let report = prof.report("cpu-reorder-test");
+        report.validate().expect("profile validates");
+        let phases = report.phases();
+        assert!(phases.contains(&ProfPhase::MapIn), "MapIn missing: {phases:?}");
+        assert!(phases.contains(&ProfPhase::MapOut), "MapOut missing: {phases:?}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod edgelist;
 pub mod generators;
 pub mod io;
 pub mod partition;
+pub mod reorder;
 pub mod suite;
 pub mod tiling;
 pub mod validate;

@@ -1478,6 +1478,47 @@ mod tests {
     }
 
     #[test]
+    fn reordered_adaptive_cpu_backend_is_bit_identical_and_observable() {
+        // PR 10 plumbing: `ServeConfig.cpu` carries `reorder` + `adaptive`
+        // straight into the worker's `CpuService`. The relabel and the
+        // tuner must be invisible in the answers (depths are a property of
+        // the graph, not its labeling or direction schedule) and visible
+        // in telemetry.
+        use ibfs_graph::reorder::ReorderKind;
+        let g = graph();
+        let r = g.reverse();
+        let config = ServeConfig {
+            cpu: Some(CpuOptions {
+                threads: 2,
+                reorder: ReorderKind::HubCluster,
+                adaptive: true,
+                ..Default::default()
+            }),
+            ..quick_config()
+        };
+        let (resps, report) = serve(&g, &r, config, |h| {
+            let tickets: Vec<_> = (0..10u32).map(|s| h.submit(s).unwrap()).collect();
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>()
+        });
+        for resp in &resps {
+            assert_eq!(resp.depths, reference_bfs(&g, resp.source));
+        }
+        assert_eq!(report.completed, 10);
+        assert!(report.is_conserved());
+        let kind = report
+            .snapshot
+            .gauge("ibfs_cpu_reorder{kind=\"hub\"}")
+            .expect("reorder kind gauge must land in the serve snapshot");
+        assert_eq!(kind, 1.0);
+        let dense = report.snapshot.counter("ibfs_cpu_dense_levels_total");
+        let sparse = report.snapshot.counter("ibfs_cpu_sparse_levels_total");
+        assert!(
+            dense.unwrap_or(0) + sparse.unwrap_or(0) > 0,
+            "frontier-rep counters must move: dense={dense:?} sparse={sparse:?}"
+        );
+    }
+
+    #[test]
     fn effective_max_batch_clamps_to_cpu_capacity_not_device_bound() {
         let g = graph();
         let mut config = ServeConfig {
